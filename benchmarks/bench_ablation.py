@@ -1,0 +1,249 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* A1 — infectivity family ω(k): constant vs linear vs the paper's
+  saturating form, and their effect on r0 and the endemic level;
+* A2 — costate gradient: the paper's diagonal approximation (Eq. 16)
+  vs the full Θ-coupled gradient in the FBSM;
+* A3 — ODE solver cross-check: our from-scratch Dormand–Prince vs our
+  RK4 vs scipy LSODA on the full Fig.-2 system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control import ControlBounds, CostParameters, solve_optimal_control
+from repro.core import (
+    HeterogeneousSIRModel,
+    RumorModelParameters,
+    SIRState,
+    basic_reproduction_number,
+    calibrate_acceptance_scale,
+    positive_equilibrium,
+)
+from repro.datasets import synthesize_digg2009
+from repro.epidemic.infectivity import (
+    ConstantInfectivity,
+    LinearInfectivity,
+    SaturatingInfectivity,
+)
+from repro.networks import power_law_distribution
+
+
+class TestA1InfectivityFamilies:
+    """How the ω(k) family shifts the threshold and the endemic level."""
+
+    @pytest.mark.parametrize("infectivity", [
+        ConstantInfectivity(1.0),
+        LinearInfectivity(1.0),
+        SaturatingInfectivity(0.5, 0.5),
+    ], ids=["constant", "linear", "saturating"])
+    def test_r0_and_endemic_level(self, benchmark, infectivity):
+        distribution = power_law_distribution(1, 20, 2.0)
+        params = RumorModelParameters(distribution, alpha=0.01,
+                                      infectivity=infectivity)
+        params = calibrate_acceptance_scale(params, 0.05, 0.05, 2.0)
+
+        def run():
+            eq = positive_equilibrium(params, 0.05, 0.05)
+            return eq
+
+        eq = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+        assert eq.theta > 0.0
+        print(f"\n[A1:{infectivity.name}] Theta+ = {eq.theta:.4g}, "
+              f"I+ max = {eq.state.infected.max():.4g}")
+
+    def test_linear_weights_hubs_hardest(self):
+        """Linear ω concentrates the coupling on hubs far more than the
+        paper's saturating choice — the rationale for saturation."""
+        distribution = power_law_distribution(1, 100, 2.0)
+        degrees = distribution.degrees
+        linear = LinearInfectivity(1.0)(degrees)
+        saturating = SaturatingInfectivity(0.5, 0.5)(degrees)
+        assert linear[-1] / linear[0] == pytest.approx(100.0)
+        assert saturating[-1] / saturating[0] < 2.1
+
+
+class TestA2CostateApproximation:
+    """Paper Eq. 16 (diagonal) vs the exact full adjoint gradient."""
+
+    @pytest.fixture(scope="class")
+    def setting(self):
+        base = RumorModelParameters(power_law_distribution(1, 10, 2.0),
+                                    alpha=0.01)
+        params = calibrate_acceptance_scale(base, 0.2, 0.05, 4.0)
+        initial = SIRState.initial(10, 0.05)
+        return params, initial, ControlBounds(1.0, 1.0), CostParameters(5, 10)
+
+    @pytest.mark.parametrize("mode", ["full", "paper"])
+    def test_fbsm_cost(self, benchmark, setting, mode):
+        params, initial, bounds, costs = setting
+        result = benchmark.pedantic(
+            solve_optimal_control, rounds=1, iterations=1, warmup_rounds=0,
+            kwargs=dict(params=params, initial=initial, t_final=60.0,
+                        bounds=bounds, costs=costs, n_grid=121,
+                        max_iterations=100, mode=mode),
+        )
+        assert result.converged
+        print(f"\n[A2:{mode}] J = {result.cost.total:.4f} "
+              f"(iters {result.iterations})")
+
+    def test_full_gradient_not_worse(self, setting):
+        """The exact gradient must achieve an objective at least as good
+        as the paper's diagonal approximation."""
+        params, initial, bounds, costs = setting
+        kwargs = dict(t_final=60.0, bounds=bounds, costs=costs,
+                      n_grid=121, max_iterations=100)
+        full = solve_optimal_control(params, initial, mode="full", **kwargs)
+        paper = solve_optimal_control(params, initial, mode="paper", **kwargs)
+        assert full.cost.total <= paper.cost.total * 1.01
+
+
+class TestA3SolverCrossCheck:
+    """Our integrators agree with scipy LSODA on the full Digg system."""
+
+    @pytest.fixture(scope="class")
+    def system(self):
+        dataset = synthesize_digg2009()
+        params = RumorModelParameters(dataset.distribution, alpha=0.01)
+        params = calibrate_acceptance_scale(params, 0.2, 0.05, 0.7220)
+        return HeterogeneousSIRModel(params), SIRState.initial(848, 0.05)
+
+    @pytest.mark.parametrize("method", ["dopri45", "scipy"])
+    def test_solver_timing(self, benchmark, system, method):
+        model, initial = system
+        traj = benchmark.pedantic(
+            model.simulate, rounds=3, iterations=1, warmup_rounds=0,
+            kwargs=dict(initial=initial, t_final=150.0, eps1=0.2, eps2=0.05,
+                        n_samples=151, method=method),
+        )
+        assert traj.population_infected()[-1] < 0.01
+
+    def test_solvers_agree(self, system):
+        model, initial = system
+        kwargs = dict(initial=initial, t_final=150.0, eps1=0.2, eps2=0.05,
+                      n_samples=151)
+        ours = model.simulate(method="dopri45", **kwargs)
+        scipy_traj = model.simulate(method="scipy", **kwargs)
+        gap = np.max(np.abs(ours.infected - scipy_traj.infected))
+        assert gap < 1e-5
+        print(f"\n[A3] max |I_dopri − I_lsoda| = {gap:.2e}")
+
+
+class TestA4AssortativeMixing:
+    """Extension: degree-correlated mixing raises the spectral threshold."""
+
+    def test_r0_vs_assortativity_strength(self, benchmark):
+        from repro.core import (CorrelatedRumorModel, assortative_kernel,
+                                uniform_kernel)
+        distribution = power_law_distribution(1, 50, 2.0)
+        params = RumorModelParameters(distribution, alpha=0.01)
+        params = calibrate_acceptance_scale(params, 0.2, 0.05, 0.9)
+
+        def sweep():
+            rows = []
+            for strength in (0.0, 0.5, 1.0, 2.0, 4.0):
+                kernel = (uniform_kernel(params) if strength == 0.0
+                          else assortative_kernel(params, strength))
+                model = CorrelatedRumorModel(params, kernel)
+                rows.append((strength,
+                             model.basic_reproduction_number(0.2, 0.05)))
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1,
+                                  warmup_rounds=0)
+        values = [r0 for _, r0 in rows]
+        assert values[0] == pytest.approx(0.9, rel=1e-9)
+        assert all(b > a for a, b in zip(values, values[1:]))
+        print("\n[A4] strength -> r0: "
+              + ", ".join(f"{s:g}->{r0:.3f}" for s, r0 in rows))
+
+
+class TestA5TwoPhaseVsPontryagin:
+    """Extension: the implementable two-phase policy vs the FBSM optimum."""
+
+    def test_policy_family_gap(self, benchmark):
+        from repro.control import optimize_two_phase
+        base = RumorModelParameters(power_law_distribution(1, 10, 2.0),
+                                    alpha=0.01)
+        params = calibrate_acceptance_scale(base, 0.2, 0.05, 4.0)
+        initial = SIRState.initial(10, 0.05)
+        bounds = ControlBounds(1.0, 1.0)
+        costs = CostParameters(5.0, 10.0)
+
+        two_phase = benchmark.pedantic(
+            optimize_two_phase, rounds=1, iterations=1, warmup_rounds=0,
+            kwargs=dict(params=params, initial=initial, t_final=60.0,
+                        bounds=bounds, costs=costs, n_grid=121,
+                        max_sweeps=15),
+        )
+        fbsm = solve_optimal_control(params, initial, t_final=60.0,
+                                     bounds=bounds, costs=costs,
+                                     n_grid=121, max_iterations=100)
+        assert fbsm.cost.total <= two_phase.cost.total * 1.05
+        gap = two_phase.cost.total / fbsm.cost.total
+        print(f"\n[A5] two-phase J = {two_phase.cost.total:.4f} "
+              f"(switch t={two_phase.policy.switch_time:.1f}, "
+              f"levels {two_phase.policy.level1:.2f}/"
+              f"{two_phase.policy.level2:.2f}) vs FBSM "
+              f"{fbsm.cost.total:.4f}  ->  {gap:.2f}x")
+
+
+class TestA6ForgettingAblation:
+    """Extension: how the forgetting rate δ erodes countermeasure impact."""
+
+    def test_endemic_level_vs_delta(self, benchmark):
+        from repro.epidemic import HeterogeneousSIRS
+        base = RumorModelParameters(power_law_distribution(1, 20, 2.0),
+                                    alpha=0.01)
+        params = calibrate_acceptance_scale(base, 0.05, 0.05, 2.0)
+
+        def sweep():
+            rows = []
+            for delta in (0.005, 0.02, 0.1, 0.5):
+                sirs = HeterogeneousSIRS(params, delta=delta)
+                r0 = sirs.basic_reproduction_number(0.05, 0.05)
+                endemic = sirs.endemic_state(0.05, 0.05)
+                rows.append((delta, r0,
+                             float(endemic.infected @ params.pmf)))
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1,
+                                  warmup_rounds=0)
+        r0_values = [r0 for _, r0, _ in rows]
+        endemic_values = [i for _, _, i in rows]
+        assert all(b > a for a, b in zip(r0_values, r0_values[1:]))
+        assert all(b >= a for a, b in zip(endemic_values, endemic_values[1:]))
+        print("\n[A6] delta -> (r0, endemic I): "
+              + ", ".join(f"{d:g}->({r0:.2f}, {i:.4f})"
+                          for d, r0, i in rows))
+
+
+class TestA7SpatialFrontSpeed:
+    """Extension: reaction–diffusion front speed vs the Fisher–KPP bound."""
+
+    def test_front_speed_tracks_bound(self, benchmark):
+        from repro.epidemic import SpatialRumorModel
+
+        def sweep():
+            rows = []
+            for eps2 in (0.05, 0.2, 0.5):
+                model = SpatialRumorModel(length=100.0, n_cells=200,
+                                          lam=1.0, eps2=eps2,
+                                          diffusion_i=1.0)
+                result = model.simulate(t_final=30.0)
+                rows.append((eps2, model.fisher_speed(),
+                             result.front_speed()))
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1,
+                                  warmup_rounds=0)
+        for eps2, bound, speed in rows:
+            assert speed == pytest.approx(bound, rel=0.15)
+            assert speed <= bound * 1.05
+        speeds = [speed for _, _, speed in rows]
+        assert all(b > a for a, b in zip(speeds[::-1], speeds[::-1][1:]))
+        print("\n[A7] eps2 -> (Fisher bound, measured): "
+              + ", ".join(f"{e:g}->({b:.2f}, {s:.2f})"
+                          for e, b, s in rows))

@@ -1,0 +1,74 @@
+"""Benchmark B2: "to shut them up or to clarify?" (paper ref [9]).
+
+The paper motivates mixing the two countermeasures by noting each wins
+in different regimes.  The competing-cascade extension lets us measure
+that directly: at a matched intervention scale, truth-seeding
+("clarify") dominates when the infected share is still small, while
+blocking ("shut them up") does relatively better once the rumor is
+widespread — the regime dependence the paper argues from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import RumorModelParameters
+from repro.epidemic.competing import CompetingDiffusionModel, truth_seed_sweep
+from repro.networks import power_law_distribution
+
+
+def _model(eps2: float = 0.0) -> CompetingDiffusionModel:
+    params = RumorModelParameters(power_law_distribution(1, 20, 2.0),
+                                  alpha=0.01).with_acceptance_scale(0.3)
+    return CompetingDiffusionModel(params, truth_advantage=0.8,
+                                   correction=0.5, eps2=eps2)
+
+
+def test_clarify_vs_block(run_once):
+    def measure():
+        rows = {}
+        for label, rumor0 in (("early (I0 = 2%)", 0.02),
+                              ("late (I0 = 30%)", 0.30)):
+            clarify = _model(eps2=0.0).simulate(
+                rumor0=rumor0, truth0=0.05, t_final=150.0)
+            block = _model(eps2=0.05).simulate(
+                rumor0=rumor0, truth0=1e-4, t_final=150.0)
+            rows[label] = (clarify.final_rumor_share(),
+                           block.final_rumor_share())
+        return rows
+
+    rows = run_once(measure)
+    early_clarify, early_block = rows["early (I0 = 2%)"]
+    late_clarify, late_block = rows["late (I0 = 30%)"]
+    # Both instruments suppress the rumor relative to doing nothing
+    # (unopposed, it captures >90% of the population — tested in
+    # tests/test_competing.py) …
+    assert early_clarify < 0.1 and early_block < 0.1
+    # … but clarify's RELATIVE standing degrades as the rumor matures:
+    # with fewer undecided users left to immunize, truth-seeding loses
+    # ground to blocking — the paper's "different efficiencies in
+    # different environments".
+    early_ratio = early_clarify / max(early_block, 1e-12)
+    late_ratio = late_clarify / max(late_block, 1e-12)
+    assert late_ratio > early_ratio
+    print("\n[B2] final rumor share (clarify vs block):")
+    for label, (c, b) in rows.items():
+        print(f"  {label:18s} clarify {c:.2e} | block {b:.2e}")
+
+
+def test_truth_seed_dose_response(run_once):
+    """More anti-rumor seeding monotonically shrinks the rumor's reach,
+    with diminishing returns."""
+    model = _model()
+    rows = run_once(
+        truth_seed_sweep, model,
+        rumor0=0.05, truth_seeds=(0.005, 0.01, 0.02, 0.05, 0.1, 0.2),
+        t_final=150.0,
+    )
+    shares = np.array([share for _, share in rows])
+    assert np.all(np.diff(shares) < 0)
+    # Diminishing returns: each doubling of the seed buys less reduction.
+    reductions = -np.diff(shares)
+    assert reductions[-1] < reductions[0]
+    print("\n[B2] truth-seed dose-response: "
+          + ", ".join(f"{seed:g}->{share:.4f}" for seed, share in rows))

@@ -1,0 +1,43 @@
+"""Benchmark / regeneration of paper Fig. 2 (extinction, r0 < 1).
+
+Runs the full-scale experiment — the 848-group Digg-compatible network,
+10 random initial conditions, horizon 150 — and asserts the paper's
+claims: r0 = 0.7220 < 1, Dist0(t) decays for every initial condition,
+and the infection dies out in panels (b)–(d).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import Fig2Config
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2a_dist0_decay(run_once):
+    """Panel (a): ‖E(t) − E0‖ → 0 under 10 initial conditions."""
+    result = run_once(run_fig2, Fig2Config())
+    assert abs(result.r0 - 0.7220) < 1e-9
+    initial = result.dist0[:, 0]
+    final = result.dist0[:, -1]
+    # Every curve collapses by at least 90% over the plotted horizon.
+    assert np.all(final < 0.1 * initial)
+    # And the decay is monotone at figure resolution (start/mid/end).
+    mid = result.dist0[:, result.dist0.shape[1] // 2]
+    assert np.all(final < mid) and np.all(mid < initial)
+    print(f"\n[fig2a] r0={result.r0:.4f}  Dist0(0)={initial.mean():.2f}  "
+          f"Dist0(tf)={final.mean():.3f}")
+
+
+def test_fig2bcd_compartments(run_once):
+    """Panels (b)–(d): S/I/R group trajectories — the rumor goes extinct."""
+    result = run_once(run_fig2, Fig2Config(n_initial_conditions=1))
+    infected = result.trajectory.population_infected()
+    assert infected[-1] < 0.05 * infected.max()
+    susceptible = result.trajectory.population_susceptible()
+    # S converges toward S0 = α/ε1 = 0.05 from above.
+    assert abs(susceptible[-1] - 0.05) < 0.05
+    recovered = result.trajectory.population_recovered()
+    assert recovered[-1] > 0.8
+    print(f"\n[fig2bcd] I(tf)={infected[-1]:.2e}  S(tf)="
+          f"{susceptible[-1]:.3f}  R(tf)={recovered[-1]:.3f}")

@@ -1,0 +1,67 @@
+"""Benchmark / regeneration of paper Fig. 4 (optimized countermeasures).
+
+* Fig. 4(a): optimized ε1*(t), ε2*(t) — truth-spreading dominates early,
+  blocking dominates late (a sustained crossover exists);
+* Fig. 4(b): r0(t) under the optimized controls decreases through 1;
+* Fig. 4(c): over tf = 10..100, with both controllers pinned to the same
+  terminal infection (≤ 1e-4), the optimized policy is cheaper at every
+  horizon and both costs decrease with the deadline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import Fig4Config
+from repro.experiments.fig4 import run_fig4ab, run_fig4c
+
+
+@pytest.fixture(scope="module")
+def config():
+    return Fig4Config()
+
+
+def test_fig4a_control_shapes(run_once, config):
+    result = run_once(run_fig4ab, config)
+    eps1 = result.result.eps1
+    eps2 = result.result.eps2
+    m = eps1.size
+    early = slice(m // 20, m // 3)
+    late = slice(-m // 10, None)
+    assert eps1[early].mean() > eps2[early].mean(), "truth must lead early"
+    assert eps2[late].mean() > eps1[late].mean(), "blocking must lead late"
+    crossover = result.crossover_time()
+    assert crossover is not None and 0.0 < crossover < config.t_final
+    print(f"\n[fig4a] eps1 early={eps1[early].mean():.3f} vs eps2 "
+          f"{eps2[early].mean():.3f}; late {eps1[late].mean():.3f} vs "
+          f"{eps2[late].mean():.3f}; crossover t={crossover:.1f}")
+
+
+def test_fig4b_threshold_decay(run_once, config):
+    result = run_once(run_fig4ab, config)
+    m = result.r0_series.size
+    interior = result.r0_series[max(1, m // 50): -max(2, m // 10)]
+    assert interior[0] > 1.0
+    assert interior[-1] < 1.0
+    crossings = np.sum(np.diff(np.sign(interior - 1.0)) != 0)
+    assert crossings == 1
+    print(f"\n[fig4b] r0 start={interior[0]:.2f} end={interior[-1]:.2f} "
+          f"(crosses 1 exactly once)")
+
+
+def test_fig4c_cost_comparison(run_once, config):
+    result = run_once(run_fig4c, config)
+    assert result.optimized_always_cheaper()
+    heuristic = np.array([row.heuristic_cost for row in result.rows])
+    optimized = np.array([row.optimized_cost for row in result.rows])
+    # Longer deadlines are cheaper for both (the paper's Fig 4(c) trend).
+    assert heuristic[-1] < heuristic[0]
+    assert optimized[-1] < optimized[0]
+    for row in result.rows:
+        assert row.heuristic_terminal <= config.target_terminal_infected * 1.01
+        assert row.optimized_terminal <= config.target_terminal_infected * 1.01
+    print("\n[fig4c] tf  heuristic  optimized  ratio")
+    for row in result.rows:
+        print(f"  {row.t_final:5.0f}  {row.heuristic_cost:9.2f}  "
+              f"{row.optimized_cost:9.2f}  {row.savings_ratio:5.2f}x")

@@ -1,0 +1,180 @@
+"""Validation benchmark V1: stochastic simulators vs the mean-field ODE.
+
+Realizes a Digg-like graph, runs agent-based and Gillespie ensembles with
+the same rates as the mean-field model, and checks the ODE tracks the
+ensemble (this is the evidence that the paper's System (1) describes
+what actually happens on a network, not just itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HeterogeneousSIRModel, RumorModelParameters, SIRState
+from repro.datasets import synthesize_digg2009
+from repro.epidemic.acceptance import LinearAcceptance
+from repro.epidemic.infectivity import SaturatingInfectivity
+from repro.networks import DegreeDistribution
+from repro.simulation import (
+    AgentBasedConfig,
+    GillespieConfig,
+    ensemble_average,
+    seed_random,
+    simulate_agent_based,
+    simulate_gillespie,
+    trajectory_rmse,
+)
+
+ACCEPTANCE = LinearAcceptance(0.25)
+INFECTIVITY = SaturatingInfectivity(0.5, 0.5)
+EPS2 = 0.05
+T_FINAL = 30.0
+N_NODES = 2000
+N_SEEDS = 100
+
+
+def _graph_and_params():
+    rng = np.random.default_rng(42)
+    graph = synthesize_digg2009().realize_graph(N_NODES, rng=rng)
+    distribution = DegreeDistribution.from_graph(graph)
+    params = RumorModelParameters(distribution, alpha=1e-9,
+                                  acceptance=ACCEPTANCE,
+                                  infectivity=INFECTIVITY)
+    return graph, params, rng
+
+
+def _ode_reference(params, infected0):
+    model = HeterogeneousSIRModel(params)
+    grid = np.linspace(0.0, T_FINAL, 31)
+    traj = model.simulate(SIRState.initial(params.n_groups, infected0),
+                          t_final=T_FINAL, eps1=0.0, eps2=EPS2, t_eval=grid)
+    return grid, traj.population_infected()
+
+
+def test_agent_based_tracks_mean_field(run_once):
+    graph, params, rng = _graph_and_params()
+    seeds = seed_random(graph, N_SEEDS, rng)
+    config = AgentBasedConfig(acceptance=ACCEPTANCE, infectivity=INFECTIVITY,
+                              eps1=0.0, eps2=EPS2, dt=0.2, t_final=T_FINAL)
+
+    def run_ensemble():
+        return [simulate_agent_based(graph, seeds, config,
+                                     rng=np.random.default_rng(s))
+                for s in range(5)]
+
+    runs = run_once(run_ensemble)
+    grid, ode = _ode_reference(params, N_SEEDS / graph.n_nodes)
+    summary = ensemble_average(runs, grid)
+    rmse = trajectory_rmse(ode, summary.mean_infected)
+    assert rmse < 0.05, f"agent-based vs ODE rmse = {rmse:.4f}"
+    print(f"\n[V1:agent-based] rmse(I) = {rmse:.4f}, "
+          f"peak ABM = {summary.mean_infected.max():.3f}, "
+          f"peak ODE = {ode.max():.3f}")
+
+
+def test_gillespie_tracks_mean_field(run_once):
+    graph, params, rng = _graph_and_params()
+    seeds = seed_random(graph, N_SEEDS, rng)
+    config = GillespieConfig(acceptance=ACCEPTANCE, infectivity=INFECTIVITY,
+                             eps1=0.0, eps2=EPS2, t_final=T_FINAL)
+
+    def run_ensemble():
+        return [simulate_gillespie(graph, seeds, config,
+                                   rng=np.random.default_rng(s))
+                for s in range(3)]
+
+    runs = run_once(run_ensemble)
+    grid, ode = _ode_reference(params, N_SEEDS / graph.n_nodes)
+    summary = ensemble_average(runs, grid)
+    rmse = trajectory_rmse(ode, summary.mean_infected)
+    assert rmse < 0.05, f"Gillespie vs ODE rmse = {rmse:.4f}"
+    print(f"\n[V1:gillespie] rmse(I) = {rmse:.4f}")
+
+
+def test_simulators_agree_with_each_other(run_once):
+    graph, _, rng = _graph_and_params()
+    seeds = seed_random(graph, N_SEEDS, rng)
+    ab_config = AgentBasedConfig(acceptance=ACCEPTANCE,
+                                 infectivity=INFECTIVITY,
+                                 eps1=0.0, eps2=EPS2, dt=0.1,
+                                 t_final=T_FINAL)
+    g_config = GillespieConfig(acceptance=ACCEPTANCE,
+                               infectivity=INFECTIVITY,
+                               eps1=0.0, eps2=EPS2, t_final=T_FINAL)
+
+    def run_both():
+        ab = [simulate_agent_based(graph, seeds, ab_config,
+                                   rng=np.random.default_rng(s))
+              for s in range(3)]
+        gl = [simulate_gillespie(graph, seeds, g_config,
+                                 rng=np.random.default_rng(100 + s))
+              for s in range(3)]
+        return ab, gl
+
+    ab_runs, gl_runs = run_once(run_both)
+    grid = np.linspace(0.0, T_FINAL, 31)
+    ab = ensemble_average(ab_runs, grid)
+    gl = ensemble_average(gl_runs, grid)
+    rmse = trajectory_rmse(ab.mean_infected, gl.mean_infected)
+    assert rmse < 0.05, f"discrete-time vs event-driven rmse = {rmse:.4f}"
+    print(f"\n[V1:cross] rmse(I) = {rmse:.4f}")
+
+
+def test_optimal_controls_work_on_the_graph(run_once):
+    """V2: the ODE-designed schedule survives contact with reality.
+
+    Solve the Pontryagin problem on the mean-field model, then apply the
+    resulting time-varying (ε1*(t), ε2*(t)) to the agent-based simulator
+    on an explicit graph with the same degree structure — the outbreak
+    must be suppressed there too, far below the uncontrolled baseline.
+    """
+    from repro.control import ControlBounds, CostParameters, solve_optimal_control
+    from repro.core import RumorModelParameters, SIRState
+    from repro.networks import DegreeDistribution, power_law_distribution
+    from repro.networks.generators import configuration_model, sample_degree_sequence
+
+    rng = np.random.default_rng(5)
+    base_distribution = power_law_distribution(1, 20, 2.0)
+    sequence = sample_degree_sequence(base_distribution, 2000, rng=rng)
+    graph = configuration_model(sequence, rng=rng)
+    distribution = DegreeDistribution.from_graph(graph)
+
+    # Closed population (α ≈ 0): pick a strongly spreading acceptance
+    # scale directly — r0's α-proportionality makes r0-calibration
+    # meaningless at α ≈ 0.
+    params = RumorModelParameters(distribution, alpha=1e-9,
+                                  acceptance=LinearAcceptance(0.5))
+    initial = SIRState.initial(params.n_groups, 0.05)
+
+    def design_and_apply():
+        solution = solve_optimal_control(
+            params, initial, t_final=60.0,
+            bounds=ControlBounds(1.0, 1.0), costs=CostParameters(5, 10),
+            n_grid=121, max_iterations=80)
+        eps1_fn = solution.eps1_function()
+        eps2_fn = solution.eps2_function()
+        config = AgentBasedConfig(
+            acceptance=params.acceptance, infectivity=params.infectivity,
+            eps1=lambda t: float(eps1_fn(t)),
+            eps2=lambda t: float(eps2_fn(t)),
+            dt=0.2, t_final=60.0)
+        seeds = seed_random(graph, 100, np.random.default_rng(6))
+        controlled = [simulate_agent_based(graph, seeds, config,
+                                           rng=np.random.default_rng(s))
+                      for s in range(3)]
+        baseline_config = AgentBasedConfig(
+            acceptance=params.acceptance, infectivity=params.infectivity,
+            eps1=0.0, eps2=0.0, dt=0.2, t_final=60.0)
+        baseline = [simulate_agent_based(graph, seeds, baseline_config,
+                                         rng=np.random.default_rng(s))
+                    for s in range(3)]
+        return solution, controlled, baseline
+
+    solution, controlled, baseline = run_once(design_and_apply)
+    controlled_final = float(np.mean([r.infected[-1] for r in controlled]))
+    baseline_final = float(np.mean([r.infected[-1] for r in baseline]))
+    ode_final = solution.terminal_infected()
+    assert controlled_final < 0.25 * max(baseline_final, 1e-9)
+    assert controlled_final < 0.05
+    print(f"\n[V2] I(tf): ODE plan {ode_final:.3e}, graph w/ plan "
+          f"{controlled_final:.3e}, graph uncontrolled {baseline_final:.3f}")

@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's figures at full scale, so most run a
+single round (``benchmark.pedantic(..., rounds=1)``): the quantity of
+interest is the figure's *content* (asserted) with wall-clock time as a
+by-product.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Give every benchmark a stable group layout in the report.
+    config.addinivalue_line("markers",
+                            "figure(name): benchmark regenerates a figure")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

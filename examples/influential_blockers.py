@@ -1,0 +1,65 @@
+"""Scenario: whom should the platform train as rumor blockers?
+
+The paper's introduction surveys countermeasures that block rumors at
+influential users — "Rumor ends with Sage" — with influence measured by
+Degree, Betweenness, or Core.  This script builds a scale-free network,
+pre-immunizes a 5% budget of users chosen by each rule, unleashes the
+same rumor, and ranks the rules by how much of the population they
+protect.  It then cross-checks the winner against the mean-field
+threshold machinery: removing hubs thins the degree tail, which lowers
+r0 directly.
+
+Run:  python examples/influential_blockers.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import RumorModelParameters, basic_reproduction_number
+from repro.epidemic import ConstantInfectivity, LinearAcceptance
+from repro.networks import DegreeDistribution, barabasi_albert
+from repro.simulation import AgentBasedConfig, compare_strategies
+from repro.simulation.blocking import select_blockers
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    graph = barabasi_albert(1200, 2, rng=rng)
+    print(f"network: {graph.n_nodes} users, {graph.n_edges} links, "
+          f"max degree {int(graph.degrees().max())}")
+
+    config = AgentBasedConfig(
+        acceptance=LinearAcceptance(0.6),
+        infectivity=ConstantInfectivity(1.0),
+        eps1=0.0, eps2=0.1, dt=0.25, t_final=40.0,
+    )
+    budget = graph.n_nodes // 20  # train 5% of users
+    print(f"\ntraining budget: {budget} users; comparing selection rules "
+          f"(3 outbreaks each) ...")
+    outcome = compare_strategies(graph, config, budget=budget, n_seeds=10,
+                                 n_runs=3, rng=np.random.default_rng(1))
+    print("mean attack rate (fraction ever infected):")
+    for strategy, rate in sorted(outcome.items(), key=lambda kv: kv[1]):
+        print(f"  {strategy:12s} {rate:6.3f}")
+
+    # Mean-field cross-check: hub removal lowers r0 through P(k).
+    print("\nmean-field view: r0 before/after removing the degree-top "
+          f"{budget} users")
+    params_before = RumorModelParameters(
+        DegreeDistribution.from_graph(graph), alpha=0.01)
+    blockers = select_blockers(graph, "degree", budget,
+                               rng=np.random.default_rng(2))
+    kept = np.setdiff1d(np.arange(graph.n_nodes), blockers)
+    pruned = graph.subgraph(kept.tolist())
+    params_after = RumorModelParameters(
+        DegreeDistribution.from_graph(pruned), alpha=0.01)
+    eps1, eps2 = 0.2, 0.05
+    print(f"  r0 before = "
+          f"{basic_reproduction_number(params_before, eps1, eps2):.3f}")
+    print(f"  r0 after  = "
+          f"{basic_reproduction_number(params_after, eps1, eps2):.3f}")
+
+
+if __name__ == "__main__":
+    main()

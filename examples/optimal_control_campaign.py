@@ -1,0 +1,88 @@
+"""Scenario: plan a 100-day counter-rumor campaign with minimum budget.
+
+A fact-checking team must end a spreading rumor within a deadline and
+wants the cheapest mix of its two instruments over time: spreading truth
+(immunizing susceptibles, unit cost c1 = 5) and blocking spreaders
+(unit cost c2 = 10).  The script solves the Pontryagin optimal-control
+problem (paper Section IV), prints the resulting schedule — truth-heavy
+early, blocking-heavy late — and quantifies the savings against a
+reactive (heuristic) response calibrated to the same outcome.
+
+Run:  python examples/optimal_control_campaign.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.control import (
+    ControlBounds,
+    CostParameters,
+    calibrate_heuristic,
+    solve_with_terminal_target,
+)
+from repro.core import (
+    RumorModelParameters,
+    SIRState,
+    calibrate_acceptance_scale,
+    r0_time_series,
+)
+from repro.networks import power_law_distribution
+from repro.viz import multi_line_chart
+
+
+def main() -> None:
+    # A 20-group scale-free community with a strongly spreading rumor.
+    distribution = power_law_distribution(1, 20, 2.0)
+    params = RumorModelParameters(distribution, alpha=0.01)
+    params = calibrate_acceptance_scale(params, 0.2, 0.05, target_r0=4.0)
+    initial = SIRState.initial(params.n_groups, 0.05)
+
+    deadline = 100.0
+    target = 1e-4  # required infected density at the deadline
+    bounds = ControlBounds(eps1_max=1.0, eps2_max=1.0)
+    costs = CostParameters(c1=5.0, c2=10.0)
+
+    print(f"deadline tf = {deadline:.0f}, target I(tf) <= {target:g}")
+    print("solving the Pontryagin two-point boundary value problem ...")
+    optimal, weight = solve_with_terminal_target(
+        params, initial, t_final=deadline, bounds=bounds, costs=costs,
+        target_infected=target, n_grid=201,
+    )
+    print(f"  converged in {optimal.iterations} sweeps "
+          f"(terminal weight {weight:.3g})")
+    print(f"  campaign cost J_running = {optimal.cost.running:.3f}, "
+          f"I(tf) = {optimal.terminal_infected():.2e}")
+
+    # The schedule: sampled checkpoints a campaign manager could follow.
+    print("\nschedule (eps1 = truth-spreading, eps2 = blocking):")
+    for day in (0, 10, 25, 50, 75, 90, 100):
+        j = int(np.searchsorted(optimal.times, day))
+        j = min(j, optimal.times.size - 1)
+        print(f"  t = {optimal.times[j]:5.1f}: eps1 = {optimal.eps1[j]:.3f}"
+              f"  eps2 = {optimal.eps2[j]:.3f}")
+    r0s = r0_time_series(params, optimal.times, optimal.eps1, optimal.eps2)
+    interior = slice(2, -2)  # both endpoints carry control transients
+    below = optimal.times[interior][np.flatnonzero(r0s[interior] < 1.0)]
+    if below.size:
+        print(f"r0(t) first drops below 1 at t = {below[0]:.1f}")
+
+    print("\ncalibrating the reactive baseline to the same outcome ...")
+    heuristic = calibrate_heuristic(
+        params, initial, t_final=deadline, bounds=bounds, costs=costs,
+        target_infected=target, n_grid=201,
+    )
+    print(f"  reactive cost = {heuristic.cost.running:.3f}, "
+          f"I(tf) = {heuristic.terminal_infected():.2e}")
+    ratio = heuristic.cost.running / optimal.cost.running
+    print(f"  -> the optimized campaign is {ratio:.2f}x cheaper\n")
+
+    print(multi_line_chart(
+        optimal.times,
+        {"eps1 truth": optimal.eps1, "eps2 block": optimal.eps2},
+        title="Optimized countermeasures over the campaign (paper Fig 4a)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

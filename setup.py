@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This environment has no network access and no ``wheel`` package, so PEP 517
+editable installs fail; ``pip install -e . --no-build-isolation`` falls back
+to this shim (metadata lives in ``pyproject.toml``).
+"""
+
+from setuptools import setup
+
+setup()

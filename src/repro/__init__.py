@@ -1,0 +1,35 @@
+"""rumor-repro — reproduction of *Modeling Propagation Dynamics and
+Developing Optimized Countermeasures for Rumor Spreading in Online Social
+Networks* (He, Cai, Wang — IEEE ICDCS 2015).
+
+The package is organized as:
+
+* :mod:`repro.core` — the paper's contribution: the heterogeneous rumor
+  SIR model (System (1)), the threshold r0, equilibria, and stability;
+* :mod:`repro.control` — Pontryagin optimal countermeasures (Section IV);
+* :mod:`repro.networks`, :mod:`repro.datasets` — network substrate and
+  the Digg2009 dataset (loader + documented synthetic substitute);
+* :mod:`repro.epidemic` — baseline model zoo (SIR/SIS/SEIR/DK/MT);
+* :mod:`repro.simulation` — stochastic agent-based/Gillespie validation;
+* :mod:`repro.numerics` — from-scratch ODE solvers, root finding,
+  quadrature;
+* :mod:`repro.experiments` — one runner per paper figure;
+* :mod:`repro.analysis`, :mod:`repro.viz` — metrics and text plotting.
+
+Quickstart::
+
+    from repro.core import (RumorModelParameters, HeterogeneousSIRModel,
+                            SIRState, basic_reproduction_number)
+    from repro.datasets import synthesize_digg2009
+
+    params = RumorModelParameters(synthesize_digg2009().distribution,
+                                  alpha=0.01)
+    print(basic_reproduction_number(params, eps1=0.2, eps2=0.05))
+    model = HeterogeneousSIRModel(params)
+    traj = model.simulate(SIRState.initial(params.n_groups, 0.01),
+                          t_final=100.0, eps1=0.2, eps2=0.05)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,47 @@
+"""Analysis utilities: equilibrium distances (Dist0/Dist+), time-series
+diagnostics, and parameter-sweep machinery."""
+
+from repro.analysis.distances import (
+    dist0_series,
+    dist_plus_series,
+    distance_series,
+    state_distance,
+)
+from repro.analysis.sensitivity import (
+    ANALYTIC_ELASTICITIES,
+    SensitivityRow,
+    numeric_elasticity,
+    r0_elasticities,
+    tornado_table,
+)
+from repro.analysis.reporting import campaign_report, threshold_report
+from repro.analysis.sweep import SweepResult, sweep_1d, sweep_grid
+from repro.analysis.timeseries import (
+    convergence_time,
+    extinction_time,
+    has_converged,
+    is_monotone_decreasing,
+    peak,
+)
+
+__all__ = [
+    "state_distance",
+    "distance_series",
+    "dist0_series",
+    "dist_plus_series",
+    "extinction_time",
+    "has_converged",
+    "convergence_time",
+    "peak",
+    "is_monotone_decreasing",
+    "SweepResult",
+    "sweep_1d",
+    "sweep_grid",
+    "ANALYTIC_ELASTICITIES",
+    "numeric_elasticity",
+    "r0_elasticities",
+    "tornado_table",
+    "SensitivityRow",
+    "threshold_report",
+    "campaign_report",
+]

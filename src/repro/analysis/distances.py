@@ -1,0 +1,62 @@
+"""Distance-to-equilibrium metrics (paper Figs. 2(a)/3(a)).
+
+The paper measures convergence with the Euclidean-style ∞-norm distance
+``Dist0(t) = ‖E(t) − E0‖∞`` and ``Dist+(t) = ‖E(t) − E+‖∞``.  Since with
+α > 0 the R compartment drifts (see :mod:`repro.core.state`), the
+distance is taken over the reduced (S, I) block — exactly the block whose
+equilibrium the theorems characterize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.equilibrium import Equilibrium
+from repro.core.state import RumorTrajectory, SIRState
+from repro.exceptions import ParameterError
+
+__all__ = ["state_distance", "distance_series", "dist0_series",
+           "dist_plus_series"]
+
+
+def state_distance(state: SIRState, equilibrium: Equilibrium, *,
+                   ord: float = np.inf) -> float:
+    """Distance between one state and an equilibrium over the (S, I) block."""
+    if state.n_groups != equilibrium.state.n_groups:
+        raise ParameterError("state and equilibrium group counts differ")
+    delta = np.concatenate([
+        state.susceptible - equilibrium.state.susceptible,
+        state.infected - equilibrium.state.infected,
+    ])
+    return float(np.linalg.norm(delta, ord=ord))
+
+
+def distance_series(trajectory: RumorTrajectory, equilibrium: Equilibrium, *,
+                    ord: float = np.inf) -> np.ndarray:
+    """Distance to ``equilibrium`` at every trajectory sample."""
+    if trajectory.params.n_groups != equilibrium.state.n_groups:
+        raise ParameterError("trajectory and equilibrium group counts differ")
+    delta = np.hstack([
+        trajectory.susceptible - equilibrium.state.susceptible,
+        trajectory.infected - equilibrium.state.infected,
+    ])
+    if np.isinf(ord):
+        return np.max(np.abs(delta), axis=1)
+    return np.linalg.norm(delta, ord=ord, axis=1)
+
+
+def dist0_series(trajectory: RumorTrajectory,
+                 equilibrium: Equilibrium) -> np.ndarray:
+    """Dist0(t) = ‖E(t) − E0‖∞; requires a zero equilibrium."""
+    if equilibrium.kind != "zero":
+        raise ParameterError("dist0_series requires the zero equilibrium E0")
+    return distance_series(trajectory, equilibrium)
+
+
+def dist_plus_series(trajectory: RumorTrajectory,
+                     equilibrium: Equilibrium) -> np.ndarray:
+    """Dist+(t) = ‖E(t) − E+‖∞; requires a positive equilibrium."""
+    if equilibrium.kind != "positive":
+        raise ParameterError("dist_plus_series requires the positive "
+                             "equilibrium E+")
+    return distance_series(trajectory, equilibrium)

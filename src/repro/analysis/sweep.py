@@ -1,0 +1,77 @@
+"""Parameter-sweep utilities.
+
+Thin, deterministic machinery for the benchmark harness: run a callable
+over a grid of parameter values and collect rows — the pattern behind
+the Fig. 4(c) tf-sweep and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.exceptions import ParameterError
+
+__all__ = ["SweepResult", "sweep_1d", "sweep_grid"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Rows produced by a sweep; each row maps column name → value."""
+
+    parameter_names: tuple[str, ...]
+    rows: tuple[Mapping[str, object], ...]
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column, in sweep order."""
+        if not self.rows:
+            return []
+        if name not in self.rows[0]:
+            raise ParameterError(f"unknown column {name!r}; have "
+                                 f"{sorted(self.rows[0])}")
+        return [row[name] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def sweep_1d(name: str, values: Sequence[object],
+             run: Callable[[object], Mapping[str, object]]) -> SweepResult:
+    """Run ``run(value)`` for each value; the swept value is added to each
+    row under ``name``."""
+    if not values:
+        raise ParameterError("sweep values must be non-empty")
+    rows = []
+    for value in values:
+        result = dict(run(value))
+        result[name] = value
+        rows.append(result)
+    return SweepResult((name,), tuple(rows))
+
+
+def sweep_grid(axes: Mapping[str, Sequence[object]],
+               run: Callable[..., Mapping[str, object]]) -> SweepResult:
+    """Full Cartesian sweep; ``run`` is called with one kwarg per axis."""
+    if not axes:
+        raise ParameterError("need at least one sweep axis")
+    names = tuple(axes)
+    for name, values in axes.items():
+        if not values:
+            raise ParameterError(f"axis {name!r} has no values")
+
+    rows: list[Mapping[str, object]] = []
+
+    def recurse(depth: int, chosen: dict[str, object]) -> None:
+        if depth == len(names):
+            result = dict(run(**chosen))
+            result.update(chosen)
+            rows.append(result)
+            return
+        name = names[depth]
+        for value in axes[name]:
+            chosen[name] = value
+            recurse(depth + 1, chosen)
+        del chosen[name]
+
+    recurse(0, {})
+    return SweepResult(names, tuple(rows))

@@ -1,0 +1,85 @@
+"""Time-series diagnostics: convergence, extinction, peaks.
+
+Small, well-tested helpers the experiment runners and tests share — when
+did the infected density fall below a threshold for good, has a series
+converged, where is its peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["extinction_time", "has_converged", "convergence_time",
+           "peak", "is_monotone_decreasing"]
+
+
+def _validate(times: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape or times.ndim != 1 or times.size == 0:
+        raise ParameterError("times and values must be equal-length 1-D arrays")
+    return times, values
+
+
+def extinction_time(times: np.ndarray, infected: np.ndarray,
+                    threshold: float = 1e-4) -> float | None:
+    """First time after which the infected series *stays* below threshold.
+
+    Returns ``None`` when the series ends at or above the threshold, or
+    re-crosses it before the horizon ends (no durable extinction).
+    """
+    times, infected = _validate(times, infected)
+    if threshold <= 0:
+        raise ParameterError("threshold must be positive")
+    below = infected < threshold
+    if not below[-1]:
+        return None
+    # Last index where the series is >= threshold; extinction starts after.
+    above_indices = np.flatnonzero(~below)
+    if above_indices.size == 0:
+        return float(times[0])
+    start = above_indices[-1] + 1
+    return float(times[start]) if start < times.size else None
+
+
+def has_converged(values: np.ndarray, *, window: int = 10,
+                  tolerance: float = 1e-6) -> bool:
+    """Whether the last ``window`` samples vary by less than ``tolerance``."""
+    values = np.asarray(values, dtype=float)
+    if window < 2:
+        raise ParameterError("window must be >= 2")
+    if values.size < window:
+        return False
+    tail = values[-window:]
+    return float(tail.max() - tail.min()) < tolerance
+
+
+def convergence_time(times: np.ndarray, values: np.ndarray,
+                     target: float, *, tolerance: float = 1e-3) -> float | None:
+    """First time after which ``|values − target| < tolerance`` for good."""
+    times, values = _validate(times, values)
+    close = np.abs(values - target) < tolerance
+    if not close[-1]:
+        return None
+    far_indices = np.flatnonzero(~close)
+    if far_indices.size == 0:
+        return float(times[0])
+    start = far_indices[-1] + 1
+    return float(times[start]) if start < times.size else None
+
+
+def peak(times: np.ndarray, values: np.ndarray) -> tuple[float, float]:
+    """``(t_peak, value_peak)`` of the series."""
+    times, values = _validate(times, values)
+    j = int(np.argmax(values))
+    return float(times[j]), float(values[j])
+
+
+def is_monotone_decreasing(values: np.ndarray, *, atol: float = 0.0) -> bool:
+    """Whether the series never increases by more than ``atol``."""
+    values = np.asarray(values, dtype=float)
+    if values.size < 2:
+        return True
+    return bool(np.all(np.diff(values) <= atol))

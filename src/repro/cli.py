@@ -1,0 +1,180 @@
+"""Command-line interface: ``rumor-repro`` / ``python -m repro``.
+
+Subcommands:
+
+* ``experiment {fig2, fig3, fig4ab, fig4c, all}`` — run a figure's
+  pipeline, writing CSV/ASCII artifacts;
+* ``threshold`` — compute r0 and the critical countermeasure surface for
+  given rates on the Digg-compatible network;
+* ``dataset`` — print the Digg2009(-compatible) network summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="rumor-repro",
+        description=("Reproduction of 'Modeling Propagation Dynamics and "
+                     "Developing Optimized Countermeasures for Rumor "
+                     "Spreading in Online Social Networks' (ICDCS 2015)"),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="run a figure reproduction")
+    exp.add_argument("id", choices=["fig2", "fig3", "fig4ab", "fig4c", "all"],
+                     help="experiment to run")
+    exp.add_argument("--out", default="results",
+                     help="output directory (default: results)")
+
+    thr = sub.add_parser("threshold",
+                         help="compute r0 and critical countermeasures")
+    thr.add_argument("--alpha", type=float, default=0.01,
+                     help="entering rate alpha (default 0.01)")
+    thr.add_argument("--eps1", type=float, default=0.2,
+                     help="immunization rate (default 0.2)")
+    thr.add_argument("--eps2", type=float, default=0.05,
+                     help="blocking rate (default 0.05)")
+
+    data = sub.add_parser("dataset", help="print the dataset summary")
+    data.add_argument("--friends-csv", default=None,
+                      help="path to the real digg_friends.csv "
+                           "(default: synthetic substitute)")
+
+    rep = sub.add_parser("report",
+                         help="decision-reference threshold report")
+    rep.add_argument("--alpha", type=float, default=0.01)
+    rep.add_argument("--eps1", type=float, default=0.2)
+    rep.add_argument("--eps2", type=float, default=0.05)
+    rep.add_argument("--preset", default=None,
+                     choices=["twitter_like", "facebook_like", "forum_like"],
+                     help="network preset (default: Digg2009-compatible)")
+
+    plan = sub.add_parser("plan",
+                          help="optimized countermeasure campaign (FBSM)")
+    plan.add_argument("--tf", type=float, default=100.0,
+                      help="deadline (default 100)")
+    plan.add_argument("--initial-infected", type=float, default=0.05)
+    plan.add_argument("--c1", type=float, default=5.0)
+    plan.add_argument("--c2", type=float, default=10.0)
+    plan.add_argument("--eps-max", type=float, default=1.0)
+    plan.add_argument("--n-groups", type=int, default=20,
+                      help="degree groups of the planning network")
+    plan.add_argument("--r0", type=float, default=4.0,
+                      help="uncontrolled severity at the (0.2, 0.05) "
+                           "reference rates")
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all, run_experiment
+
+    if args.id == "all":
+        reports = run_all(args.out)
+    else:
+        reports = [run_experiment(args.id, args.out)]
+    for report in reports:
+        print(report.summary)
+        for artifact in report.artifacts:
+            print(f"  wrote {artifact}")
+    return 0
+
+
+def _cmd_threshold(args: argparse.Namespace) -> int:
+    from repro.core import (
+        RumorModelParameters,
+        basic_reproduction_number,
+        critical_eps1,
+        critical_eps2,
+    )
+    from repro.datasets import synthesize_digg2009
+
+    params = RumorModelParameters(synthesize_digg2009().distribution,
+                                  alpha=args.alpha)
+    r0 = basic_reproduction_number(params, args.eps1, args.eps2)
+    verdict = "EXTINCT (r0 <= 1)" if r0 <= 1 else "SPREADING (r0 > 1)"
+    print(f"r0 = {r0:.6f}  ->  {verdict}")
+    print(f"critical eps2 given eps1={args.eps1}: "
+          f"{critical_eps2(params, args.eps1):.6f}")
+    print(f"critical eps1 given eps2={args.eps2}: "
+          f"{critical_eps1(params, args.eps2):.6f}")
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from repro.datasets import load_digg2009, synthesize_digg2009
+    from repro.networks import summarize_distribution
+
+    if args.friends_csv:
+        dataset = load_digg2009(args.friends_csv)
+    else:
+        dataset = synthesize_digg2009()
+    summary = summarize_distribution(dataset.distribution, dataset.n_users)
+    print(f"source: {dataset.source}")
+    for key, value in summary.as_dict().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import threshold_report
+    from repro.core import RumorModelParameters
+    from repro.datasets import load_preset, synthesize_digg2009
+
+    dataset = (load_preset(args.preset) if args.preset
+               else synthesize_digg2009())
+    params = RumorModelParameters(dataset.distribution, alpha=args.alpha)
+    print(threshold_report(params, args.eps1, args.eps2))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.analysis import campaign_report
+    from repro.control import (
+        ControlBounds,
+        CostParameters,
+        solve_optimal_control,
+    )
+    from repro.core import (
+        RumorModelParameters,
+        SIRState,
+        calibrate_acceptance_scale,
+    )
+    from repro.networks import power_law_distribution
+
+    distribution = power_law_distribution(1, args.n_groups, 2.0)
+    params = RumorModelParameters(distribution, alpha=0.01)
+    params = calibrate_acceptance_scale(params, 0.2, 0.05, args.r0)
+    initial = SIRState.initial(params.n_groups, args.initial_infected)
+    result = solve_optimal_control(
+        params, initial, t_final=args.tf,
+        bounds=ControlBounds(args.eps_max, args.eps_max),
+        costs=CostParameters(args.c1, args.c2),
+        n_grid=201,
+    )
+    print(campaign_report(result))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiment": _cmd_experiment,
+        "threshold": _cmd_threshold,
+        "dataset": _cmd_dataset,
+        "report": _cmd_report,
+        "plan": _cmd_plan,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Optimized countermeasures (paper Section IV): Pontryagin FBSM solver,
+cost functional, admissible region, and baseline controllers."""
+
+from repro.control.admissible import ControlBounds
+from repro.control.constant import (
+    ConstantControlRun,
+    cheapest_extinction_pair,
+    run_constant,
+)
+from repro.control.costate import CostateMode, costate_rhs, make_costate_rhs
+from repro.control.heuristic import (
+    HeuristicController,
+    HeuristicRun,
+    calibrate_heuristic,
+    run_heuristic,
+)
+from repro.control.objective import (
+    CostBreakdown,
+    CostParameters,
+    evaluate_cost,
+    running_cost_series,
+)
+from repro.control.twophase import (
+    TwoPhasePolicy,
+    optimize_two_phase,
+    run_two_phase,
+)
+from repro.control.pontryagin import (
+    OptimalControlResult,
+    solve_optimal_control,
+    solve_with_terminal_target,
+)
+
+__all__ = [
+    "ControlBounds",
+    "CostParameters",
+    "CostBreakdown",
+    "evaluate_cost",
+    "running_cost_series",
+    "CostateMode",
+    "costate_rhs",
+    "make_costate_rhs",
+    "OptimalControlResult",
+    "solve_optimal_control",
+    "solve_with_terminal_target",
+    "HeuristicController",
+    "HeuristicRun",
+    "run_heuristic",
+    "calibrate_heuristic",
+    "ConstantControlRun",
+    "run_constant",
+    "cheapest_extinction_pair",
+    "TwoPhasePolicy",
+    "run_two_phase",
+    "optimize_two_phase",
+]

@@ -1,0 +1,59 @@
+"""Admissible control region U (paper Section IV).
+
+Controls live in the box ``0 ≤ ε1(t) ≤ ε1_max``, ``0 ≤ ε2(t) ≤ ε2_max``
+for ``t ∈ (0, tf]``.  :class:`ControlBounds` owns that box and implements
+the paper's projection (Eq. 19)::
+
+    ε*(t) = min(max(0, ε_stationary(t)), ε_max)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["ControlBounds"]
+
+
+@dataclass(frozen=True)
+class ControlBounds:
+    """The admissible box U for the countermeasure controls.
+
+    Attributes
+    ----------
+    eps1_max:
+        Upper bound on the immunization (truth-spreading) rate.
+    eps2_max:
+        Upper bound on the blocking rate.
+    """
+
+    eps1_max: float = 1.0
+    eps2_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.eps1_max <= 0 or self.eps2_max <= 0:
+            raise ParameterError(
+                f"control upper bounds must be positive, got "
+                f"eps1_max={self.eps1_max}, eps2_max={self.eps2_max}"
+            )
+
+    def clamp_eps1(self, values: np.ndarray | float) -> np.ndarray | float:
+        """Project ε1 samples onto [0, eps1_max] (paper Eq. 19)."""
+        return np.clip(values, 0.0, self.eps1_max)
+
+    def clamp_eps2(self, values: np.ndarray | float) -> np.ndarray | float:
+        """Project ε2 samples onto [0, eps2_max] (paper Eq. 19)."""
+        return np.clip(values, 0.0, self.eps2_max)
+
+    def contains(self, eps1: np.ndarray | float, eps2: np.ndarray | float, *,
+                 atol: float = 1e-12) -> bool:
+        """Whether every sample of both controls lies in the box."""
+        e1 = np.asarray(eps1, dtype=float)
+        e2 = np.asarray(eps2, dtype=float)
+        return bool(
+            np.all(e1 >= -atol) and np.all(e1 <= self.eps1_max + atol)
+            and np.all(e2 >= -atol) and np.all(e2 <= self.eps2_max + atol)
+        )

@@ -1,0 +1,83 @@
+"""Constant-rate countermeasures — the simplest admissible policy.
+
+Two uses: a baseline for the controller comparisons, and the
+"threshold-driven" planner that picks the cheapest constant pair
+achieving extinction (r0 ≤ margin) — the operational reading of the
+paper's Theorem 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.admissible import ControlBounds
+from repro.control.objective import CostBreakdown, CostParameters, evaluate_cost
+from repro.core.model import HeterogeneousSIRModel
+from repro.core.parameters import RumorModelParameters
+from repro.core.state import RumorTrajectory, SIRState
+from repro.core.threshold import critical_product
+from repro.exceptions import ParameterError
+
+__all__ = ["ConstantControlRun", "run_constant", "cheapest_extinction_pair"]
+
+
+@dataclass(frozen=True)
+class ConstantControlRun:
+    """Trajectory and cost under constant (ε1, ε2)."""
+
+    eps1: float
+    eps2: float
+    trajectory: RumorTrajectory
+    cost: CostBreakdown
+
+    def terminal_infected(self) -> float:
+        """Population infected density at tf."""
+        return float(self.trajectory.population_infected()[-1])
+
+
+def run_constant(params: RumorModelParameters, initial: SIRState, *,
+                 eps1: float, eps2: float, t_final: float,
+                 costs: CostParameters, n_grid: int = 401,
+                 method: str = "dopri45") -> ConstantControlRun:
+    """Simulate constant countermeasures and price them with Eq. 13."""
+    if eps1 < 0 or eps2 < 0:
+        raise ParameterError("constant rates must be non-negative")
+    model = HeterogeneousSIRModel(params)
+    trajectory = model.simulate(initial, t_final=t_final, eps1=eps1,
+                                eps2=eps2, n_samples=n_grid, method=method)
+    e1 = np.full(trajectory.times.size, float(eps1))
+    e2 = np.full(trajectory.times.size, float(eps2))
+    return ConstantControlRun(float(eps1), float(eps2), trajectory,
+                              evaluate_cost(trajectory, e1, e2, costs))
+
+
+def cheapest_extinction_pair(params: RumorModelParameters,
+                             bounds: ControlBounds,
+                             costs: CostParameters, *,
+                             margin: float = 1.0,
+                             n_candidates: int = 200) -> tuple[float, float]:
+    """Cheapest constant pair on the critical surface ``ε1·ε2 = strength/margin``.
+
+    Scans ``n_candidates`` points of the hyperbola ``r0 = margin`` inside
+    the admissible box and returns the pair minimizing the steady-state
+    unit-cost proxy ``c1 ε1² + c2 ε2²``; raises when the hyperbola does
+    not intersect the box (bounds too small to ever achieve extinction).
+    """
+    if margin <= 0:
+        raise ParameterError("margin must be positive")
+    if n_candidates < 2:
+        raise ParameterError("n_candidates must be >= 2")
+    product = critical_product(params) / margin  # required ε1·ε2
+    eps1_lo = product / bounds.eps2_max
+    if eps1_lo > bounds.eps1_max:
+        raise ParameterError(
+            f"extinction needs eps1*eps2 >= {product:.4g}, unreachable in "
+            f"the box ({bounds.eps1_max} × {bounds.eps2_max})"
+        )
+    eps1_grid = np.linspace(eps1_lo, bounds.eps1_max, n_candidates)
+    eps2_grid = product / eps1_grid
+    proxy = costs.c1 * eps1_grid ** 2 + costs.c2 * eps2_grid ** 2
+    best = int(np.argmin(proxy))
+    return float(eps1_grid[best]), float(eps2_grid[best])

@@ -1,0 +1,94 @@
+"""Costate (adjoint) dynamics for Pontryagin's principle (paper Eqs. 15–16).
+
+With the Hamiltonian::
+
+    H = Σ_i [c1 ε1² S_i² + c2 ε2² I_i²]
+      + Σ_i ψ_i (α − λ_i S_i Θ − ε1 S_i)
+      + Σ_i q_i (λ_i S_i Θ − ε2 I_i)
+
+(the paper writes the I-costate as φ_i; we use q_i to avoid clashing with
+the coupling weights φ(k_i) = ω(k_i)P(k_i)), the adjoint equations are
+``dψ_i/dt = −∂H/∂S_i`` and ``dq_i/dt = −∂H/∂I_i`` with transversality
+``ψ_i(tf) = 0`` and ``q_i(tf) = w`` (terminal weight).
+
+Because ``Θ = (1/⟨k⟩) Σ_j φ_j I_j`` couples all groups,
+``∂H/∂I_i`` contains the **cross-group** sum
+``(φ_i/⟨k⟩) Σ_j (q_j − ψ_j) λ_j S_j``.  The paper's Eq. (16) keeps only
+the ``j = i`` term; both variants are implemented —
+``mode="full"`` (mathematically exact gradient, default) and
+``mode="paper"`` (the published diagonal approximation) — and compared
+in the A2 ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+import numpy as np
+
+from repro.core.parameters import RumorModelParameters
+from repro.exceptions import ParameterError
+
+__all__ = ["CostateMode", "costate_rhs", "make_costate_rhs"]
+
+CostateMode = Literal["full", "paper"]
+
+
+def costate_rhs(params: RumorModelParameters,
+                susceptible: np.ndarray, infected: np.ndarray,
+                psi: np.ndarray, q: np.ndarray,
+                eps1: float, eps2: float,
+                c1: float, c2: float, *,
+                mode: CostateMode = "full") -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate ``(dψ/dt, dq/dt)`` at one instant.
+
+    Parameters mirror the Hamiltonian: current state ``(S, I)``, costates
+    ``(ψ, q)``, controls ``(ε1, ε2)``, unit costs ``(c1, c2)``.
+    """
+    if mode not in ("full", "paper"):
+        raise ParameterError(f"unknown costate mode {mode!r}")
+    lam = params.lambda_k
+    phi_over_k = params.phi_k / params.mean_degree
+    theta = float(np.dot(params.phi_k, infected) / params.mean_degree)
+
+    # dψ_i/dt = −∂H/∂S_i
+    #         = −2 c1 ε1² S_i + ψ_i (λ_i Θ + ε1) − q_i λ_i Θ
+    dpsi = -2.0 * c1 * eps1 ** 2 * susceptible \
+        + psi * (lam * theta + eps1) - q * lam * theta
+
+    # dq_i/dt = −∂H/∂I_i
+    lam_s = lam * susceptible
+    if mode == "full":
+        coupling = float(np.dot(q - psi, lam_s))
+        dq = -2.0 * c2 * eps2 ** 2 * infected \
+            - phi_over_k * coupling + q * eps2
+    else:
+        # Paper Eq. (16): only the i-th group's own coupling term.
+        dq = -2.0 * c2 * eps2 ** 2 * infected \
+            - phi_over_k * (q - psi) * lam_s + q * eps2
+    return dpsi, dq
+
+
+def make_costate_rhs(params: RumorModelParameters,
+                     state_lookup: Callable[[float], tuple[np.ndarray, np.ndarray]],
+                     control_lookup: Callable[[float], tuple[float, float]],
+                     c1: float, c2: float, *,
+                     mode: CostateMode = "full") -> Callable[[float, np.ndarray], np.ndarray]:
+    """Build a flat-vector adjoint RHS for the backward integrator.
+
+    ``state_lookup(t)`` must return the interpolated ``(S, I)`` arrays and
+    ``control_lookup(t)`` the control pair at time ``t``.  The returned
+    callable operates on the flat costate ``[ψ..., q...]``.
+    """
+    n = params.n_groups
+
+    def rhs(t: float, y: np.ndarray) -> np.ndarray:
+        psi = y[:n]
+        q = y[n:]
+        susceptible, infected = state_lookup(t)
+        eps1, eps2 = control_lookup(t)
+        dpsi, dq = costate_rhs(params, susceptible, infected, psi, q,
+                               eps1, eps2, c1, c2, mode=mode)
+        return np.concatenate([dpsi, dq])
+
+    return rhs

@@ -1,0 +1,211 @@
+"""Heuristic (feedback) countermeasures — the paper's Fig. 4(c) baseline.
+
+The paper describes the comparator as countermeasures that "restrain the
+spread of rumors just based on the current infection state, i.e., there
+is no global control": a purely reactive policy with no look-ahead.
+:class:`HeuristicController` implements two such reactive shapes:
+
+* ``mode="threshold"`` (default): apply a fixed response level while the
+  current infected density is above an off-threshold, switch off below
+  it — how a moderation team works a persistent outbreak at constant
+  intensity until it is gone;
+* ``mode="proportional"``: response proportional to the current infected
+  density (normalized by its initial value) — harder now ⇔ worse now.
+  Note this shape is *self-defeating at long horizons*: as infection
+  falls the response falls, the rumor regrows (r0 > 1 uncontrolled), and
+  the calibrated gain explodes; the threshold shape is the fair
+  comparator for the Fig. 4(c) sweep.
+
+Either way the single scalar knob (``gain`` = level or slope) is
+calibrated by :func:`calibrate_heuristic` — bisected until the terminal
+infected density hits the required target, mirroring the paper's
+"controlling the number of infected individuals to a same level within a
+same expected time period".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.control.admissible import ControlBounds
+from repro.control.objective import CostBreakdown, CostParameters, evaluate_cost
+from repro.core.model import HeterogeneousSIRModel
+from repro.core.parameters import RumorModelParameters
+from repro.core.state import RumorTrajectory, SIRState
+from repro.exceptions import ConvergenceError, ParameterError
+from repro.numerics.ode import dopri45
+
+__all__ = ["HeuristicController", "HeuristicRun", "run_heuristic",
+           "calibrate_heuristic"]
+
+HeuristicMode = Literal["threshold", "proportional"]
+
+
+@dataclass(frozen=True)
+class HeuristicController:
+    """Reactive (no look-ahead) countermeasure policy.
+
+    Attributes
+    ----------
+    gain:
+        Response strength: the constant level in ``threshold`` mode, the
+        slope against normalized severity in ``proportional`` mode.
+    bounds:
+        Admissible box (responses are clamped into it).
+    share1, share2:
+        Relative allocation between truth-spreading (ε1) and blocking
+        (ε2); defaults split the effort equally.
+    mode:
+        Response shape (see module docstring).
+    off_threshold:
+        ``threshold`` mode only — infected density below which the
+        response switches off (0 ⇒ never off).
+    """
+
+    gain: float
+    bounds: ControlBounds
+    share1: float = 1.0
+    share2: float = 1.0
+    mode: HeuristicMode = "threshold"
+    off_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gain < 0:
+            raise ParameterError(f"gain must be non-negative, got {self.gain}")
+        if self.share1 < 0 or self.share2 < 0 or self.share1 + self.share2 == 0:
+            raise ParameterError("shares must be non-negative and not both zero")
+        if self.mode not in ("threshold", "proportional"):
+            raise ParameterError(f"unknown heuristic mode {self.mode!r}")
+        if self.off_threshold < 0:
+            raise ParameterError("off_threshold must be non-negative")
+
+    def controls_for(self, infected_density: float,
+                     initial_infected: float) -> tuple[float, float]:
+        """Control pair given the current and initial infected densities."""
+        if infected_density < 0:
+            infected_density = 0.0
+        if self.mode == "threshold":
+            active = infected_density > self.off_threshold
+            raw = self.gain if active else 0.0
+        else:
+            if initial_infected <= 0:
+                raise ParameterError("initial infected density must be positive")
+            raw = self.gain * infected_density / initial_infected
+        return (
+            float(self.bounds.clamp_eps1(raw * self.share1)),
+            float(self.bounds.clamp_eps2(raw * self.share2)),
+        )
+
+
+@dataclass(frozen=True)
+class HeuristicRun:
+    """Closed-loop trajectory of the heuristic controller."""
+
+    times: np.ndarray
+    eps1: np.ndarray
+    eps2: np.ndarray
+    trajectory: RumorTrajectory
+    cost: CostBreakdown
+
+    def terminal_infected(self) -> float:
+        """Population infected density at tf."""
+        return float(self.trajectory.population_infected()[-1])
+
+
+def run_heuristic(params: RumorModelParameters, initial: SIRState,
+                  controller: HeuristicController, *,
+                  t_final: float, costs: CostParameters,
+                  n_grid: int = 401) -> HeuristicRun:
+    """Simulate the closed loop with per-step control updates.
+
+    The controller samples the infected density at each grid point and
+    holds its response constant over the step (zero-order hold), which is
+    exactly how a reactive moderation team operates — act on the latest
+    measurement, no anticipation.
+    """
+    if t_final <= 0:
+        raise ParameterError("t_final must be positive")
+    if n_grid < 2:
+        raise ParameterError("n_grid must be >= 2")
+    model = HeterogeneousSIRModel(params)
+    p = params
+    n = p.n_groups
+    grid = np.linspace(0.0, float(t_final), int(n_grid))
+    baseline = float(np.dot(p.pmf, initial.infected))
+    if baseline <= 0:
+        raise ParameterError("initial infected density must be positive")
+
+    states = np.empty((grid.size, 3 * n))
+    states[0] = initial.pack()
+    eps1 = np.empty(grid.size)
+    eps2 = np.empty(grid.size)
+    y = states[0].copy()
+    for j in range(grid.size):
+        i_pop = float(np.dot(p.pmf, y[n:2 * n]))
+        eps1[j], eps2[j] = controller.controls_for(i_pop, baseline)
+        if j == grid.size - 1:
+            break
+        # Integrate the hold interval adaptively — the λ(k_max)·Θ term is
+        # stiff enough to destabilize a single fixed RK4 step.
+        f = model.rhs_constant(eps1[j], eps2[j])
+        segment = dopri45(f, y, np.array([grid[j], grid[j + 1]]),
+                          rtol=1e-8, atol=1e-11)
+        y = segment.final_state
+        states[j + 1] = y
+
+    trajectory = RumorTrajectory(params, grid, states)
+    cost = evaluate_cost(trajectory, eps1, eps2, costs)
+    return HeuristicRun(grid, eps1, eps2, trajectory, cost)
+
+
+def calibrate_heuristic(params: RumorModelParameters, initial: SIRState, *,
+                        t_final: float, bounds: ControlBounds,
+                        costs: CostParameters, target_infected: float,
+                        share1: float = 1.0, share2: float = 1.0,
+                        mode: HeuristicMode = "threshold",
+                        gain_hi: float | None = None, n_grid: int = 401,
+                        rel_tol: float = 1e-3,
+                        max_bisections: int = 60) -> HeuristicRun:
+    """Smallest gain whose closed loop meets the terminal infection target.
+
+    Bisects the gain on ``[0, gain_hi]`` (default ``gain_hi``:
+    ``max(eps1_max, eps2_max)`` for threshold mode, ``1e4`` for
+    proportional); raises :class:`~repro.exceptions.ConvergenceError`
+    when even ``gain_hi`` cannot reach the target (bounds saturate).
+    Returns the calibrated closed-loop run, whose
+    :attr:`HeuristicRun.cost` is the Fig. 4(c) comparison point.
+    """
+    if target_infected <= 0:
+        raise ParameterError("target_infected must be positive")
+    if gain_hi is None:
+        gain_hi = (max(bounds.eps1_max, bounds.eps2_max)
+                   if mode == "threshold" else 1e4)
+
+    def run(gain: float) -> HeuristicRun:
+        controller = HeuristicController(gain=gain, bounds=bounds,
+                                         share1=share1, share2=share2,
+                                         mode=mode)
+        return run_heuristic(params, initial, controller,
+                             t_final=t_final, costs=costs, n_grid=n_grid)
+
+    hi_run = run(gain_hi)
+    if hi_run.terminal_infected() > target_infected:
+        raise ConvergenceError(
+            f"heuristic cannot reach terminal infected {target_infected:g} "
+            f"within bounds (best {hi_run.terminal_infected():.3g})"
+        )
+    lo, hi = 0.0, gain_hi
+    best = hi_run
+    for _ in range(max_bisections):
+        if hi - lo <= rel_tol * max(hi, 1e-12):
+            break
+        mid = 0.5 * (lo + hi)
+        mid_run = run(mid)
+        if mid_run.terminal_infected() <= target_infected:
+            best, hi = mid_run, mid
+        else:
+            lo = mid
+    return best

@@ -1,0 +1,76 @@
+"""Core contribution: the heterogeneous rumor SIR model, threshold theory,
+equilibria, and stability analysis (paper Sections II–III).
+
+Public surface::
+
+    from repro.core import (
+        RumorModelParameters, HeterogeneousSIRModel, SIRState,
+        basic_reproduction_number, equilibrium_for,
+    )
+"""
+
+from repro.core.correlated import (
+    CorrelatedRumorModel,
+    assortative_kernel,
+    uniform_kernel,
+)
+from repro.core.equilibrium import (
+    Equilibrium,
+    equilibrium_for,
+    positive_equilibrium,
+    zero_equilibrium,
+)
+from repro.core.lyapunov import (
+    is_nonincreasing,
+    lyapunov_v0_series,
+    lyapunov_v_plus_series,
+    theorem3_region_entry,
+)
+from repro.core.model import HeterogeneousSIRModel, as_control
+from repro.core.parameters import RumorModelParameters
+from repro.core.stability import (
+    StabilityReport,
+    classify_equilibrium,
+    reduced_jacobian,
+    verify_global_stability,
+)
+from repro.core.state import RumorTrajectory, SIRState
+from repro.core.threshold import (
+    basic_reproduction_number,
+    calibrate_acceptance_scale,
+    critical_eps1,
+    critical_eps2,
+    critical_product,
+    r0_time_series,
+    spreading_strength,
+)
+
+__all__ = [
+    "RumorModelParameters",
+    "HeterogeneousSIRModel",
+    "as_control",
+    "SIRState",
+    "RumorTrajectory",
+    "basic_reproduction_number",
+    "spreading_strength",
+    "critical_eps1",
+    "critical_eps2",
+    "critical_product",
+    "calibrate_acceptance_scale",
+    "r0_time_series",
+    "Equilibrium",
+    "zero_equilibrium",
+    "positive_equilibrium",
+    "equilibrium_for",
+    "StabilityReport",
+    "reduced_jacobian",
+    "classify_equilibrium",
+    "verify_global_stability",
+    "CorrelatedRumorModel",
+    "uniform_kernel",
+    "assortative_kernel",
+    "lyapunov_v0_series",
+    "lyapunov_v_plus_series",
+    "theorem3_region_entry",
+    "is_nonincreasing",
+]

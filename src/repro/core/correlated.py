@@ -1,0 +1,156 @@
+"""Degree-correlated extension of the rumor model (beyond the paper).
+
+The paper's coupling ``Θ(t) = (1/⟨k⟩) Σ_j φ_j I_j`` assumes every group
+feels the same infection pressure — equivalent to a *rank-one* mixing
+matrix ``M_ij = 1/⟨k⟩``.  Real OSNs mix assortatively (hubs follow
+hubs), so this module generalizes the coupling to a per-group pressure
+
+::
+
+    Θ_i(t) = Σ_j M_ij φ_j I_j,     φ_j = ω(k_j) P(k_j)
+
+with ``M`` any non-negative mixing kernel, and generalizes the critical
+threshold accordingly: linearizing ``dI_i/dt = λ_i S⁰ Θ_i − ε2 I_i`` at
+the rumor-free state ``S⁰ = α/ε1`` gives the growth matrix
+``A = (α/ε1)·diag(λ)·M·diag(φ)``, so
+
+::
+
+    r0 = ρ(A) / ε2   (spectral radius)
+
+which collapses to the paper's closed form for the rank-one kernel
+(``ρ(uvᵀ) = vᵀu``).  Assortative kernels concentrate mass where λ and φ
+align, raising r0 — the quantitative version of "hub echo chambers make
+rumors harder to kill".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.parameters import RumorModelParameters
+from repro.core.state import RumorTrajectory, SIRState
+from repro.exceptions import ParameterError
+from repro.numerics.ode import integrate
+
+__all__ = [
+    "uniform_kernel",
+    "assortative_kernel",
+    "CorrelatedRumorModel",
+]
+
+
+def uniform_kernel(params: RumorModelParameters) -> np.ndarray:
+    """The paper's rank-one kernel: ``M_ij = 1/⟨k⟩`` for every pair."""
+    n = params.n_groups
+    return np.full((n, n), 1.0 / params.mean_degree)
+
+
+def assortative_kernel(params: RumorModelParameters,
+                       strength: float) -> np.ndarray:
+    """Degree-assortative kernel with tunable ``strength ≥ 0``.
+
+    Rows are reweighted toward similar degrees with the Gaussian-in-log
+    affinity ``exp(−strength · (ln k_i − ln k_j)²)`` and then normalized
+    so each row sums to ``n/⟨k⟩`` — preserving the paper's *total*
+    coupling per group at uniform infection, which isolates the effect of
+    *where* the pressure comes from (mixing) from *how much* (scale).
+
+    ``strength = 0`` reduces exactly to :func:`uniform_kernel`.
+    """
+    if strength < 0:
+        raise ParameterError(f"strength must be non-negative, got {strength}")
+    log_k = np.log(params.degrees)
+    affinity = np.exp(-strength * (log_k[:, None] - log_k[None, :]) ** 2)
+    row_sums = affinity.sum(axis=1, keepdims=True)
+    n = params.n_groups
+    return affinity / row_sums * (n / params.mean_degree)
+
+
+@dataclass(frozen=True)
+class CorrelatedRumorModel:
+    """System (1) with a general mixing kernel.
+
+    Attributes
+    ----------
+    params:
+        Structural model parameters (shared with the base model).
+    kernel:
+        Mixing matrix ``M``, shape ``(n, n)``, non-negative.
+    """
+
+    params: RumorModelParameters
+    kernel: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.params.n_groups
+        kernel = np.asarray(self.kernel, dtype=float)
+        object.__setattr__(self, "kernel", kernel)
+        if kernel.shape != (n, n):
+            raise ParameterError(
+                f"kernel shape {kernel.shape} must be ({n}, {n})"
+            )
+        if np.any(kernel < 0) or not np.all(np.isfinite(kernel)):
+            raise ParameterError("kernel must be non-negative and finite")
+        # Precompute M·diag(φ): pressure_i = (M φ∘I)_i.
+        object.__setattr__(self, "_m_phi", kernel * self.params.phi_k[None, :])
+
+    # -- threshold ---------------------------------------------------------
+    def growth_matrix(self, eps1: float) -> np.ndarray:
+        """``A = (α/ε1) diag(λ) M diag(φ)`` — the linearized I-dynamics."""
+        if eps1 <= 0:
+            raise ParameterError("eps1 must be positive")
+        s0 = self.params.alpha / eps1
+        return s0 * self.params.lambda_k[:, None] * self._m_phi
+
+    def basic_reproduction_number(self, eps1: float, eps2: float) -> float:
+        """Spectral threshold ``r0 = ρ(A)/ε2`` (paper formula when M is
+        the uniform kernel)."""
+        if eps2 <= 0:
+            raise ParameterError("eps2 must be positive")
+        eigenvalues = np.linalg.eigvals(self.growth_matrix(eps1))
+        return float(np.max(np.abs(eigenvalues))) / eps2
+
+    # -- dynamics -------------------------------------------------------------
+    def pressures(self, infected: np.ndarray) -> np.ndarray:
+        """Per-group pressure Θ_i = Σ_j M_ij φ_j I_j."""
+        infected = np.asarray(infected, dtype=float)
+        if infected.shape != (self.params.n_groups,):
+            raise ParameterError("infected shape mismatch")
+        return self._m_phi @ infected
+
+    def simulate(self, initial: SIRState, *, t_final: float,
+                 eps1: float, eps2: float, n_samples: int = 201,
+                 t_eval: Sequence[float] | np.ndarray | None = None,
+                 method: str = "dopri45") -> RumorTrajectory:
+        """Integrate the correlated system (constant controls)."""
+        p = self.params
+        n = p.n_groups
+        if initial.n_groups != n:
+            raise ParameterError("initial state group count mismatch")
+        if eps1 < 0 or eps2 < 0:
+            raise ParameterError("controls must be non-negative")
+        if t_eval is None:
+            if t_final <= 0:
+                raise ParameterError("t_final must be positive")
+            grid = np.linspace(0.0, float(t_final), int(n_samples))
+        else:
+            grid = np.asarray(t_eval, dtype=float)
+        m_phi = self._m_phi
+        alpha, lam = p.alpha, p.lambda_k
+
+        def rhs(_t: float, y: np.ndarray) -> np.ndarray:
+            s = y[:n]
+            i = y[n:2 * n]
+            infection = lam * s * (m_phi @ i)
+            out = np.empty_like(y)
+            out[:n] = alpha - infection - eps1 * s
+            out[n:2 * n] = infection - eps2 * i
+            out[2 * n:] = eps1 * s + eps2 * i
+            return out
+
+        solution = integrate(rhs, initial.pack(), grid, method=method)
+        return RumorTrajectory(p, solution.t, solution.y)

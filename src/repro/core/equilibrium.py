@@ -1,0 +1,139 @@
+"""Equilibrium solutions of System (1) (paper Theorem 1).
+
+Two equilibria of the reduced (S, I) system exist:
+
+* the **zero equilibrium** ``E0``: ``S0_i = α/ε1``, ``I0_i = 0``,
+  ``R0_i = 1 − α/ε1`` — always an equilibrium; the rumor is extinct;
+* the **positive equilibrium** ``E+`` — exists iff ``r0 > 1``; ``Θ+``
+  solves the scalar fixed-point equation (paper Eq. 5)
+
+  ::
+
+      F(Θ) = 1 − (1/⟨k⟩) Σ_i α λ(k_i) φ(k_i) / (ε2 (λ(k_i) Θ + ε1)) = 0
+
+  after which ``I+_i = α λ_i Θ+ / (ε2 (λ_i Θ+ + ε1))`` and
+  ``S+_i = ε2 I+_i / (λ_i Θ+)``.
+
+``F`` is strictly increasing with ``F(0+) = 1 − r0`` and ``F(∞) = 1``, so
+for ``r0 > 1`` the root is unique; it is found with Brent's method on an
+automatically expanded bracket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parameters import RumorModelParameters
+from repro.core.state import SIRState
+from repro.core.threshold import basic_reproduction_number
+from repro.exceptions import ParameterError
+from repro.numerics.rootfind import brent, expand_bracket
+
+__all__ = ["Equilibrium", "zero_equilibrium", "positive_equilibrium",
+           "equilibrium_for"]
+
+
+@dataclass(frozen=True)
+class Equilibrium:
+    """An equilibrium of System (1) with provenance.
+
+    Attributes
+    ----------
+    state:
+        Per-group equilibrium densities.
+    kind:
+        ``"zero"`` (E0) or ``"positive"`` (E+).
+    theta:
+        Equilibrium coupling value Θ* (0 for E0).
+    r0:
+        Threshold value under the supplied countermeasures.
+    """
+
+    state: SIRState
+    kind: str
+    theta: float
+    r0: float
+
+    @property
+    def is_endemic(self) -> bool:
+        """True for the positive (rumor persists) equilibrium."""
+        return self.kind == "positive"
+
+
+def zero_equilibrium(params: RumorModelParameters, eps1: float,
+                     eps2: float) -> Equilibrium:
+    """The rumor-free equilibrium E0 (always exists).
+
+    Requires ``α ≤ ε1`` so that ``S0 = α/ε1`` is a density; the paper's
+    extinction experiments satisfy this (α = 0.01, ε1 = 0.2).
+    """
+    if eps1 <= 0 or eps2 <= 0:
+        raise ParameterError("countermeasure rates must be positive")
+    s0 = params.alpha / eps1
+    if s0 > 1.0 + 1e-12:
+        raise ParameterError(
+            f"alpha/eps1 = {s0:.4g} > 1: E0 is not inside the density "
+            f"simplex (increase eps1 or decrease alpha)"
+        )
+    n = params.n_groups
+    state = SIRState(
+        np.full(n, s0),
+        np.zeros(n),
+        np.full(n, 1.0 - s0),
+    )
+    return Equilibrium(state, "zero", 0.0,
+                       basic_reproduction_number(params, eps1, eps2))
+
+
+def _f_of_theta(params: RumorModelParameters, eps1: float, eps2: float,
+                theta: float) -> float:
+    lam = params.lambda_k
+    terms = params.alpha * lam * params.phi_k / (eps2 * (lam * theta + eps1))
+    return 1.0 - float(terms.sum()) / params.mean_degree
+
+
+def positive_equilibrium(params: RumorModelParameters, eps1: float,
+                         eps2: float, *, xtol: float = 1e-14) -> Equilibrium:
+    """The endemic equilibrium E+ (exists iff r0 > 1).
+
+    Raises :class:`~repro.exceptions.ParameterError` when ``r0 ≤ 1``
+    (Theorem 1 Case 1: only E0 exists).
+    """
+    r0 = basic_reproduction_number(params, eps1, eps2)
+    # Guard with a small margin: within round-off of the threshold the
+    # fixed-point root sits at Θ+ ≈ 0 and cannot be bracketed reliably
+    # (and is physically indistinguishable from extinction anyway).
+    if r0 <= 1.0 + 1e-9:
+        raise ParameterError(
+            f"positive equilibrium requires r0 > 1, got r0 = {r0:.6g}"
+        )
+    f = lambda theta: _f_of_theta(params, eps1, eps2, theta)  # noqa: E731
+    # F(0+) = 1 − r0 < 0 and F → 1, so a finite upper bracket exists;
+    # start from the maximal physical coupling Σφ/⟨k⟩ and expand if needed.
+    theta_hi = float(params.phi_k.sum()) / params.mean_degree
+    lo, hi = 1e-16, max(theta_hi, 1e-12)
+    if f(hi) <= 0.0:
+        lo, hi = expand_bracket(f, lo, hi)
+    result = brent(f, lo, hi, xtol=xtol)
+    theta = result.root
+    lam = params.lambda_k
+    infected = params.alpha * lam * theta / (eps2 * (lam * theta + eps1))
+    susceptible = eps2 * infected / (lam * theta)
+    recovered = 1.0 - susceptible - infected
+    state = SIRState(susceptible, infected, np.maximum(recovered, 0.0))
+    return Equilibrium(state, "positive", theta, r0)
+
+
+def equilibrium_for(params: RumorModelParameters, eps1: float,
+                    eps2: float) -> Equilibrium:
+    """The equilibrium the system converges to under Theorem 5.
+
+    Returns E0 when ``r0 ≤ 1`` and E+ when ``r0 > 1`` — the globally
+    asymptotically stable attractor in each regime.
+    """
+    r0 = basic_reproduction_number(params, eps1, eps2)
+    if r0 > 1.0 + 1e-9:  # same margin as positive_equilibrium's guard
+        return positive_equilibrium(params, eps1, eps2)
+    return zero_equilibrium(params, eps1, eps2)

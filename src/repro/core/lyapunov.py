@@ -1,0 +1,105 @@
+"""Numeric evaluation of the paper's Lyapunov functions (Thms 3–4).
+
+The global-stability proofs construct explicit Lyapunov functions:
+
+* **Theorem 3** (E0, r0 < 1): ``V(t) = Θ(t)/ε2`` with
+  ``dV/dt ≤ Θ(t)(r0 − 1) ≤ 0``;
+* **Theorem 4** (E+, r0 > 1):
+
+  ::
+
+      V(t) = (1/2⟨k⟩) Σ_i φ_i (S_i − S⁺_i)² / S⁺_i
+           + Θ − Θ⁺ − Θ⁺ ln(Θ/Θ⁺)
+
+  non-negative, zero only at E+, non-increasing along solutions.
+
+Evaluating these along simulated trajectories turns the proofs into
+*executable checks*: if an implementation bug broke the dynamics, the
+measured ``V(t)`` would stop being monotone.  Used by the test suite and
+available to users as a diagnostic.
+
+**A gap made visible.**  Theorem 3's derivation bounds
+``Σ λφ S_i(t) ≤ Σ λφ S⁰`` using ``S_i(t) ≤ S⁰ = α/ε1`` — an inequality
+the paper's own initial conditions (``S(0) = 1 − I(0) ≫ α/ε1``) violate,
+so the measured ``V(t) = Θ/ε2`` *rises* during the transient and only
+decreases after the state enters the absorbing region
+``max_i S_i ≤ α/ε1`` (which every trajectory does, since
+``dS_i/dt ≤ α − ε1 S_i``).  The proof is therefore valid on that
+forward-invariant region rather than globally as stated;
+:func:`theorem3_region_entry` locates the entry time so the monotone
+check can be applied where the theorem actually applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.equilibrium import Equilibrium
+from repro.core.state import RumorTrajectory
+from repro.exceptions import ParameterError
+
+__all__ = ["lyapunov_v0_series", "lyapunov_v_plus_series",
+           "theorem3_region_entry", "is_nonincreasing"]
+
+
+def theorem3_region_entry(trajectory: RumorTrajectory,
+                          eps1: float) -> int | None:
+    """First sample index with ``max_i S_i ≤ α/ε1`` (Theorem 3's region).
+
+    Returns ``None`` when the trajectory never enters the region within
+    its horizon.
+    """
+    if eps1 <= 0:
+        raise ParameterError("eps1 must be positive")
+    bound = trajectory.params.alpha / eps1
+    inside = trajectory.susceptible.max(axis=1) <= bound + 1e-12
+    indices = np.flatnonzero(inside)
+    return int(indices[0]) if indices.size else None
+
+
+def lyapunov_v0_series(trajectory: RumorTrajectory, eps2: float) -> np.ndarray:
+    """Theorem 3's ``V(t) = Θ(t)/ε2`` along a trajectory."""
+    if eps2 <= 0:
+        raise ParameterError("eps2 must be positive")
+    return trajectory.theta_series() / eps2
+
+
+def lyapunov_v_plus_series(trajectory: RumorTrajectory,
+                           equilibrium: Equilibrium) -> np.ndarray:
+    """Theorem 4's composite Lyapunov function along a trajectory.
+
+    Requires the positive equilibrium; Θ(t) must stay positive (it does
+    whenever any group carries infection, which holds on the paths
+    Theorem 4 concerns).
+    """
+    if equilibrium.kind != "positive":
+        raise ParameterError("Theorem 4's V needs the positive equilibrium")
+    params = trajectory.params
+    s_plus = equilibrium.state.susceptible
+    theta_plus = equilibrium.theta
+    if theta_plus <= 0:
+        raise ParameterError("equilibrium Θ+ must be positive")
+
+    theta = trajectory.theta_series()
+    if np.any(theta <= 0):
+        raise ParameterError(
+            "Θ(t) hit zero — Theorem 4's V is undefined on this path"
+        )
+    quadratic = 0.5 / params.mean_degree * (
+        (trajectory.susceptible - s_plus) ** 2 / s_plus * params.phi_k
+    ).sum(axis=1)
+    entropic = theta - theta_plus - theta_plus * np.log(theta / theta_plus)
+    return quadratic + entropic
+
+
+def is_nonincreasing(series: np.ndarray, *, rtol: float = 1e-6) -> bool:
+    """Whether a sampled series never increases beyond relative noise.
+
+    Allows per-step upticks up to ``rtol · max|series|`` so discretized
+    Lyapunov functions aren't failed on integrator round-off.
+    """
+    series = np.asarray(series, dtype=float)
+    if series.size < 2:
+        return True
+    tolerance = rtol * float(np.max(np.abs(series)))
+    return bool(np.all(np.diff(series) <= tolerance))

@@ -1,0 +1,185 @@
+"""The heterogeneous-network rumor SIR model (paper System (1)).
+
+For every degree group i::
+
+    dS_i/dt = α − λ(k_i) S_i Θ(t) − ε1(t) S_i
+    dI_i/dt = λ(k_i) S_i Θ(t) − ε2(t) I_i
+    dR_i/dt = ε1(t) S_i + ε2(t) I_i
+
+with the coupling term ``Θ(t) = (1/⟨k⟩) Σ_i ω(k_i) P(k_i) I_i(t)``.
+
+ε1 is the truth-spreading (immunization) rate acting on susceptibles and
+ε2 the blocking rate acting on infected users; both may be constants or
+arbitrary functions of time (the optimal-control pipeline feeds
+time-varying controls through the same entry point).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.parameters import RumorModelParameters
+from repro.core.state import RumorTrajectory, SIRState
+from repro.exceptions import ParameterError
+from repro.numerics.ode import integrate
+
+__all__ = ["HeterogeneousSIRModel", "as_control"]
+
+ControlInput = float | Callable[[float], float]
+
+
+def as_control(value: ControlInput, name: str) -> Callable[[float], float]:
+    """Normalize a control input to a callable of time.
+
+    Constants are validated (non-negative, finite) and wrapped; callables
+    pass through untouched — their values are validated lazily inside the
+    right-hand side.
+    """
+    if callable(value):
+        return value
+    rate = float(value)
+    if not np.isfinite(rate) or rate < 0:
+        raise ParameterError(f"{name} must be a non-negative finite rate, got {rate}")
+    return lambda _t: rate
+
+
+class HeterogeneousSIRModel:
+    """Simulation front-end for paper System (1).
+
+    Parameters
+    ----------
+    params:
+        Structural model parameters (network summary, α, λ(k), ω(k)).
+
+    Examples
+    --------
+    >>> from repro.datasets import synthesize_digg2009
+    >>> from repro.core import RumorModelParameters, HeterogeneousSIRModel, SIRState
+    >>> params = RumorModelParameters(synthesize_digg2009().distribution)
+    >>> model = HeterogeneousSIRModel(params)
+    >>> y0 = SIRState.initial(params.n_groups, 0.01)
+    >>> traj = model.simulate(y0, t_final=50.0, eps1=0.2, eps2=0.05)
+    >>> bool(traj.population_infected()[-1] < y0.infected.mean() * 2)
+    True
+    >>> # r0 < 1 here, so a longer horizon drives the rumor extinct:
+    >>> long = model.simulate(y0, t_final=600.0, eps1=0.2, eps2=0.05)
+    >>> bool(long.population_infected()[-1] < 1e-3)
+    True
+    """
+
+    def __init__(self, params: RumorModelParameters) -> None:
+        self.params = params
+
+    # -- dynamics -------------------------------------------------------------
+    def rhs(self, t: float, y: np.ndarray,
+            eps1: Callable[[float], float],
+            eps2: Callable[[float], float]) -> np.ndarray:
+        """Right-hand side of System (1) on the flat state layout."""
+        p = self.params
+        n = p.n_groups
+        s = y[:n]
+        i = y[n:2 * n]
+        e1 = float(eps1(t))
+        e2 = float(eps2(t))
+        if e1 < 0 or e2 < 0:
+            raise ParameterError(
+                f"controls must be non-negative, got eps1={e1}, eps2={e2} at t={t}"
+            )
+        theta = float(np.dot(p.phi_k, i) / p.mean_degree)
+        infection = p.lambda_k * s * theta
+        ds = p.alpha - infection - e1 * s
+        di = infection - e2 * i
+        dr = e1 * s + e2 * i
+        return np.concatenate([ds, di, dr])
+
+    def rhs_constant(self, eps1: float, eps2: float) -> Callable[[float, np.ndarray], np.ndarray]:
+        """Closed-over RHS with constant controls (fast path for solvers)."""
+        p = self.params
+        n = p.n_groups
+        alpha, lam, phi, mean_k = p.alpha, p.lambda_k, p.phi_k, p.mean_degree
+        e1 = float(eps1)
+        e2 = float(eps2)
+        if e1 < 0 or e2 < 0:
+            raise ParameterError("controls must be non-negative")
+
+        def f(_t: float, y: np.ndarray) -> np.ndarray:
+            s = y[:n]
+            i = y[n:2 * n]
+            theta = float(np.dot(phi, i) / mean_k)
+            infection = lam * s * theta
+            out = np.empty_like(y)
+            out[:n] = alpha - infection - e1 * s
+            out[n:2 * n] = infection - e2 * i
+            out[2 * n:] = e1 * s + e2 * i
+            return out
+
+        return f
+
+    # -- simulation ------------------------------------------------------------
+    def simulate(self, initial: SIRState, *,
+                 t_final: float,
+                 eps1: ControlInput,
+                 eps2: ControlInput,
+                 n_samples: int = 201,
+                 t_eval: Sequence[float] | np.ndarray | None = None,
+                 method: str = "dopri45",
+                 **solver_options: object) -> RumorTrajectory:
+        """Integrate System (1) from ``initial`` over ``(0, t_final]``.
+
+        Parameters
+        ----------
+        initial:
+            Initial compartment densities (must have the model's group
+            count; the paper uses ``S = 1 − I``, ``R = 0``).
+        t_final:
+            End of the horizon (the paper's ``tf``).
+        eps1, eps2:
+            Immunization and blocking controls — constants or callables
+            of time.
+        n_samples:
+            Number of equally spaced output samples (ignored when
+            ``t_eval`` is given).
+        t_eval:
+            Explicit output grid starting at 0.
+        method:
+            Solver name understood by :func:`repro.numerics.integrate`.
+        """
+        if initial.n_groups != self.params.n_groups:
+            raise ParameterError(
+                f"initial state has {initial.n_groups} groups, model has "
+                f"{self.params.n_groups}"
+            )
+        if t_eval is None:
+            if t_final <= 0:
+                raise ParameterError(f"t_final must be positive, got {t_final}")
+            if n_samples < 2:
+                raise ParameterError("n_samples must be >= 2")
+            grid = np.linspace(0.0, float(t_final), int(n_samples))
+        else:
+            grid = np.asarray(t_eval, dtype=float)
+
+        if callable(eps1) or callable(eps2):
+            e1 = as_control(eps1, "eps1")
+            e2 = as_control(eps2, "eps2")
+            f = lambda t, y: self.rhs(t, y, e1, e2)  # noqa: E731
+        else:
+            f = self.rhs_constant(float(eps1), float(eps2))
+        solution = integrate(f, initial.pack(), grid, method=method,
+                             **solver_options)
+        return RumorTrajectory(self.params, solution.t, solution.y)
+
+    # -- conveniences ------------------------------------------------------------
+    def equilibrium_residual(self, state: SIRState, eps1: float, eps2: float) -> float:
+        """∞-norm of d(S, I)/dt at ``state`` — 0 exactly at an equilibrium.
+
+        Only the (S, I) block is checked: with α > 0 the R compartment
+        grows without bound at any equilibrium of the reduced system
+        (paper System (2)), mirroring the paper's analysis which drops
+        the third equation.
+        """
+        y = state.pack()
+        d = self.rhs(0.0, y, as_control(eps1, "eps1"), as_control(eps2, "eps2"))
+        n = self.params.n_groups
+        return float(np.max(np.abs(d[: 2 * n])))

@@ -1,0 +1,138 @@
+"""Model parameters for the heterogeneous-network rumor SIR system.
+
+:class:`RumorModelParameters` bundles everything in the paper's Table I
+that is *structural* (the degree groups ``k_i`` with probabilities
+``P(k_i)``, the acceptance function λ(k), the infectivity ω(k), and the
+entering rate α).  The countermeasure rates ε1/ε2 are deliberately *not*
+part of this object — they are controls, supplied per simulation either
+as constants or as functions of time.
+
+Derived per-group arrays (λ(k_i), ω(k_i), φ(k_i) = ω(k_i)P(k_i)) are
+precomputed once since every right-hand-side evaluation needs them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.epidemic.acceptance import AcceptanceFunction, LinearAcceptance
+from repro.epidemic.infectivity import InfectivityFunction, SaturatingInfectivity
+from repro.exceptions import ParameterError
+from repro.networks.degree import DegreeDistribution
+
+__all__ = ["RumorModelParameters"]
+
+
+@dataclass(frozen=True)
+class RumorModelParameters:
+    """Structural parameters of paper System (1).
+
+    Attributes
+    ----------
+    distribution:
+        Degree groups ``k_i`` and probabilities ``P(k_i)``.
+    alpha:
+        Rate α at which new (susceptible) individuals start attending to
+        the rumor.  Must satisfy ``0 < α`` and, for the zero equilibrium
+        ``S0 = α/ε1`` to be a density, ``α ≤ ε1`` in extinction studies.
+    acceptance:
+        λ(k) — per-contact acceptance rate (paper: λ(k) = k).
+    infectivity:
+        ω(k) — spreader infectivity weight (paper: k^0.5/(1+k^0.5)).
+    """
+
+    distribution: DegreeDistribution
+    alpha: float = 0.01
+    acceptance: AcceptanceFunction = field(default_factory=LinearAcceptance)
+    infectivity: InfectivityFunction = field(
+        default_factory=lambda: SaturatingInfectivity(0.5, 0.5)
+    )
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.alpha) or self.alpha <= 0:
+            raise ParameterError(f"alpha must be positive and finite, got {self.alpha}")
+        degrees = self.distribution.degrees
+        lambda_k = np.asarray(self.acceptance(degrees), dtype=float)
+        omega_k = np.asarray(self.infectivity(degrees), dtype=float)
+        if lambda_k.shape != degrees.shape or omega_k.shape != degrees.shape:
+            raise ParameterError("acceptance/infectivity must be shape-preserving")
+        if np.any(lambda_k <= 0) or np.any(~np.isfinite(lambda_k)):
+            raise ParameterError("acceptance rates must be positive and finite")
+        if np.any(omega_k < 0) or np.any(~np.isfinite(omega_k)):
+            raise ParameterError("infectivity must be non-negative and finite")
+        # Cache derived arrays on the frozen instance.
+        object.__setattr__(self, "_lambda_k", lambda_k)
+        object.__setattr__(self, "_omega_k", omega_k)
+        object.__setattr__(self, "_phi_k", omega_k * self.distribution.pmf)
+        object.__setattr__(self, "_mean_degree", self.distribution.mean_degree())
+
+    # -- derived arrays ----------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        """Number of degree groups ``n``."""
+        return self.distribution.n_groups
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Group degrees ``k_i``, shape ``(n,)``."""
+        return self.distribution.degrees
+
+    @property
+    def pmf(self) -> np.ndarray:
+        """Group probabilities ``P(k_i)``, shape ``(n,)``."""
+        return self.distribution.pmf
+
+    @property
+    def lambda_k(self) -> np.ndarray:
+        """Acceptance rates λ(k_i), shape ``(n,)``."""
+        return self._lambda_k  # type: ignore[attr-defined]
+
+    @property
+    def omega_k(self) -> np.ndarray:
+        """Infectivity weights ω(k_i), shape ``(n,)``."""
+        return self._omega_k  # type: ignore[attr-defined]
+
+    @property
+    def phi_k(self) -> np.ndarray:
+        """φ(k_i) = ω(k_i)·P(k_i) — the paper's coupling weights."""
+        return self._phi_k  # type: ignore[attr-defined]
+
+    @property
+    def mean_degree(self) -> float:
+        """⟨k⟩."""
+        return self._mean_degree  # type: ignore[attr-defined]
+
+    # -- helpers -------------------------------------------------------------
+    def theta(self, infected: np.ndarray) -> float:
+        """Average rumor infectivity Θ = (1/⟨k⟩) Σ_i φ(k_i) I_i."""
+        infected = np.asarray(infected, dtype=float)
+        if infected.shape != self.degrees.shape:
+            raise ParameterError(
+                f"infected shape {infected.shape} must match groups "
+                f"({self.n_groups},)"
+            )
+        return float(np.dot(self.phi_k, infected) / self.mean_degree)
+
+    def with_acceptance_scale(self, factor: float) -> "RumorModelParameters":
+        """Copy with λ(k) uniformly rescaled (used by r0 calibration)."""
+        return RumorModelParameters(
+            distribution=self.distribution,
+            alpha=self.alpha,
+            acceptance=self.acceptance.scaled(factor),
+            infectivity=self.infectivity,
+        )
+
+    def describe(self) -> dict[str, float | int | str]:
+        """Human-readable summary dict (stable key order)."""
+        return {
+            "n_groups": self.n_groups,
+            "mean_degree": self.mean_degree,
+            "alpha": self.alpha,
+            "acceptance": self.acceptance.name,
+            "infectivity": self.infectivity.name,
+            "min_degree": float(self.degrees[0]),
+            "max_degree": float(self.degrees[-1]),
+        }

@@ -1,0 +1,125 @@
+"""Stability analysis of equilibria (paper Theorems 2–4).
+
+The reduced system (paper System (2)) keeps only (S, I); its Jacobian at
+a point ``(S*, I*)`` has the 2×2 block structure (groups i, j)::
+
+    ∂Ṡ_i/∂S_j = δ_ij (−λ_i Θ* − ε1)
+    ∂Ṡ_i/∂I_j = −λ_i S*_i φ_j / ⟨k⟩
+    ∂İ_i/∂S_j = δ_ij λ_i Θ*
+    ∂İ_i/∂I_j = λ_i S*_i φ_j / ⟨k⟩ − δ_ij ε2
+
+Local asymptotic stability ⇔ all eigenvalues have negative real part
+(checked numerically via :func:`numpy.linalg.eigvals`).  The theorems'
+global claims (Lyapunov arguments) are validated empirically with
+:func:`verify_global_stability`, which integrates from many random
+initial conditions and checks convergence to the predicted attractor —
+exactly the experiment behind the paper's Figs. 2(a)/3(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.equilibrium import Equilibrium, equilibrium_for
+from repro.core.model import HeterogeneousSIRModel
+from repro.core.parameters import RumorModelParameters
+from repro.core.state import SIRState
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "StabilityReport",
+    "reduced_jacobian",
+    "classify_equilibrium",
+    "verify_global_stability",
+]
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Spectral stability verdict for one equilibrium.
+
+    Attributes
+    ----------
+    equilibrium:
+        The analyzed equilibrium.
+    max_real_eigenvalue:
+        Largest real part across the Jacobian spectrum.
+    locally_stable:
+        ``max_real_eigenvalue < 0``.
+    """
+
+    equilibrium: Equilibrium
+    max_real_eigenvalue: float
+    locally_stable: bool
+
+
+def reduced_jacobian(params: RumorModelParameters, state: SIRState,
+                     eps1: float, eps2: float) -> np.ndarray:
+    """Jacobian of the reduced (S, I) system at ``state``; shape (2n, 2n)."""
+    if eps1 < 0 or eps2 < 0:
+        raise ParameterError("countermeasure rates must be non-negative")
+    n = params.n_groups
+    lam = params.lambda_k
+    phi_over_k = params.phi_k / params.mean_degree
+    theta = params.theta(state.infected)
+    s = state.susceptible
+
+    jac = np.zeros((2 * n, 2 * n))
+    # ∂Ṡ/∂S (diagonal)
+    jac[:n, :n] = np.diag(-lam * theta - eps1)
+    # ∂Ṡ/∂I (dense rank-structure: outer(λ·S, φ/⟨k⟩))
+    jac[:n, n:] = -np.outer(lam * s, phi_over_k)
+    # ∂İ/∂S (diagonal)
+    jac[n:, :n] = np.diag(lam * theta)
+    # ∂İ/∂I (dense + diagonal decay)
+    jac[n:, n:] = np.outer(lam * s, phi_over_k) - eps2 * np.eye(n)
+    return jac
+
+
+def classify_equilibrium(params: RumorModelParameters,
+                         equilibrium: Equilibrium,
+                         eps1: float, eps2: float) -> StabilityReport:
+    """Spectral (local) stability classification of an equilibrium.
+
+    Matches Theorem 2 (E0 stable iff r0 < 1; unstable if r0 > 1) and the
+    local part of Theorem 4 (E+ stable when r0 > 1).
+    """
+    jac = reduced_jacobian(params, equilibrium.state, eps1, eps2)
+    eigenvalues = np.linalg.eigvals(jac)
+    max_real = float(np.max(eigenvalues.real))
+    return StabilityReport(equilibrium, max_real, max_real < 0.0)
+
+
+def verify_global_stability(params: RumorModelParameters,
+                            eps1: float, eps2: float, *,
+                            n_initial_conditions: int = 10,
+                            t_final: float = 500.0,
+                            tolerance: float = 1e-3,
+                            rng: np.random.Generator | None = None,
+                            method: str = "dopri45") -> tuple[bool, np.ndarray]:
+    """Empirical check of the global-stability theorems (Thms 3/4).
+
+    Integrates System (1) from ``n_initial_conditions`` random paper-style
+    initial states and measures the final ∞-distance of the reduced
+    (S, I) block to the predicted attractor (E0 if r0 ≤ 1 else E+).
+
+    Returns ``(all_converged, distances)`` where ``distances`` has one
+    final distance per initial condition.
+    """
+    if n_initial_conditions < 1:
+        raise ParameterError("need at least one initial condition")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    target = equilibrium_for(params, eps1, eps2)
+    target_si = np.concatenate([target.state.susceptible, target.state.infected])
+    model = HeterogeneousSIRModel(params)
+    distances = np.empty(n_initial_conditions)
+    for trial in range(n_initial_conditions):
+        initial = SIRState.random_initial(params.n_groups, rng)
+        trajectory = model.simulate(initial, t_final=t_final, eps1=eps1,
+                                    eps2=eps2, n_samples=101, method=method)
+        final = trajectory.final_state
+        final_si = np.concatenate([final.susceptible, final.infected])
+        distances[trial] = float(np.max(np.abs(final_si - target_si)))
+    return bool(np.all(distances < tolerance)), distances

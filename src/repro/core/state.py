@@ -1,0 +1,190 @@
+"""State vectors and trajectories for the group-structured SIR system.
+
+The solution space Ω of paper System (1) requires, for every group i,
+``S_i, I_i, R_i ≥ 0`` and ``S_i + I_i + R_i = 1``.  (With the entering
+rate α > 0 the simplex constraint is only exact at t = 0 — the paper's
+system adds susceptible mass over time — so trajectories track all three
+compartments explicitly and only the *initial* state enforces the
+simplex.)
+
+The flat layout used everywhere is ``y = [S_1..S_n, I_1..I_n, R_1..R_n]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parameters import RumorModelParameters
+from repro.exceptions import ParameterError
+
+__all__ = ["SIRState", "RumorTrajectory"]
+
+
+@dataclass(frozen=True)
+class SIRState:
+    """Per-group compartment densities at one instant.
+
+    Attributes
+    ----------
+    susceptible, infected, recovered:
+        Arrays of shape ``(n,)`` with the group densities S_i, I_i, R_i.
+    """
+
+    susceptible: np.ndarray
+    infected: np.ndarray
+    recovered: np.ndarray
+
+    def __post_init__(self) -> None:
+        s = np.asarray(self.susceptible, dtype=float)
+        i = np.asarray(self.infected, dtype=float)
+        r = np.asarray(self.recovered, dtype=float)
+        object.__setattr__(self, "susceptible", s)
+        object.__setattr__(self, "infected", i)
+        object.__setattr__(self, "recovered", r)
+        if not (s.shape == i.shape == r.shape) or s.ndim != 1 or s.size == 0:
+            raise ParameterError("S, I, R must be equal-length non-empty 1-D arrays")
+        for label, arr in (("S", s), ("I", i), ("R", r)):
+            if np.any(arr < -1e-12) or np.any(~np.isfinite(arr)):
+                raise ParameterError(f"{label} densities must be finite and >= 0")
+
+    @property
+    def n_groups(self) -> int:
+        """Number of degree groups."""
+        return int(self.susceptible.size)
+
+    def totals(self) -> np.ndarray:
+        """Per-group totals S_i + I_i + R_i, shape ``(n,)``."""
+        return self.susceptible + self.infected + self.recovered
+
+    def in_simplex(self, atol: float = 1e-9) -> bool:
+        """Whether every group satisfies S + I + R = 1 within ``atol``."""
+        return bool(np.allclose(self.totals(), 1.0, rtol=0.0, atol=atol))
+
+    # -- flat-vector conversion --------------------------------------------
+    def pack(self) -> np.ndarray:
+        """Flatten to ``[S..., I..., R...]``, shape ``(3n,)``."""
+        return np.concatenate([self.susceptible, self.infected, self.recovered])
+
+    @classmethod
+    def unpack(cls, y: np.ndarray) -> "SIRState":
+        """Rebuild from a flat ``(3n,)`` vector."""
+        y = np.asarray(y, dtype=float)
+        if y.ndim != 1 or y.size % 3 != 0 or y.size == 0:
+            raise ParameterError(f"flat state length {y.size} is not a multiple of 3")
+        n = y.size // 3
+        return cls(y[:n].copy(), y[n:2 * n].copy(), y[2 * n:].copy())
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def initial(cls, n_groups: int, infected_fraction: float | np.ndarray) -> "SIRState":
+        """Paper initial condition: ``I_i(0) > 0``, ``S_i(0) = 1 − I_i(0)``,
+        ``R_i(0) = 0``.
+
+        ``infected_fraction`` may be a scalar (same seed density in every
+        group) or a per-group array.
+        """
+        if n_groups < 1:
+            raise ParameterError("n_groups must be >= 1")
+        infected = np.broadcast_to(
+            np.asarray(infected_fraction, dtype=float), (n_groups,)
+        ).copy()
+        if np.any(infected <= 0) or np.any(infected >= 1):
+            raise ParameterError("initial infected fractions must lie in (0, 1)")
+        return cls(1.0 - infected, infected, np.zeros(n_groups))
+
+    @classmethod
+    def random_initial(cls, n_groups: int, rng: np.random.Generator, *,
+                       max_infected: float = 0.5) -> "SIRState":
+        """Random paper-style initial condition (R = 0, S = 1 − I) with
+        I_i ~ U(0, max_infected); used for the 10-initial-condition
+        convergence experiments (Figs. 2a/3a)."""
+        if not 0 < max_infected < 1:
+            raise ParameterError("max_infected must be in (0, 1)")
+        infected = rng.uniform(1e-6, max_infected, size=n_groups)
+        return cls(1.0 - infected, infected, np.zeros(n_groups))
+
+
+class RumorTrajectory:
+    """A solved trajectory of System (1) with analysis accessors.
+
+    Parameters
+    ----------
+    params:
+        The model parameters that produced the trajectory.
+    times:
+        Sample times, shape ``(m,)``.
+    flat_states:
+        Flat states per sample, shape ``(m, 3n)``.
+    """
+
+    def __init__(self, params: RumorModelParameters, times: np.ndarray,
+                 flat_states: np.ndarray) -> None:
+        times = np.asarray(times, dtype=float)
+        flat_states = np.asarray(flat_states, dtype=float)
+        n = params.n_groups
+        if flat_states.ndim != 2 or flat_states.shape != (times.size, 3 * n):
+            raise ParameterError(
+                f"flat_states shape {flat_states.shape} inconsistent with "
+                f"{times.size} samples × {3 * n} state dims"
+            )
+        self.params = params
+        self.times = times
+        self._y = flat_states
+        self._n = n
+
+    # -- raw compartment matrices (m × n) -----------------------------------
+    @property
+    def susceptible(self) -> np.ndarray:
+        """S_i(t) matrix, shape ``(m, n)``."""
+        return self._y[:, : self._n]
+
+    @property
+    def infected(self) -> np.ndarray:
+        """I_i(t) matrix, shape ``(m, n)``."""
+        return self._y[:, self._n: 2 * self._n]
+
+    @property
+    def recovered(self) -> np.ndarray:
+        """R_i(t) matrix, shape ``(m, n)``."""
+        return self._y[:, 2 * self._n:]
+
+    def state_at(self, index: int) -> SIRState:
+        """The :class:`SIRState` at sample ``index`` (negative ok)."""
+        return SIRState.unpack(self._y[index])
+
+    @property
+    def final_state(self) -> SIRState:
+        """State at the last sample time."""
+        return self.state_at(-1)
+
+    # -- aggregates -----------------------------------------------------------
+    def theta_series(self) -> np.ndarray:
+        """Θ(t) at every sample, shape ``(m,)``."""
+        return self.infected @ self.params.phi_k / self.params.mean_degree
+
+    def population_infected(self) -> np.ndarray:
+        """Population-level infected density Σ_i P(k_i) I_i(t)."""
+        return self.infected @ self.params.pmf
+
+    def population_susceptible(self) -> np.ndarray:
+        """Population-level susceptible density Σ_i P(k_i) S_i(t)."""
+        return self.susceptible @ self.params.pmf
+
+    def population_recovered(self) -> np.ndarray:
+        """Population-level recovered density Σ_i P(k_i) R_i(t)."""
+        return self.recovered @ self.params.pmf
+
+    def group_series(self, group_index: int) -> dict[str, np.ndarray]:
+        """Time series for one group: keys ``"S"``, ``"I"``, ``"R"``."""
+        if not 0 <= group_index < self._n:
+            raise ParameterError(f"group_index {group_index} out of range")
+        return {
+            "S": self.susceptible[:, group_index].copy(),
+            "I": self.infected[:, group_index].copy(),
+            "R": self.recovered[:, group_index].copy(),
+        }
+
+    def __len__(self) -> int:
+        return int(self.times.size)

@@ -1,0 +1,30 @@
+"""Datasets: Digg2009 loader and its documented synthetic substitute."""
+
+from repro.datasets.digg import (
+    DIGG2009_MAX_DEGREE,
+    DIGG2009_MEAN_DEGREE,
+    DIGG2009_MIN_DEGREE,
+    DIGG2009_N_GROUPS,
+    DIGG2009_N_LINKS,
+    DIGG2009_N_USERS,
+    DiggDataset,
+    load_digg2009,
+    synthesize_digg2009,
+)
+
+from repro.datasets.presets import OSN_PRESETS, PresetSpec, load_preset
+
+__all__ = [
+    "DIGG2009_N_USERS",
+    "DIGG2009_N_LINKS",
+    "DIGG2009_N_GROUPS",
+    "DIGG2009_MAX_DEGREE",
+    "DIGG2009_MIN_DEGREE",
+    "DIGG2009_MEAN_DEGREE",
+    "DiggDataset",
+    "load_digg2009",
+    "synthesize_digg2009",
+    "PresetSpec",
+    "OSN_PRESETS",
+    "load_preset",
+]

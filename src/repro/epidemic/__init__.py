@@ -1,0 +1,64 @@
+"""Epidemic model zoo: the paper's lineage and baselines.
+
+Includes the homogeneous SIR/SIS/SEIR compartment models, the classic
+Daley–Kendall and Maki–Thompson rumor models, the heterogeneous SIS
+degree-block model, and the λ(k)/ω(k) rate-function families used by the
+paper's heterogeneous SIR system (which itself lives in
+:mod:`repro.core`).
+"""
+
+from repro.epidemic.acceptance import (
+    PAPER_ACCEPTANCE,
+    AcceptanceFunction,
+    ConstantAcceptance,
+    LinearAcceptance,
+    SaturatingAcceptance,
+)
+from repro.epidemic.competing import (
+    CompetingDiffusionModel,
+    CompetingTrajectory,
+    truth_seed_sweep,
+)
+from repro.epidemic.daley_kendall import DaleyKendallModel, DKResult
+from repro.epidemic.infectivity import (
+    PAPER_INFECTIVITY,
+    ConstantInfectivity,
+    InfectivityFunction,
+    LinearInfectivity,
+    SaturatingInfectivity,
+)
+from repro.epidemic.heterogeneous_sirs import HeterogeneousSIRS
+from repro.epidemic.maki_thompson import MakiThompsonModel, StochasticRumorRun
+from repro.epidemic.seir import HomogeneousSEIR, SEIRResult
+from repro.epidemic.sir import HomogeneousSIR, SIRResult
+from repro.epidemic.spatial import SpatialRumorModel, SpatialRumorResult
+from repro.epidemic.sis import HeterogeneousSIS, HomogeneousSIS
+
+__all__ = [
+    "AcceptanceFunction",
+    "ConstantAcceptance",
+    "LinearAcceptance",
+    "SaturatingAcceptance",
+    "PAPER_ACCEPTANCE",
+    "InfectivityFunction",
+    "ConstantInfectivity",
+    "LinearInfectivity",
+    "SaturatingInfectivity",
+    "PAPER_INFECTIVITY",
+    "HomogeneousSIR",
+    "SIRResult",
+    "HomogeneousSIS",
+    "HeterogeneousSIS",
+    "HomogeneousSEIR",
+    "SEIRResult",
+    "DaleyKendallModel",
+    "DKResult",
+    "MakiThompsonModel",
+    "StochasticRumorRun",
+    "HeterogeneousSIRS",
+    "SpatialRumorModel",
+    "SpatialRumorResult",
+    "CompetingDiffusionModel",
+    "CompetingTrajectory",
+    "truth_seed_sweep",
+]

@@ -1,0 +1,137 @@
+"""Rumor acceptance-rate functions λ(k).
+
+λ(k) is the per-contact rate at which a susceptible user of degree k
+accepts (believes) the rumor.  The paper's experiments assume acceptance
+"grows linearly with social connectivity", λ(k) = k; because that value
+is used as a mean-field *rate* rather than a probability, this module
+exposes a scale knob λ0 (:class:`LinearAcceptance`) plus bounded
+alternatives, and a calibration helper used by the figure runners to hit
+the paper's reported r0 values exactly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "AcceptanceFunction",
+    "ConstantAcceptance",
+    "LinearAcceptance",
+    "SaturatingAcceptance",
+    "PAPER_ACCEPTANCE",
+]
+
+
+class AcceptanceFunction(ABC):
+    """Callable λ(k) mapping degrees to acceptance rates."""
+
+    @abstractmethod
+    def __call__(self, degrees: np.ndarray) -> np.ndarray:
+        """Evaluate λ at every degree; shape-preserving, positive."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier for reports and CSV headers."""
+
+    @abstractmethod
+    def scaled(self, factor: float) -> "AcceptanceFunction":
+        """Return a copy with all rates multiplied by ``factor``.
+
+        Calibration against a target r0 relies on this: r0 is linear in a
+        uniform rescaling of λ.
+        """
+
+    def _validate(self, degrees: np.ndarray) -> np.ndarray:
+        arr = np.asarray(degrees, dtype=float)
+        if np.any(arr <= 0):
+            raise ParameterError("degrees must be positive")
+        return arr
+
+
+@dataclass(frozen=True)
+class ConstantAcceptance(AcceptanceFunction):
+    """λ(k) = rate — degree-independent acceptance (homogeneous mixing)."""
+
+    rate: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ParameterError(f"rate must be positive, got {self.rate}")
+
+    def __call__(self, degrees: np.ndarray) -> np.ndarray:
+        arr = self._validate(degrees)
+        return np.full_like(arr, self.rate)
+
+    @property
+    def name(self) -> str:
+        return f"constant({self.rate:g})"
+
+    def scaled(self, factor: float) -> "ConstantAcceptance":
+        if factor <= 0:
+            raise ParameterError("scale factor must be positive")
+        return ConstantAcceptance(self.rate * factor)
+
+
+@dataclass(frozen=True)
+class LinearAcceptance(AcceptanceFunction):
+    """λ(k) = λ0·k — the paper's choice (λ0 = 1 in the paper's text)."""
+
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ParameterError(f"scale must be positive, got {self.scale}")
+
+    def __call__(self, degrees: np.ndarray) -> np.ndarray:
+        return self.scale * self._validate(degrees)
+
+    @property
+    def name(self) -> str:
+        return f"linear({self.scale:g})"
+
+    def scaled(self, factor: float) -> "LinearAcceptance":
+        if factor <= 0:
+            raise ParameterError("scale factor must be positive")
+        return LinearAcceptance(self.scale * factor)
+
+
+@dataclass(frozen=True)
+class SaturatingAcceptance(AcceptanceFunction):
+    """λ(k) = λ_max · k / (k + k_half) — bounded acceptance.
+
+    A probability-respecting alternative to the paper's unbounded linear
+    choice: approaches λ_max for well-connected users, halving at
+    ``k_half``.
+    """
+
+    lambda_max: float = 0.9
+    k_half: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.lambda_max <= 0:
+            raise ParameterError(f"lambda_max must be positive, got {self.lambda_max}")
+        if self.k_half <= 0:
+            raise ParameterError(f"k_half must be positive, got {self.k_half}")
+
+    def __call__(self, degrees: np.ndarray) -> np.ndarray:
+        arr = self._validate(degrees)
+        return self.lambda_max * arr / (arr + self.k_half)
+
+    @property
+    def name(self) -> str:
+        return f"saturating(max={self.lambda_max:g}, k_half={self.k_half:g})"
+
+    def scaled(self, factor: float) -> "SaturatingAcceptance":
+        if factor <= 0:
+            raise ParameterError("scale factor must be positive")
+        return SaturatingAcceptance(self.lambda_max * factor, self.k_half)
+
+
+#: The acceptance function used in the paper's experiments (λ(k) = k).
+PAPER_ACCEPTANCE = LinearAcceptance(scale=1.0)

@@ -1,0 +1,178 @@
+"""Competing rumor-vs-truth diffusion (the "anti-rumor" mechanism).
+
+The paper's second countermeasure — spreading truth — abstracts a real
+process its related work models explicitly ([7], [8], [25]): an
+anti-rumor cascade competing with the rumor for the same audience.  This
+module implements that process at the degree-group mean-field level so
+the ε1-rate abstraction can be compared against its mechanistic origin:
+
+::
+
+    dS_i/dt = −λR(k_i) S_i Θ_R − λT(k_i) S_i Θ_T
+    dI_i/dt =  λR(k_i) S_i Θ_R − μ(k_i) I_i Θ_T − ε2 I_i
+    dT_i/dt =  λT(k_i) S_i Θ_T + μ(k_i) I_i Θ_T + ε2 I_i
+
+with couplings ``Θ_R = (1/⟨k⟩)Σφ_j I_j`` and ``Θ_T = (1/⟨k⟩)Σφ_j T_j``.
+``S`` = undecided, ``I`` = rumor believers/spreaders, ``T`` = truth
+believers/spreaders.  ``λR/λT`` are the per-contact adoption rates of
+rumor/truth, ``μ`` the *correction* rate (believers debunked by contact
+with truth spreaders), ``ε2`` the platform's blocking rate (blocked
+believers are shown the facts, so they join T).  Total density is
+conserved: S + I + T = 1 per group.
+
+The headline question — "to shut them up or to clarify?" (paper ref
+[9]) — becomes quantitative: :func:`truth_seed_sweep` measures how the
+final rumor audience shrinks with the initial truth-spreader share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.numerics.ode import integrate
+
+if TYPE_CHECKING:  # runtime import would recreate the core↔epidemic cycle
+    from repro.core.parameters import RumorModelParameters
+
+__all__ = ["CompetingDiffusionModel", "CompetingTrajectory",
+           "truth_seed_sweep"]
+
+
+@dataclass(frozen=True)
+class CompetingTrajectory:
+    """Solved rumor-vs-truth trajectory.
+
+    Fields have shape ``(m, n)`` (time × degree groups).
+    """
+
+    params: RumorModelParameters
+    times: np.ndarray
+    undecided: np.ndarray
+    rumor: np.ndarray
+    truth: np.ndarray
+
+    def population_rumor(self) -> np.ndarray:
+        """Population-level rumor-believer density Σ P(k_i) I_i(t)."""
+        return self.rumor @ self.params.pmf
+
+    def population_truth(self) -> np.ndarray:
+        """Population-level truth-believer density Σ P(k_i) T_i(t)."""
+        return self.truth @ self.params.pmf
+
+    def final_rumor_share(self) -> float:
+        """Rumor believers at the end of the horizon (population level)."""
+        return float(self.population_rumor()[-1])
+
+    def winner(self) -> str:
+        """``"truth"`` or ``"rumor"`` by final population share."""
+        return ("truth" if self.population_truth()[-1]
+                >= self.population_rumor()[-1] else "rumor")
+
+
+@dataclass(frozen=True)
+class CompetingDiffusionModel:
+    """Two-cascade competition on a degree-grouped network.
+
+    Reuses :class:`~repro.core.parameters.RumorModelParameters` for the
+    network summary; its acceptance function λ(k) is the *rumor* adoption
+    rate, scaled by ``truth_advantage`` for the truth cascade (truth is
+    usually less catchy: advantage < 1).
+
+    Attributes
+    ----------
+    params:
+        Network and rumor-rate structure (α unused — closed population).
+    truth_advantage:
+        λT(k) = truth_advantage · λ(k).
+    correction:
+        μ(k) = correction · λ(k): per-contact debunking rate of believers.
+    eps2:
+        Platform blocking rate on believers (blocked users join T).
+    """
+
+    params: RumorModelParameters
+    truth_advantage: float = 0.8
+    correction: float = 0.5
+    eps2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.truth_advantage <= 0:
+            raise ParameterError("truth_advantage must be positive")
+        if self.correction < 0:
+            raise ParameterError("correction must be non-negative")
+        if self.eps2 < 0:
+            raise ParameterError("eps2 must be non-negative")
+
+    def simulate(self, *, rumor0: float | np.ndarray,
+                 truth0: float | np.ndarray,
+                 t_final: float, n_samples: int = 201,
+                 method: str = "dopri45") -> CompetingTrajectory:
+        """Integrate from uniform (or per-group) initial believer shares."""
+        p = self.params
+        n = p.n_groups
+        rumor_init = np.broadcast_to(np.asarray(rumor0, dtype=float),
+                                     (n,)).copy()
+        truth_init = np.broadcast_to(np.asarray(truth0, dtype=float),
+                                     (n,)).copy()
+        if np.any(rumor_init < 0) or np.any(truth_init < 0):
+            raise ParameterError("initial shares must be non-negative")
+        if np.any(rumor_init + truth_init > 1.0 + 1e-12):
+            raise ParameterError("initial shares must sum to <= 1 per group")
+        if t_final <= 0:
+            raise ParameterError("t_final must be positive")
+
+        lam_r = p.lambda_k
+        lam_t = self.truth_advantage * p.lambda_k
+        mu = self.correction * p.lambda_k
+        phi, mean_k = p.phi_k, p.mean_degree
+        eps2 = self.eps2
+        grid = np.linspace(0.0, float(t_final), int(n_samples))
+
+        def rhs(_t: float, y: np.ndarray) -> np.ndarray:
+            s = y[:n]
+            i = y[n:2 * n]
+            t = y[2 * n:]
+            theta_r = float(np.dot(phi, i)) / mean_k
+            theta_t = float(np.dot(phi, t)) / mean_k
+            adopt_rumor = lam_r * s * theta_r
+            adopt_truth = lam_t * s * theta_t
+            corrected = mu * i * theta_t
+            out = np.empty_like(y)
+            out[:n] = -adopt_rumor - adopt_truth
+            out[n:2 * n] = adopt_rumor - corrected - eps2 * i
+            out[2 * n:] = adopt_truth + corrected + eps2 * i
+            return out
+
+        y0 = np.concatenate([1.0 - rumor_init - truth_init, rumor_init,
+                             truth_init])
+        solution = integrate(rhs, y0, grid, method=method)
+        return CompetingTrajectory(
+            params=p, times=solution.t,
+            undecided=solution.y[:, :n],
+            rumor=solution.y[:, n:2 * n],
+            truth=solution.y[:, 2 * n:],
+        )
+
+
+def truth_seed_sweep(model: CompetingDiffusionModel, *,
+                     rumor0: float,
+                     truth_seeds: Sequence[float],
+                     t_final: float,
+                     n_samples: int = 151) -> list[tuple[float, float]]:
+    """Final rumor share as a function of the initial truth-seed share.
+
+    Returns ``[(truth0, final_rumor_share), ...]`` — the quantitative
+    "clarify" curve: how much anti-rumor seeding buys.
+    """
+    if not truth_seeds:
+        raise ParameterError("truth_seeds must be non-empty")
+    rows = []
+    for truth0 in truth_seeds:
+        trajectory = model.simulate(rumor0=rumor0, truth0=float(truth0),
+                                    t_final=t_final, n_samples=n_samples)
+        rows.append((float(truth0), trajectory.final_rumor_share()))
+    return rows

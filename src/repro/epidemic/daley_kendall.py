@@ -1,0 +1,99 @@
+"""The Daley–Kendall (1965) rumor model — the lineage root of the paper.
+
+Population splits into ignorants X, spreaders Y, and stiflers Z.  A
+spreader converts ignorants (rate β per contact); meeting another
+spreader or a stifler turns spreaders into stiflers (rate γ)::
+
+    dX/dt = −β X Y
+    dY/dt = β X Y − γ Y (Y + Z)
+    dZ/dt = γ Y (Y + Z)
+
+The hallmark prediction: unlike SIR, a rumor *always* dies out and (for
+β = γ) leaves ≈ 20.3% of the population never having heard it — the root
+of ``x = exp(−2(1 − x))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.numerics.ode import integrate
+from repro.numerics.rootfind import brent
+
+__all__ = ["DaleyKendallModel", "DKResult"]
+
+
+@dataclass(frozen=True)
+class DKResult:
+    """Daley–Kendall trajectory."""
+
+    times: np.ndarray
+    ignorant: np.ndarray
+    spreader: np.ndarray
+    stifler: np.ndarray
+
+    @property
+    def final_ignorant(self) -> float:
+        """Fraction never reached by the rumor at the end of the horizon."""
+        return float(self.ignorant[-1])
+
+
+@dataclass(frozen=True)
+class DaleyKendallModel:
+    """Mean-field Daley–Kendall rumor dynamics.
+
+    Parameters
+    ----------
+    beta:
+        Spreading rate (ignorant + spreader → 2 spreaders).
+    gamma:
+        Stifling rate (spreader + {spreader, stifler} → stifler(s)).
+    """
+
+    beta: float = 1.0
+    gamma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0 or self.gamma <= 0:
+            raise ParameterError("beta and gamma must be positive")
+
+    def rhs(self, _t: float, y: np.ndarray) -> np.ndarray:
+        """Right-hand side on the state ``[X, Y, Z]``."""
+        x, s, z = y
+        spread = self.beta * x * s
+        stifle = self.gamma * s * (s + z)
+        return np.array([-spread, spread - stifle, stifle])
+
+    def simulate(self, x0: float, y0: float, t_final: float, *,
+                 n_samples: int = 201, method: str = "dopri45") -> DKResult:
+        """Integrate from ``(x0, y0, 1 − x0 − y0)``."""
+        if min(x0, y0) < 0 or x0 + y0 > 1 + 1e-12:
+            raise ParameterError("initial densities must be non-negative, sum <= 1")
+        if t_final <= 0:
+            raise ParameterError("t_final must be positive")
+        grid = np.linspace(0.0, t_final, n_samples)
+        solution = integrate(
+            self.rhs, np.array([x0, y0, 1.0 - x0 - y0]), grid, method=method
+        )
+        return DKResult(solution.t, solution.y[:, 0], solution.y[:, 1],
+                        solution.y[:, 2])
+
+    def final_ignorant_fraction(self, *, x0: float = 1.0) -> float:
+        """Analytic fraction x∞ never hearing the rumor (ε → 0 seed limit).
+
+        Root of ``g(x) = (1 − x) + (γ/β)(ln(x/x0) + x0 − x)`` in (0, x0);
+        ≈ 0.2032 for β = γ and x0 = 1 — the classic DK constant.
+        """
+        if not 0 < x0 <= 1:
+            raise ParameterError(f"x0 must be in (0, 1], got {x0}")
+        ratio = self.gamma / self.beta
+
+        def g(x: float) -> float:
+            return (x0 - x) + ratio * (math.log(x / x0) + x0 - x) + (1.0 - x0)
+
+        # g(x0⁻) > 0 (rumor starts spreading), g(0+) → −∞.
+        return brent(g, 1e-12, x0 * (1.0 - 1e-12)).root

@@ -1,0 +1,153 @@
+"""Heterogeneous SIRS rumor model — countermeasures with *forgetting*.
+
+Extension beyond the paper: recovered users do not stay recovered.
+Debunked users get re-curious, blocked accounts re-register, and
+fact-check effects fade; at rate δ recovered individuals flow back to
+susceptible.  In a closed population (no α inflow, so densities stay on
+the simplex) the degree-grouped dynamics are::
+
+    dS_i/dt = −λ(k_i) S_i Θ(t) − ε1 S_i + δ R_i
+    dI_i/dt =  λ(k_i) S_i Θ(t) − ε2 I_i
+    dR_i/dt =  ε1 S_i + ε2 I_i − δ R_i
+
+with the paper's coupling ``Θ = (1/⟨k⟩) Σ φ_j I_j``.  Forgetting changes
+the long-run verdict qualitatively: the rumor-free state has
+``S⁰_i = δ/(ε1 + δ)`` (not α/ε1), so the threshold becomes
+
+::
+
+    r0 = δ / (ε1 + δ) · Σ_i λ(k_i) φ(k_i) / (ε2 ⟨k⟩)
+
+— permanent countermeasure pressure is needed because immunity decays;
+as δ → ∞ (instant forgetting) the benefit of ε1 vanishes entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.numerics.ode import integrate
+from repro.numerics.rootfind import brent, expand_bracket
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle:
+    # repro.core.parameters itself imports the epidemic rate functions.
+    from repro.core.parameters import RumorModelParameters
+    from repro.core.state import RumorTrajectory, SIRState
+
+__all__ = ["HeterogeneousSIRS"]
+
+
+@dataclass(frozen=True)
+class HeterogeneousSIRS:
+    """Degree-grouped SIRS with immunization ε1, blocking ε2, forgetting δ.
+
+    Reuses :class:`~repro.core.parameters.RumorModelParameters` for the
+    network summary and rate functions; the α inflow is ignored (closed
+    population — the natural setting once recovered users recirculate).
+    """
+
+    params: RumorModelParameters
+    delta: float
+
+    def __post_init__(self) -> None:
+        if self.delta <= 0 or not np.isfinite(self.delta):
+            raise ParameterError(
+                f"forgetting rate delta must be positive, got {self.delta}"
+            )
+
+    # -- theory ------------------------------------------------------------
+    def rumor_free_susceptible(self, eps1: float) -> float:
+        """S⁰ = δ/(ε1 + δ): the susceptible level the S↔R flow settles at."""
+        if eps1 < 0:
+            raise ParameterError("eps1 must be non-negative")
+        return self.delta / (eps1 + self.delta)
+
+    def basic_reproduction_number(self, eps1: float, eps2: float) -> float:
+        """r0 = S⁰ · Σ λφ / (ε2 ⟨k⟩)."""
+        if eps2 <= 0:
+            raise ParameterError("eps2 must be positive")
+        p = self.params
+        strength = float(np.dot(p.lambda_k, p.phi_k)) / p.mean_degree
+        return self.rumor_free_susceptible(eps1) * strength / eps2
+
+    def endemic_theta(self, eps1: float, eps2: float, *,
+                      xtol: float = 1e-14) -> float:
+        """Endemic coupling Θ⁺ solving the SIRS fixed-point equation.
+
+        At equilibrium, group i satisfies (writing u_i = λ_i Θ⁺)::
+
+            I_i = u_i S_i / ε2,
+            R_i = (ε1 S_i + ε2 I_i) / δ,
+            S_i + I_i + R_i = 1
+            ⇒ S_i = 1 / (1 + u_i/ε2 + (ε1 + u_i)/δ)
+
+        and Θ⁺ must reproduce itself through the coupling.  Returns 0
+        when r0 ≤ 1 (no endemic state).
+        """
+        if self.basic_reproduction_number(eps1, eps2) <= 1.0:
+            return 0.0
+        p = self.params
+
+        def fixed_point_gap(theta: float) -> float:
+            u = p.lambda_k * theta
+            s = 1.0 / (1.0 + u / eps2 + (eps1 + u) / self.delta)
+            i = u * s / eps2
+            return float(np.dot(p.phi_k, i)) / p.mean_degree - theta
+
+        hi = float(p.phi_k.sum()) / p.mean_degree  # Θ at I ≡ 1
+        lo = 1e-16
+        if fixed_point_gap(hi) >= 0.0:
+            lo, hi = expand_bracket(fixed_point_gap, lo, hi)
+        return brent(fixed_point_gap, lo, hi, xtol=xtol).root
+
+    def endemic_state(self, eps1: float, eps2: float) -> "SIRState":
+        """Per-group endemic densities (zeros for I when r0 ≤ 1)."""
+        from repro.core.state import SIRState
+
+        theta = self.endemic_theta(eps1, eps2)
+        p = self.params
+        if theta == 0.0:
+            s0 = self.rumor_free_susceptible(eps1)
+            n = p.n_groups
+            return SIRState(np.full(n, s0), np.zeros(n), np.full(n, 1.0 - s0))
+        u = p.lambda_k * theta
+        s = 1.0 / (1.0 + u / eps2 + (eps1 + u) / self.delta)
+        i = u * s / eps2
+        return SIRState(s, i, 1.0 - s - i)
+
+    # -- dynamics -------------------------------------------------------------
+    def simulate(self, initial: "SIRState", *, t_final: float,
+                 eps1: float, eps2: float, n_samples: int = 201,
+                 method: str = "dopri45") -> "RumorTrajectory":
+        """Integrate the SIRS system under constant countermeasures."""
+        from repro.core.state import RumorTrajectory
+
+        p = self.params
+        n = p.n_groups
+        if initial.n_groups != n:
+            raise ParameterError("initial state group count mismatch")
+        if eps1 < 0 or eps2 < 0:
+            raise ParameterError("controls must be non-negative")
+        if t_final <= 0:
+            raise ParameterError("t_final must be positive")
+        grid = np.linspace(0.0, float(t_final), int(n_samples))
+        lam, phi, mean_k, delta = p.lambda_k, p.phi_k, p.mean_degree, self.delta
+
+        def rhs(_t: float, y: np.ndarray) -> np.ndarray:
+            s = y[:n]
+            i = y[n:2 * n]
+            r = y[2 * n:]
+            theta = float(np.dot(phi, i)) / mean_k
+            infection = lam * s * theta
+            out = np.empty_like(y)
+            out[:n] = -infection - eps1 * s + delta * r
+            out[n:2 * n] = infection - eps2 * i
+            out[2 * n:] = eps1 * s + eps2 * i - delta * r
+            return out
+
+        solution = integrate(rhs, initial.pack(), grid, method=method)
+        return RumorTrajectory(p, solution.t, solution.y)

@@ -1,0 +1,122 @@
+"""Infectivity functions ω(k) — how strongly a degree-k spreader transmits.
+
+The paper (Section III) discusses three established families and adopts
+the saturating one for rumor spreading:
+
+* constant ω(k) = C            (Yang et al., identical infectivity),
+* linear ω(k) = k              (Moreno/Pastor-Satorras/Vespignani),
+* saturating ω(k) = k^β / (1 + k^γ)   (Zhu/Fu/Chen nonlinear infectivity);
+  the paper's experiments use β = γ = 0.5.
+
+Each family is a small callable object so models can store, compare, and
+serialize them; ``φ(k) = ω(k) P(k)`` (the paper's shorthand) is assembled
+by the model from these.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "InfectivityFunction",
+    "ConstantInfectivity",
+    "LinearInfectivity",
+    "SaturatingInfectivity",
+    "PAPER_INFECTIVITY",
+]
+
+
+class InfectivityFunction(ABC):
+    """Callable ω(k) mapping degrees to per-spreader infectivity weights."""
+
+    @abstractmethod
+    def __call__(self, degrees: np.ndarray) -> np.ndarray:
+        """Evaluate ω at every degree; shape-preserving, non-negative."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short identifier for reports and CSV headers."""
+
+    def _validate(self, degrees: np.ndarray) -> np.ndarray:
+        arr = np.asarray(degrees, dtype=float)
+        if np.any(arr <= 0):
+            raise ParameterError("degrees must be positive")
+        return arr
+
+
+@dataclass(frozen=True)
+class ConstantInfectivity(InfectivityFunction):
+    """ω(k) = C — every spreader transmits identically regardless of degree."""
+
+    constant: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.constant <= 0:
+            raise ParameterError(f"constant must be positive, got {self.constant}")
+
+    def __call__(self, degrees: np.ndarray) -> np.ndarray:
+        arr = self._validate(degrees)
+        return np.full_like(arr, self.constant)
+
+    @property
+    def name(self) -> str:
+        return f"constant({self.constant:g})"
+
+
+@dataclass(frozen=True)
+class LinearInfectivity(InfectivityFunction):
+    """ω(k) = slope·k — infectivity proportional to connectivity."""
+
+    slope: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.slope <= 0:
+            raise ParameterError(f"slope must be positive, got {self.slope}")
+
+    def __call__(self, degrees: np.ndarray) -> np.ndarray:
+        return self.slope * self._validate(degrees)
+
+    @property
+    def name(self) -> str:
+        return f"linear({self.slope:g})"
+
+
+@dataclass(frozen=True)
+class SaturatingInfectivity(InfectivityFunction):
+    """ω(k) = k^β / (1 + k^γ) — grows with degree, saturates in the tail.
+
+    The paper argues this is the realistic choice for rumors: a celebrity
+    reaches more followers than an average user, but attention saturates.
+    With the paper's β = γ = 0.5, ω(k) → 1 as k → ∞.
+    """
+
+    beta: float = 0.5
+    gamma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0 or self.gamma <= 0:
+            raise ParameterError(
+                f"beta and gamma must be positive, got β={self.beta}, γ={self.gamma}"
+            )
+        if self.beta > self.gamma:
+            raise ParameterError(
+                "beta must not exceed gamma or infectivity diverges with degree"
+            )
+
+    def __call__(self, degrees: np.ndarray) -> np.ndarray:
+        arr = self._validate(degrees)
+        return arr ** self.beta / (1.0 + arr ** self.gamma)
+
+    @property
+    def name(self) -> str:
+        return f"saturating(beta={self.beta:g}, gamma={self.gamma:g})"
+
+
+#: The infectivity used throughout the paper's experiments (β = γ = 0.5).
+PAPER_INFECTIVITY = SaturatingInfectivity(beta=0.5, gamma=0.5)

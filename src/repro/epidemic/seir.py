@@ -1,0 +1,88 @@
+"""Homogeneous SEIR model (exposed/latent stage).
+
+Rumors often have a "heard but not yet retold" stage; SEIR adds the
+exposed compartment E with incubation rate σ::
+
+    dS/dt = −β S I
+    dE/dt = β S I − σ E
+    dI/dt = σ E − γ I
+    dR/dt = γ I
+
+Included in the model zoo as a richer homogeneous baseline; its
+R0 = β/γ is unchanged by the latent stage (which only delays spread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.numerics.ode import integrate
+
+__all__ = ["HomogeneousSEIR", "SEIRResult"]
+
+
+@dataclass(frozen=True)
+class SEIRResult:
+    """SEIR trajectory with named compartment accessors."""
+
+    times: np.ndarray
+    susceptible: np.ndarray
+    exposed: np.ndarray
+    infected: np.ndarray
+    recovered: np.ndarray
+
+    @property
+    def peak_infected(self) -> float:
+        """Maximum infectious density."""
+        return float(self.infected.max())
+
+    @property
+    def peak_time(self) -> float:
+        """Time of the infectious peak."""
+        return float(self.times[int(np.argmax(self.infected))])
+
+
+@dataclass(frozen=True)
+class HomogeneousSEIR:
+    """SEIR with transmission β, incubation σ, recovery γ."""
+
+    beta: float
+    sigma: float
+    gamma: float
+
+    def __post_init__(self) -> None:
+        if min(self.beta, self.sigma, self.gamma) <= 0:
+            raise ParameterError("beta, sigma, gamma must all be positive")
+
+    def basic_reproduction_number(self, s0: float = 1.0) -> float:
+        """R0 = β·s0/γ (latency does not change R0)."""
+        if not 0 < s0 <= 1:
+            raise ParameterError(f"s0 must be in (0, 1], got {s0}")
+        return self.beta * s0 / self.gamma
+
+    def rhs(self, _t: float, y: np.ndarray) -> np.ndarray:
+        """Right-hand side on the state ``[S, E, I, R]``."""
+        s, e, i, _ = y
+        infection = self.beta * s * i
+        return np.array([
+            -infection,
+            infection - self.sigma * e,
+            self.sigma * e - self.gamma * i,
+            self.gamma * i,
+        ])
+
+    def simulate(self, s0: float, e0: float, i0: float, t_final: float, *,
+                 n_samples: int = 201, method: str = "dopri45") -> SEIRResult:
+        """Integrate from ``(s0, e0, i0, 1 − s0 − e0 − i0)``."""
+        if min(s0, e0, i0) < 0 or s0 + e0 + i0 > 1 + 1e-12:
+            raise ParameterError("initial densities must be non-negative and sum <= 1")
+        if t_final <= 0:
+            raise ParameterError("t_final must be positive")
+        grid = np.linspace(0.0, t_final, n_samples)
+        y0 = np.array([s0, e0, i0, 1.0 - s0 - e0 - i0])
+        solution = integrate(self.rhs, y0, grid, method=method)
+        return SEIRResult(solution.t, solution.y[:, 0], solution.y[:, 1],
+                          solution.y[:, 2], solution.y[:, 3])

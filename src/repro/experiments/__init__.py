@@ -1,0 +1,37 @@
+"""Per-figure experiment runners reproducing the paper's evaluation."""
+
+from repro.experiments.config import Fig2Config, Fig3Config, Fig4Config
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import (
+    Fig4abResult,
+    Fig4cResult,
+    Fig4cRow,
+    run_fig4ab,
+    run_fig4c,
+)
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    ExperimentReport,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "Fig2Config",
+    "Fig3Config",
+    "Fig4Config",
+    "Fig2Result",
+    "run_fig2",
+    "Fig3Result",
+    "run_fig3",
+    "Fig4abResult",
+    "Fig4cResult",
+    "Fig4cRow",
+    "run_fig4ab",
+    "run_fig4c",
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "run_experiment",
+    "run_all",
+]

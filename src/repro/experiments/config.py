@@ -1,0 +1,127 @@
+"""Canonical experiment configurations for the paper's figures.
+
+Parameter provenance (and deviations, cf. DESIGN.md "Known
+inconsistencies"):
+
+* **Fig. 2** uses the paper's exact rates (α = 0.01, ε1 = 0.2,
+  ε2 = 0.05) on the Digg2009-compatible network, with the acceptance
+  scale λ0 calibrated so r0 matches the paper's reported 0.7220 (the raw
+  λ(k) = k value lands at ≈ 0.90 on our synthetic P(k) — same regime,
+  different third digit).
+* **Fig. 3**'s published rates (α = 0.002, ε1 = 0.002, ε2 = 0.0001) are
+  internally inconsistent: with r0 = 2.1661 they force an endemic
+  equilibrium with I⁺ ≫ 1 (α/ε2 = 20), while the paper's own plot shows
+  I⁺ ≤ 0.4.  We therefore keep the *reported* threshold r0 = 2.1661 and
+  the 20-group network the figure plots, and pick rate levels
+  (α = 0.01, ε1 = ε2 = 0.05) that keep E⁺ inside the density simplex;
+  the resulting I⁺ band (≈ 0.05–0.17) matches the published panel.
+* **Fig. 4** follows the paper (c1 = 5, c2 = 10, tf = 100, 20-group
+  panel context) with a supercritical outbreak (r0 = 4 at the Fig.-2
+  reference rates) and initial infection I(0) = 0.05.  Bounds ε_max = 1.0
+  are chosen so the Fig. 4(c) terminal target (infected ≤ 1e-4) is
+  *feasible* at the shortest horizon tf = 10 — with the paper's implied
+  tighter bounds even fully saturated controls cannot reach 1e-4 that
+  fast from any visible outbreak, one more internal inconsistency of the
+  published parameter set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.control.admissible import ControlBounds
+from repro.control.objective import CostParameters
+from repro.core.parameters import RumorModelParameters
+from repro.core.threshold import calibrate_acceptance_scale
+from repro.datasets.digg import synthesize_digg2009
+from repro.networks.degree import power_law_distribution
+
+__all__ = ["Fig2Config", "Fig3Config", "Fig4Config"]
+
+
+@dataclass(frozen=True)
+class Fig2Config:
+    """Extinction experiment (paper Fig. 2): r0 < 1 on the Digg network."""
+
+    alpha: float = 0.01
+    eps1: float = 0.2
+    eps2: float = 0.05
+    target_r0: float = 0.7220
+    t_final: float = 150.0
+    n_samples: int = 151
+    n_initial_conditions: int = 10
+    seed: int = 2015
+    #: paper plots groups i = 1, 50, 100, …, 800 (1-based)
+    plot_groups: tuple[int, ...] = tuple(range(0, 800, 50)) + (799,)
+
+    def build_parameters(self) -> RumorModelParameters:
+        """Digg-distribution parameters calibrated to the target r0."""
+        distribution = synthesize_digg2009().distribution
+        params = RumorModelParameters(distribution, alpha=self.alpha)
+        return calibrate_acceptance_scale(params, self.eps1, self.eps2,
+                                          self.target_r0)
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    """Endemic experiment (paper Fig. 3): r0 > 1 on a 20-group network."""
+
+    n_groups: int = 20
+    exponent: float = 2.0
+    alpha: float = 0.01
+    eps1: float = 0.05
+    eps2: float = 0.05
+    target_r0: float = 2.1661
+    t_final: float = 300.0
+    n_samples: int = 301
+    n_initial_conditions: int = 10
+    seed: int = 2015
+    plot_groups: tuple[int, ...] = tuple(range(20))
+
+    def build_parameters(self) -> RumorModelParameters:
+        """20-group power-law parameters calibrated to the target r0."""
+        distribution = power_law_distribution(1, self.n_groups, self.exponent)
+        params = RumorModelParameters(distribution, alpha=self.alpha)
+        return calibrate_acceptance_scale(params, self.eps1, self.eps2,
+                                          self.target_r0)
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    """Optimal-countermeasure experiments (paper Fig. 4(a)–(c))."""
+
+    n_groups: int = 20
+    exponent: float = 2.0
+    alpha: float = 0.01
+    #: reference rates defining the uncontrolled severity via target_r0
+    ref_eps1: float = 0.2
+    ref_eps2: float = 0.05
+    target_r0: float = 4.0
+    initial_infected: float = 0.05
+    t_final: float = 100.0
+    n_grid: int = 201
+    c1: float = 5.0
+    c2: float = 10.0
+    eps1_max: float = 1.0
+    eps2_max: float = 1.0
+    #: Fig. 4(c) horizon sweep and common terminal infection level
+    tf_values: tuple[float, ...] = tuple(float(v) for v in range(10, 101, 10))
+    target_terminal_infected: float = 1e-4
+    sweep_n_grid: int = 101
+    max_iterations: int = 150
+
+    def build_parameters(self) -> RumorModelParameters:
+        """20-group power-law parameters with a supercritical calibration."""
+        distribution = power_law_distribution(1, self.n_groups, self.exponent)
+        params = RumorModelParameters(distribution, alpha=self.alpha)
+        return calibrate_acceptance_scale(params, self.ref_eps1, self.ref_eps2,
+                                          self.target_r0)
+
+    def bounds(self) -> ControlBounds:
+        """Admissible control box."""
+        return ControlBounds(self.eps1_max, self.eps2_max)
+
+    def costs(self) -> CostParameters:
+        """Unit costs (paper: c1 = 5, c2 = 10)."""
+        return CostParameters(self.c1, self.c2)

@@ -1,0 +1,205 @@
+"""Experiment Fig. 4 — optimized countermeasures (paper Section V-B).
+
+* (a) the optimized ε1*(t), ε2*(t) over (0, 100]: truth-spreading should
+  dominate early (ε1 > ε2), blocking late (ε1 < ε2);
+* (b) the threshold r0(t) = strength / (ε1*(t) ε2*(t)) under the
+  optimized controls: decreasing, above 1 early, below 1 late (the
+  transversality condition ψ(tf) = 0 forces ε1(tf) = 0, so the last grid
+  point is excluded from the monotonicity claim — a known artifact the
+  paper's smooth curve does not show);
+* (c) implementation-cost comparison of heuristic vs optimized
+  countermeasures over tf = 10, 20, …, 100, both calibrated to the same
+  terminal infected density ≤ 1e-4 — the optimized controller must be
+  cheaper everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.control.heuristic import calibrate_heuristic
+from repro.control.pontryagin import (
+    OptimalControlResult,
+    solve_optimal_control,
+    solve_with_terminal_target,
+)
+from repro.core.state import SIRState
+from repro.core.threshold import r0_time_series
+from repro.experiments.config import Fig4Config
+from repro.viz.ascii import multi_line_chart
+from repro.viz.export import write_series_csv
+
+__all__ = ["Fig4abResult", "Fig4cRow", "Fig4cResult", "run_fig4ab",
+           "run_fig4c"]
+
+
+@dataclass(frozen=True)
+class Fig4abResult:
+    """Series behind panels (a) and (b)."""
+
+    config: Fig4Config
+    result: OptimalControlResult
+    r0_series: np.ndarray
+
+    @property
+    def times(self) -> np.ndarray:
+        """Shared time grid."""
+        return self.result.times
+
+    def crossover_time(self) -> float | None:
+        """Sustained truth → blocking handover time.
+
+        The first time τ with ε2 > ε1 for every t ≥ τ; ``None`` when
+        truth-spreading still dominates at tf.  (A brief ε2 > ε1
+        transient at t ≈ 0 — before the sweep's relaxed initial guess
+        washes out — does not count.)
+        """
+        truth_dominates = self.result.eps1 >= self.result.eps2
+        if truth_dominates[-1]:
+            return None
+        last_truth = np.flatnonzero(truth_dominates)
+        if last_truth.size == 0:
+            return float(self.times[0])
+        return float(self.times[last_truth[-1] + 1])
+
+    def emit(self, out_dir: str | Path) -> list[Path]:
+        """Write CSVs and ASCII charts for panels (a) and (b)."""
+        out_dir = Path(out_dir)
+        written = []
+        path = out_dir / "fig4a_controls.csv"
+        write_series_csv(path, {
+            "t": self.times, "eps1": self.result.eps1,
+            "eps2": self.result.eps2,
+        })
+        written.append(path)
+        path = out_dir / "fig4b_r0.csv"
+        write_series_csv(path, {"t": self.times, "r0": self.r0_series})
+        written.append(path)
+        chart_a = multi_line_chart(
+            self.times,
+            {"eps1 (truth)": self.result.eps1,
+             "eps2 (block)": self.result.eps2},
+            title="Fig 4(a): optimized countermeasures",
+        )
+        # Trim the final ~10% for the chart: the transversality tail
+        # (ε1 → 0) sends r0 ∝ 1/(ε1ε2) to enormous values that would
+        # flatten the y-axis (full series stays in the CSV).
+        interior = max(2, self.times.size // 10)
+        chart_b = multi_line_chart(
+            self.times[:-interior], {"r0(t)": self.r0_series[:-interior]},
+            title="Fig 4(b): threshold under optimized controls",
+        )
+        path = out_dir / "fig4ab_ascii.txt"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(chart_a + "\n\n" + chart_b + "\n", encoding="utf-8")
+        written.append(path)
+        return written
+
+
+def run_fig4ab(config: Fig4Config | None = None) -> Fig4abResult:
+    """Solve the optimal-control problem and derive the r0(t) series."""
+    config = config if config is not None else Fig4Config()
+    params = config.build_parameters()
+    initial = SIRState.initial(params.n_groups, config.initial_infected)
+    result = solve_optimal_control(
+        params, initial, t_final=config.t_final, bounds=config.bounds(),
+        costs=config.costs(), n_grid=config.n_grid,
+        max_iterations=config.max_iterations,
+    )
+    r0_series = r0_time_series(params, result.times, result.eps1, result.eps2)
+    return Fig4abResult(config=config, result=result, r0_series=r0_series)
+
+
+@dataclass(frozen=True)
+class Fig4cRow:
+    """One horizon point of the Fig. 4(c) comparison."""
+
+    t_final: float
+    heuristic_cost: float
+    optimized_cost: float
+    heuristic_terminal: float
+    optimized_terminal: float
+
+    @property
+    def savings_ratio(self) -> float:
+        """heuristic / optimized implementation cost (> 1 ⇔ paper's claim)."""
+        return self.heuristic_cost / max(self.optimized_cost, 1e-300)
+
+
+@dataclass(frozen=True)
+class Fig4cResult:
+    """The full tf sweep behind panel (c)."""
+
+    config: Fig4Config
+    rows: tuple[Fig4cRow, ...]
+
+    def optimized_always_cheaper(self) -> bool:
+        """The paper's headline claim for panel (c)."""
+        return all(row.optimized_cost < row.heuristic_cost for row in self.rows)
+
+    def emit(self, out_dir: str | Path) -> list[Path]:
+        """Write the comparison CSV and an ASCII chart."""
+        out_dir = Path(out_dir)
+        tf = np.array([row.t_final for row in self.rows])
+        heuristic = np.array([row.heuristic_cost for row in self.rows])
+        optimized = np.array([row.optimized_cost for row in self.rows])
+        path = out_dir / "fig4c_costs.csv"
+        write_series_csv(path, {
+            "tf": tf, "heuristic_cost": heuristic,
+            "optimized_cost": optimized,
+            "heuristic_terminal": np.array(
+                [row.heuristic_terminal for row in self.rows]),
+            "optimized_terminal": np.array(
+                [row.optimized_terminal for row in self.rows]),
+        })
+        chart = multi_line_chart(
+            tf, {"heuristic": heuristic, "optimized": optimized},
+            title="Fig 4(c): countermeasure cost vs horizon tf",
+            x_label="tf",
+        )
+        ascii_path = out_dir / "fig4c_ascii.txt"
+        ascii_path.parent.mkdir(parents=True, exist_ok=True)
+        ascii_path.write_text(chart + "\n", encoding="utf-8")
+        return [path, ascii_path]
+
+
+def run_fig4c(config: Fig4Config | None = None, *,
+              tf_values: tuple[float, ...] | None = None) -> Fig4cResult:
+    """Cost comparison heuristic vs optimized over the tf sweep.
+
+    Both controllers are calibrated to the same terminal infected density
+    (``config.target_terminal_infected``); the compared quantity is the
+    *implementation* (running) cost ∫ L dt — the terminal term is the
+    shared effect, not a cost.
+    """
+    config = config if config is not None else Fig4Config()
+    tf_sweep = tf_values if tf_values is not None else config.tf_values
+    params = config.build_parameters()
+    initial = SIRState.initial(params.n_groups, config.initial_infected)
+    bounds = config.bounds()
+    costs = config.costs()
+
+    rows = []
+    for tf in tf_sweep:
+        heuristic = calibrate_heuristic(
+            params, initial, t_final=tf, bounds=bounds, costs=costs,
+            target_infected=config.target_terminal_infected,
+            n_grid=config.sweep_n_grid,
+        )
+        optimized, _weight = solve_with_terminal_target(
+            params, initial, t_final=tf, bounds=bounds, costs=costs,
+            target_infected=config.target_terminal_infected,
+            n_grid=config.sweep_n_grid,
+            max_iterations=config.max_iterations,
+        )
+        rows.append(Fig4cRow(
+            t_final=float(tf),
+            heuristic_cost=heuristic.cost.running,
+            optimized_cost=optimized.cost.running,
+            heuristic_terminal=heuristic.terminal_infected(),
+            optimized_terminal=optimized.terminal_infected(),
+        ))
+    return Fig4cResult(config=config, rows=tuple(rows))

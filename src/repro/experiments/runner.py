@@ -1,0 +1,107 @@
+"""Experiment registry and one-call harness.
+
+``run_experiment("fig2")`` (or ``fig3`` / ``fig4ab`` / ``fig4c``) runs a
+figure's pipeline and writes its CSV/ASCII artifacts; ``run_all``
+executes every registered experiment.  The CLI is a thin wrapper over
+this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.exceptions import ParameterError
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4ab, run_fig4c
+
+__all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment", "run_all"]
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """What an experiment produced.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key (``"fig2"`` …).
+    summary:
+        One-line human-readable outcome.
+    artifacts:
+        Files written under the output directory.
+    result:
+        The experiment's native result object (figure-specific type).
+    """
+
+    experiment_id: str
+    summary: str
+    artifacts: tuple[Path, ...]
+    result: object
+
+
+def _run_fig2(out_dir: Path) -> ExperimentReport:
+    result = run_fig2()
+    artifacts = result.emit(out_dir)
+    summary = (f"fig2: r0 = {result.r0:.4f} < 1; Dist0(tf) max = "
+               f"{float(result.final_distances.max()):.3g} over "
+               f"{result.dist0.shape[0]} initial conditions")
+    return ExperimentReport("fig2", summary, tuple(artifacts), result)
+
+
+def _run_fig3(out_dir: Path) -> ExperimentReport:
+    result = run_fig3()
+    artifacts = result.emit(out_dir)
+    summary = (f"fig3: r0 = {result.r0:.4f} > 1; Dist+(tf) max = "
+               f"{float(result.final_distances.max()):.3g}; "
+               f"Theta+ = {result.equilibrium.theta:.4g}")
+    return ExperimentReport("fig3", summary, tuple(artifacts), result)
+
+
+def _run_fig4ab(out_dir: Path) -> ExperimentReport:
+    result = run_fig4ab()
+    artifacts = result.emit(out_dir)
+    crossover = result.crossover_time()
+    summary = (f"fig4ab: cost = {result.result.cost.total:.4f}, "
+               f"I(tf) = {result.result.terminal_infected():.2e}, "
+               f"eps crossover at t = "
+               f"{'none' if crossover is None else f'{crossover:.1f}'}")
+    return ExperimentReport("fig4ab", summary, tuple(artifacts), result)
+
+
+def _run_fig4c(out_dir: Path) -> ExperimentReport:
+    result = run_fig4c()
+    artifacts = result.emit(out_dir)
+    cheaper = result.optimized_always_cheaper()
+    ratios = [row.savings_ratio for row in result.rows]
+    summary = (f"fig4c: optimized cheaper at every tf = {cheaper}; "
+               f"savings ratio {min(ratios):.2f}x – {max(ratios):.2f}x")
+    return ExperimentReport("fig4c", summary, tuple(artifacts), result)
+
+
+EXPERIMENTS: dict[str, Callable[[Path], ExperimentReport]] = {
+    "fig2": _run_fig2,
+    "fig3": _run_fig3,
+    "fig4ab": _run_fig4ab,
+    "fig4c": _run_fig4c,
+}
+
+
+def run_experiment(experiment_id: str,
+                   out_dir: str | Path = "results") -> ExperimentReport:
+    """Run one registered experiment, writing artifacts under ``out_dir``."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ParameterError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(Path(out_dir))
+
+
+def run_all(out_dir: str | Path = "results") -> list[ExperimentReport]:
+    """Run every registered experiment in registry order."""
+    return [run_experiment(key, out_dir) for key in EXPERIMENTS]

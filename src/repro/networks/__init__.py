@@ -1,0 +1,62 @@
+"""Network substrate: graphs, degree distributions, generators, statistics.
+
+Public surface::
+
+    from repro.networks import Graph, DegreeDistribution, barabasi_albert
+"""
+
+from repro.networks.centrality import (
+    betweenness_centrality,
+    core_numbers,
+    degree_centrality,
+    top_nodes,
+)
+from repro.networks.degree import (
+    DegreeDistribution,
+    poisson_distribution,
+    power_law_distribution,
+    truncated_power_law_pmf,
+)
+from repro.networks.generators import (
+    barabasi_albert,
+    configuration_model,
+    erdos_renyi,
+    make_sequence_graphical,
+    sample_degree_sequence,
+)
+from repro.networks.graph import Graph
+from repro.networks.io import read_digg_friends_csv, read_edge_list, write_edge_list
+from repro.networks.statistics import (
+    NetworkSummary,
+    average_clustering,
+    degree_assortativity,
+    local_clustering,
+    summarize_distribution,
+    summarize_graph,
+)
+
+__all__ = [
+    "Graph",
+    "DegreeDistribution",
+    "power_law_distribution",
+    "poisson_distribution",
+    "truncated_power_law_pmf",
+    "erdos_renyi",
+    "barabasi_albert",
+    "configuration_model",
+    "sample_degree_sequence",
+    "make_sequence_graphical",
+    "NetworkSummary",
+    "summarize_graph",
+    "summarize_distribution",
+    "degree_assortativity",
+    "local_clustering",
+    "average_clustering",
+    "read_edge_list",
+    "write_edge_list",
+    "read_digg_friends_csv",
+    "degree_centrality",
+    "betweenness_centrality",
+    "core_numbers",
+    "top_nodes",
+]

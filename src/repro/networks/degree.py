@@ -1,0 +1,180 @@
+"""Degree distributions and degree-group partitions.
+
+The paper's model never sees the raw graph — only the *degree-group
+summary*: the distinct degrees ``k_1 < k_2 < … < k_n``, the empirical
+probabilities ``P(k_i)``, and the mean degree ``⟨k⟩``.  This module turns
+graphs or raw degree sequences into that summary
+(:class:`DegreeDistribution`) and provides analytic families (power-law,
+Poisson) for synthetic studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.networks.graph import Graph
+
+__all__ = [
+    "DegreeDistribution",
+    "power_law_distribution",
+    "poisson_distribution",
+    "truncated_power_law_pmf",
+]
+
+
+@dataclass(frozen=True)
+class DegreeDistribution:
+    """Empirical or analytic degree distribution over distinct degrees.
+
+    Attributes
+    ----------
+    degrees:
+        Distinct degrees ``k_i``, strictly increasing, shape ``(n,)``.
+        These are the paper's degree groups (Digg2009 has ``n = 848``).
+    pmf:
+        ``P(k_i)`` — probability that a uniformly random node has degree
+        ``k_i``; non-negative, sums to 1.
+    """
+
+    degrees: np.ndarray
+    pmf: np.ndarray
+
+    def __post_init__(self) -> None:
+        degrees = np.asarray(self.degrees, dtype=float)
+        pmf = np.asarray(self.pmf, dtype=float)
+        object.__setattr__(self, "degrees", degrees)
+        object.__setattr__(self, "pmf", pmf)
+        if degrees.ndim != 1 or pmf.ndim != 1 or degrees.size != pmf.size:
+            raise ParameterError("degrees and pmf must be 1-D arrays of equal length")
+        if degrees.size == 0:
+            raise ParameterError("degree distribution cannot be empty")
+        if not np.all(np.diff(degrees) > 0):
+            raise ParameterError("degrees must be strictly increasing")
+        if np.any(degrees <= 0):
+            raise ParameterError("degrees must be positive (isolated nodes are "
+                                 "outside the contact model)")
+        if np.any(pmf < 0):
+            raise ParameterError("pmf values must be non-negative")
+        total = float(pmf.sum())
+        if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-9):
+            raise ParameterError(f"pmf must sum to 1, got {total:.12g}")
+
+    # -- summary statistics ----------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        """Number of degree groups ``n``."""
+        return int(self.degrees.size)
+
+    def mean_degree(self) -> float:
+        """⟨k⟩ = Σ k_i P(k_i)."""
+        return float(np.dot(self.degrees, self.pmf))
+
+    def moment(self, order: int) -> float:
+        """⟨k^order⟩."""
+        if order < 0:
+            raise ParameterError("moment order must be non-negative")
+        return float(np.dot(self.degrees ** order, self.pmf))
+
+    def max_degree(self) -> float:
+        """Largest degree in the support."""
+        return float(self.degrees[-1])
+
+    def min_degree(self) -> float:
+        """Smallest degree in the support."""
+        return float(self.degrees[0])
+
+    def expectation(self, values: Sequence[float] | np.ndarray) -> float:
+        """Σ_i values[i] · P(k_i) for per-group ``values``."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != self.pmf.shape:
+            raise ParameterError(
+                f"values shape {values.shape} must match pmf shape {self.pmf.shape}"
+            )
+        return float(np.dot(values, self.pmf))
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_degree_sequence(cls, sequence: Sequence[int] | np.ndarray) -> "DegreeDistribution":
+        """Empirical distribution from a per-node degree sequence.
+
+        Nodes of degree 0 are excluded (they cannot participate in
+        contact-driven spreading); at least one positive-degree node is
+        required.
+        """
+        arr = np.asarray(sequence, dtype=np.int64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ParameterError("degree sequence must be a non-empty 1-D array")
+        if np.any(arr < 0):
+            raise ParameterError("degrees cannot be negative")
+        arr = arr[arr > 0]
+        if arr.size == 0:
+            raise ParameterError("degree sequence contains only isolated nodes")
+        degrees, counts = np.unique(arr, return_counts=True)
+        return cls(degrees.astype(float), counts / counts.sum())
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "DegreeDistribution":
+        """Empirical distribution of a :class:`~repro.networks.graph.Graph`."""
+        return cls.from_degree_sequence(graph.degrees())
+
+    def truncate(self, max_groups: int) -> "DegreeDistribution":
+        """Keep only the ``max_groups`` smallest degrees, renormalized.
+
+        Used to reproduce the paper's small 20-group setting (Fig. 3).
+        """
+        if max_groups < 1:
+            raise ParameterError("max_groups must be >= 1")
+        m = min(max_groups, self.n_groups)
+        pmf = self.pmf[:m]
+        total = float(pmf.sum())
+        if total <= 0:
+            raise ParameterError("truncation removed all probability mass")
+        return DegreeDistribution(self.degrees[:m].copy(), pmf / total)
+
+
+def truncated_power_law_pmf(degrees: np.ndarray, exponent: float) -> np.ndarray:
+    """Normalized ``k^{-exponent}`` over the given degree support."""
+    if exponent <= 0:
+        raise ParameterError("power-law exponent must be positive")
+    weights = np.asarray(degrees, dtype=float) ** (-exponent)
+    return weights / weights.sum()
+
+
+def power_law_distribution(k_min: int, k_max: int,
+                           exponent: float) -> DegreeDistribution:
+    """Analytic truncated power law ``P(k) ∝ k^{-exponent}`` on
+    ``[k_min, k_max]`` with unit degree spacing.
+
+    Scale-free OSNs (the paper's setting) are well described by
+    ``exponent ≈ 2–3``.
+    """
+    if k_min < 1 or k_max < k_min:
+        raise ParameterError(f"invalid degree range [{k_min}, {k_max}]")
+    degrees = np.arange(k_min, k_max + 1, dtype=float)
+    return DegreeDistribution(degrees, truncated_power_law_pmf(degrees, exponent))
+
+
+def poisson_distribution(mean: float, k_max: int | None = None) -> DegreeDistribution:
+    """Poisson degree distribution (Erdős–Rényi limit), truncated at
+    ``k_max`` (default ``mean + 10·sqrt(mean)``) and restricted to
+    ``k ≥ 1``."""
+    if mean <= 0:
+        raise ParameterError("mean degree must be positive")
+    if k_max is None:
+        k_max = int(math.ceil(mean + 10.0 * math.sqrt(mean))) + 1
+    if k_max < 1:
+        raise ParameterError("k_max must be >= 1")
+    degrees = np.arange(1, k_max + 1, dtype=float)
+    log_pmf = degrees * math.log(mean) - mean - np.array(
+        [math.lgamma(k + 1.0) for k in degrees]
+    )
+    pmf = np.exp(log_pmf)
+    total = pmf.sum()
+    if total <= 0:
+        raise ParameterError("Poisson truncation left no probability mass")
+    return DegreeDistribution(degrees, pmf / total)

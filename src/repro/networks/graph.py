@@ -1,0 +1,181 @@
+"""A lightweight undirected graph implemented from scratch.
+
+The reproduction needs explicit graphs in two places: the stochastic
+agent-based validation (which walks adjacency lists) and dataset handling
+(degree statistics of Digg-like networks).  ``networkx`` is deliberately
+not used for the core data structure — the paper's pipeline is rebuilt
+from first principles — but :meth:`Graph.to_networkx` provides interop
+for users who want the wider ecosystem.
+
+Nodes are integers ``0..n-1``; parallel edges and self-loops are rejected,
+matching the simple-graph assumption behind degree-based mean-field
+models.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.exceptions import GraphError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Undirected simple graph over nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes; fixed at construction.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to add.
+    """
+
+    def __init__(self, n_nodes: int,
+                 edges: Iterable[tuple[int, int]] | None = None) -> None:
+        if n_nodes < 0:
+            raise GraphError(f"n_nodes must be non-negative, got {n_nodes}")
+        self._n = int(n_nodes)
+        self._adjacency: list[set[int]] = [set() for _ in range(self._n)]
+        self._n_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # -- construction -----------------------------------------------------
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self._n:
+            raise GraphError(f"node {u} out of range [0, {self._n})")
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add the undirected edge ``{u, v}``.
+
+        Returns ``True`` if the edge was new, ``False`` if it already
+        existed.  Self-loops raise :class:`~repro.exceptions.GraphError`.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise GraphError(f"self-loop on node {u} rejected")
+        if v in self._adjacency[u]:
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._n_edges += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the edge ``{u, v}``; raises if absent."""
+        self._check_node(u)
+        self._check_node(v)
+        if v not in self._adjacency[u]:
+            raise GraphError(f"edge ({u}, {v}) not present")
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._n_edges -= 1
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._n_edges
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge ``{u, v}`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._adjacency[u]
+
+    def neighbors(self, u: int) -> frozenset[int]:
+        """Neighbor set of ``u`` (immutable view)."""
+        self._check_node(u)
+        return frozenset(self._adjacency[u])
+
+    def degree(self, u: int) -> int:
+        """Degree of node ``u``."""
+        self._check_node(u)
+        return len(self._adjacency[u])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node, shape ``(n_nodes,)``, dtype int64."""
+        return np.array([len(adj) for adj in self._adjacency], dtype=np.int64)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate edges once each as ``(u, v)`` with ``u < v``."""
+        for u, adj in enumerate(self._adjacency):
+            for v in adj:
+                if u < v:
+                    yield (u, v)
+
+    def average_degree(self) -> float:
+        """Mean degree ``2m/n`` (0 for the empty graph)."""
+        if self._n == 0:
+            return 0.0
+        return 2.0 * self._n_edges / self._n
+
+    # -- algorithms ----------------------------------------------------------
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as sorted node lists, largest first."""
+        seen = [False] * self._n
+        components: list[list[int]] = []
+        for start in range(self._n):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            component = []
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for neighbor in self._adjacency[node]:
+                    if not seen[neighbor]:
+                        seen[neighbor] = True
+                        stack.append(neighbor)
+            components.append(sorted(component))
+        components.sort(key=len, reverse=True)
+        return components
+
+    def subgraph(self, nodes: Iterable[int]) -> "Graph":
+        """Induced subgraph, relabelled to ``0..len(nodes)-1`` preserving
+        the order of ``nodes``."""
+        node_list = list(nodes)
+        index = {node: j for j, node in enumerate(node_list)}
+        if len(index) != len(node_list):
+            raise GraphError("duplicate nodes in subgraph selection")
+        sub = Graph(len(node_list))
+        for u in node_list:
+            self._check_node(u)
+            for v in self._adjacency[u]:
+                if v in index and u < v:
+                    sub.add_edge(index[u], index[v])
+        return sub
+
+    # -- interop -------------------------------------------------------------
+    def to_networkx(self):  # pragma: no cover - thin interop shim
+        """Convert to a ``networkx.Graph`` (for ecosystem interop only)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from(self.edges())
+        return g
+
+    @classmethod
+    def from_edge_list(cls, edges: Iterable[tuple[int, int]]) -> "Graph":
+        """Build a graph sized to the maximum node id in ``edges``."""
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        if not edge_list:
+            return cls(0)
+        n = 1 + max(max(u, v) for u, v in edge_list)
+        return cls(n, edge_list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n_nodes={self._n}, n_edges={self._n_edges})"

@@ -1,0 +1,104 @@
+"""Edge-list persistence for graphs.
+
+Simple whitespace/CSV edge-list format compatible with the Digg2009
+friendship file layout (``mutual, timestamp, user_a, user_b`` CSV rows)
+and with the generic ``u v`` format used by most network repositories.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.exceptions import DatasetError
+from repro.networks.graph import Graph
+
+__all__ = ["write_edge_list", "read_edge_list", "read_digg_friends_csv"]
+
+
+def write_edge_list(graph: Graph, path: str | Path) -> int:
+    """Write ``u v`` lines (one per edge); returns the number written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# nodes={graph.n_nodes} edges={graph.n_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+            count += 1
+    return count
+
+
+def read_edge_list(path: str | Path, *, n_nodes: int | None = None) -> Graph:
+    """Read a ``u v`` edge list; ``#`` lines are comments.
+
+    ``n_nodes`` overrides the inferred node count (useful when trailing
+    nodes are isolated).  Duplicate edges are merged silently.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"edge list not found: {path}")
+    edges: list[tuple[int, int]] = []
+    max_node = -1
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise DatasetError(f"{path}:{line_no}: expected 'u v', got {stripped!r}")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{line_no}: non-integer node id") from exc
+            if u == v:
+                continue  # ignore self-loops in external data
+            edges.append((u, v))
+            max_node = max(max_node, u, v)
+    n = n_nodes if n_nodes is not None else max_node + 1
+    graph = Graph(max(n, 0))
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def read_digg_friends_csv(path: str | Path) -> Graph:
+    """Parse the published Digg2009 ``digg_friends.csv`` format.
+
+    Rows are ``mutual, timestamp, user_id, friend_id`` with 1-based user
+    ids; the friendship graph is taken as undirected (a follow in either
+    direction creates a contact link, matching the paper's treatment).
+    Node ids are compacted to ``0..n-1`` in order of first appearance.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"Digg friends file not found: {path}")
+    id_map: dict[int, int] = {}
+    edges: list[tuple[int, int]] = []
+
+    def compact(raw: int) -> int:
+        if raw not in id_map:
+            id_map[raw] = len(id_map)
+        return id_map[raw]
+
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        for line_no, row in enumerate(reader, start=1):
+            if not row or row[0].lstrip().startswith("#"):
+                continue
+            if len(row) < 4:
+                raise DatasetError(
+                    f"{path}:{line_no}: expected 4 CSV fields, got {len(row)}"
+                )
+            try:
+                user = int(row[2])
+                friend = int(row[3])
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{line_no}: non-integer user id") from exc
+            if user == friend:
+                continue
+            edges.append((compact(user), compact(friend)))
+    graph = Graph(len(id_map))
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,137 @@
+"""Summary statistics of graphs and degree distributions.
+
+These are the quantities the paper reports for Digg2009 (node count, link
+count, number of degree groups, max/min/average degree) plus the moments
+that govern heterogeneous mean-field epidemics (⟨k⟩, ⟨k²⟩ and the
+heterogeneity ratio ⟨k²⟩/⟨k⟩).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.networks.degree import DegreeDistribution
+from repro.networks.graph import Graph
+
+__all__ = ["NetworkSummary", "summarize_graph", "summarize_distribution",
+           "degree_assortativity", "local_clustering", "average_clustering"]
+
+
+@dataclass(frozen=True)
+class NetworkSummary:
+    """Degree-level summary of a network or distribution.
+
+    ``n_nodes``/``n_edges`` are ``None`` when the summary comes from an
+    analytic distribution with no realized graph.
+    """
+
+    n_nodes: int | None
+    n_edges: int | None
+    n_groups: int
+    min_degree: float
+    max_degree: float
+    mean_degree: float
+    second_moment: float
+
+    @property
+    def heterogeneity_ratio(self) -> float:
+        """⟨k²⟩/⟨k⟩ — the classic epidemic-threshold driver on networks."""
+        return self.second_moment / self.mean_degree
+
+    def as_dict(self) -> dict[str, float | int | None]:
+        """Plain-dict view (stable key order) for CSV/reporting."""
+        return {
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "n_groups": self.n_groups,
+            "min_degree": self.min_degree,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "second_moment": self.second_moment,
+            "heterogeneity_ratio": self.heterogeneity_ratio,
+        }
+
+
+def summarize_distribution(distribution: DegreeDistribution,
+                           n_nodes: int | None = None) -> NetworkSummary:
+    """Summarize an analytic/empirical degree distribution.
+
+    When ``n_nodes`` is given, the implied edge count ``n⟨k⟩/2`` is
+    reported (rounded to the nearest integer).
+    """
+    mean = distribution.mean_degree()
+    n_edges = None if n_nodes is None else int(round(n_nodes * mean / 2.0))
+    return NetworkSummary(
+        n_nodes=n_nodes,
+        n_edges=n_edges,
+        n_groups=distribution.n_groups,
+        min_degree=distribution.min_degree(),
+        max_degree=distribution.max_degree(),
+        mean_degree=mean,
+        second_moment=distribution.moment(2),
+    )
+
+
+def summarize_graph(graph: Graph) -> NetworkSummary:
+    """Summarize a realized graph through its empirical degree distribution."""
+    distribution = DegreeDistribution.from_graph(graph)
+    return NetworkSummary(
+        n_nodes=graph.n_nodes,
+        n_edges=graph.n_edges,
+        n_groups=distribution.n_groups,
+        min_degree=distribution.min_degree(),
+        max_degree=distribution.max_degree(),
+        mean_degree=graph.average_degree(),
+        second_moment=distribution.moment(2),
+    )
+
+
+def local_clustering(graph: Graph, node: int) -> float:
+    """Local clustering coefficient of one node.
+
+    Fraction of the node's neighbor pairs that are themselves connected;
+    0 for degree < 2 (no pairs to close).
+    """
+    neighbors = list(graph.neighbors(node))
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = sum(
+        1 for a in range(k) for b in range(a + 1, k)
+        if graph.has_edge(neighbors[a], neighbors[b])
+    )
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(graph: Graph) -> float:
+    """Mean local clustering over all nodes (0 for the empty graph).
+
+    Mean-field degree-block models implicitly assume a locally tree-like
+    network (clustering ≈ 0); this statistic quantifies how far a
+    realized graph deviates from that assumption.
+    """
+    if graph.n_nodes == 0:
+        return 0.0
+    return float(np.mean([local_clustering(graph, v)
+                          for v in range(graph.n_nodes)]))
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Pearson correlation of degrees across edges (Newman's r).
+
+    Returns 0.0 for degenerate graphs (no edges or constant degree across
+    edge endpoints).
+    """
+    pairs = np.array([(graph.degree(u), graph.degree(v))
+                      for u, v in graph.edges()], dtype=float)
+    if pairs.size == 0:
+        return 0.0
+    # Symmetrize: each undirected edge contributes both orientations.
+    x = np.concatenate([pairs[:, 0], pairs[:, 1]])
+    y = np.concatenate([pairs[:, 1], pairs[:, 0]])
+    sx, sy = x.std(), y.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(np.mean((x - x.mean()) * (y - y.mean())) / (sx * sy))

@@ -1,0 +1,100 @@
+"""Interpolation utilities for time-gridded signals.
+
+The forward–backward sweep stores controls and costates on a shared time
+grid but the adaptive state integrator may query them at arbitrary times
+inside steps; :class:`GridFunction` provides that bridge with linear or
+previous-sample (zero-order-hold) interpolation, vectorized over
+multi-channel signals.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["GridFunction", "linear_interp"]
+
+InterpKind = Literal["linear", "previous"]
+
+
+def linear_interp(x: float, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Linearly interpolate a (possibly multi-channel) sampled signal.
+
+    ``xs`` has shape ``(m,)`` strictly increasing, ``ys`` shape ``(m,)`` or
+    ``(m, c)``.  Queries outside the grid clamp to the end values, which is
+    the right behaviour for controls held constant beyond the horizon.
+    """
+    if x <= xs[0]:
+        return np.array(ys[0], dtype=float, copy=True)
+    if x >= xs[-1]:
+        return np.array(ys[-1], dtype=float, copy=True)
+    j = int(np.searchsorted(xs, x, side="right") - 1)
+    w = (x - xs[j]) / (xs[j + 1] - xs[j])
+    return (1.0 - w) * ys[j] + w * ys[j + 1]
+
+
+class GridFunction:
+    """A function of time defined by samples on a fixed grid.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing sample times, shape ``(m,)``.
+    values:
+        Samples, shape ``(m,)`` for scalar signals or ``(m, c)`` for
+        ``c``-channel signals.
+    kind:
+        ``"linear"`` (default) or ``"previous"`` (zero-order hold).
+    """
+
+    def __init__(self, times: Sequence[float] | np.ndarray,
+                 values: Sequence[float] | np.ndarray, *,
+                 kind: InterpKind = "linear") -> None:
+        self.times = np.asarray(times, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        if self.times.ndim != 1 or self.times.size < 2:
+            raise ParameterError("times must be a 1-D array with >= 2 samples")
+        if not np.all(np.diff(self.times) > 0):
+            raise ParameterError("times must be strictly increasing")
+        if self.values.shape[0] != self.times.shape[0]:
+            raise ParameterError(
+                f"values first dimension {self.values.shape[0]} must match "
+                f"times length {self.times.size}"
+            )
+        if kind not in ("linear", "previous"):
+            raise ParameterError(f"unknown interpolation kind {kind!r}")
+        self.kind: InterpKind = kind
+
+    @property
+    def n_channels(self) -> int:
+        """Number of signal channels (1 for scalar signals)."""
+        return 1 if self.values.ndim == 1 else int(self.values.shape[1])
+
+    def __call__(self, t: float) -> float | np.ndarray:
+        """Evaluate the signal at time ``t`` (clamped to the grid span)."""
+        if self.kind == "linear":
+            result = linear_interp(t, self.times, self.values)
+        else:
+            if t <= self.times[0]:
+                result = np.array(self.values[0], dtype=float, copy=True)
+            else:
+                j = int(np.searchsorted(self.times, min(t, self.times[-1]),
+                                        side="right") - 1)
+                result = np.array(self.values[j], dtype=float, copy=True)
+        if result.ndim == 0:
+            return float(result)
+        return result
+
+    def sample(self, times: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Evaluate at many times; returns shape ``(len(times),)`` or
+        ``(len(times), c)``."""
+        times = np.asarray(times, dtype=float)
+        out = np.array([np.atleast_1d(self(t)) for t in times])
+        return out[:, 0] if self.values.ndim == 1 else out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"GridFunction(kind={self.kind!r}, span=({self.times[0]:.4g}, "
+                f"{self.times[-1]:.4g}), channels={self.n_channels})")

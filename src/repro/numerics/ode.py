@@ -1,0 +1,366 @@
+"""Initial-value-problem integrators implemented from scratch.
+
+The heterogeneous SIR system (paper System (1)) on the Digg-like network is
+a 2544-dimensional ODE (848 degree groups × 3 compartments), moderately
+stiff when the acceptance rate ``λ(k) = k`` reaches degree ~1000.  The
+library therefore ships:
+
+* :func:`euler` — explicit Euler, used only in tests/teaching,
+* :func:`rk4` — classic fixed-step 4th-order Runge–Kutta, the workhorse of
+  the forward–backward sweep (both passes must share one time grid),
+* :func:`dopri45` — adaptive Dormand–Prince 5(4) with PI step-size control
+  and dense output via 4th-order Hermite interpolation (library default),
+* :func:`solve_ivp_scipy` — thin wrapper over ``scipy.integrate.odeint``
+  (LSODA) kept as an independent cross-check backend.
+
+All integrators share one calling convention: ``f(t, y) -> dy/dt`` with
+``y`` a 1-D ``numpy`` array, and return an :class:`OdeSolution`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import IntegrationError, ParameterError
+
+__all__ = [
+    "OdeSolution",
+    "euler",
+    "rk4",
+    "dopri45",
+    "solve_ivp_scipy",
+    "integrate",
+    "SOLVERS",
+]
+
+RhsFunction = Callable[[float, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class OdeSolution:
+    """Trajectory produced by an integrator.
+
+    Attributes
+    ----------
+    t:
+        1-D array of sample times, strictly increasing, shape ``(m,)``.
+    y:
+        2-D array of states, shape ``(m, n)`` — row ``j`` is the state at
+        ``t[j]``.
+    nfev:
+        Number of right-hand-side evaluations.
+    solver:
+        Name of the integrator that produced the solution.
+    """
+
+    t: np.ndarray
+    y: np.ndarray
+    nfev: int
+    solver: str
+
+    def __post_init__(self) -> None:
+        if self.t.ndim != 1 or self.y.ndim != 2 or self.y.shape[0] != self.t.shape[0]:
+            raise ParameterError(
+                f"inconsistent solution shapes t{self.t.shape} y{self.y.shape}"
+            )
+
+    @property
+    def final_state(self) -> np.ndarray:
+        """State vector at the last sample time."""
+        return self.y[-1]
+
+    def interpolate(self, times: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Linearly interpolate the trajectory at ``times``.
+
+        Times outside the integration span raise
+        :class:`~repro.exceptions.ParameterError`.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.size and (times.min() < self.t[0] - 1e-12 or times.max() > self.t[-1] + 1e-12):
+            raise ParameterError(
+                f"requested times outside span [{self.t[0]}, {self.t[-1]}]"
+            )
+        out = np.empty((times.size, self.y.shape[1]))
+        for column in range(self.y.shape[1]):
+            out[:, column] = np.interp(times, self.t, self.y[:, column])
+        return out
+
+
+def _validate_grid(t_eval: Sequence[float] | np.ndarray) -> np.ndarray:
+    grid = np.asarray(t_eval, dtype=float)
+    if grid.ndim != 1 or grid.size < 2:
+        raise ParameterError("t_eval must contain at least two time points")
+    if not np.all(np.diff(grid) > 0):
+        raise ParameterError("t_eval must be strictly increasing")
+    if not np.all(np.isfinite(grid)):
+        raise ParameterError("t_eval must be finite")
+    return grid
+
+
+def _validate_y0(y0: Sequence[float] | np.ndarray) -> np.ndarray:
+    y = np.asarray(y0, dtype=float).copy()
+    if y.ndim != 1 or y.size == 0:
+        raise ParameterError("y0 must be a non-empty 1-D array")
+    if not np.all(np.isfinite(y)):
+        raise ParameterError("y0 must be finite")
+    return y
+
+
+def euler(f: RhsFunction, y0: Sequence[float] | np.ndarray,
+          t_eval: Sequence[float] | np.ndarray, *,
+          substeps: int = 1) -> OdeSolution:
+    """Explicit Euler over the grid ``t_eval``.
+
+    ``substeps`` internal Euler steps are taken between consecutive output
+    times, so accuracy can be pushed without changing the output grid.
+    First-order accurate; intended for convergence-order tests and as the
+    simplest reference implementation.
+    """
+    if substeps < 1:
+        raise ParameterError("substeps must be >= 1")
+    grid = _validate_grid(t_eval)
+    y = _validate_y0(y0)
+    out = np.empty((grid.size, y.size))
+    out[0] = y
+    nfev = 0
+    for j in range(grid.size - 1):
+        t, t_next = grid[j], grid[j + 1]
+        h = (t_next - t) / substeps
+        for s in range(substeps):
+            y = y + h * f(t + s * h, y)
+            nfev += 1
+        out[j + 1] = y
+    _check_finite(out, "euler")
+    return OdeSolution(grid, out, nfev, "euler")
+
+
+def rk4(f: RhsFunction, y0: Sequence[float] | np.ndarray,
+        t_eval: Sequence[float] | np.ndarray, *,
+        substeps: int = 1) -> OdeSolution:
+    """Classic 4th-order Runge–Kutta over the grid ``t_eval``.
+
+    The forward–backward sweep method uses this integrator for both the
+    state (forward) and costate (backward, via time reversal) passes so
+    that both live on the same grid.
+    """
+    if substeps < 1:
+        raise ParameterError("substeps must be >= 1")
+    grid = _validate_grid(t_eval)
+    y = _validate_y0(y0)
+    out = np.empty((grid.size, y.size))
+    out[0] = y
+    nfev = 0
+    for j in range(grid.size - 1):
+        t, t_next = grid[j], grid[j + 1]
+        h = (t_next - t) / substeps
+        for s in range(substeps):
+            ts = t + s * h
+            k1 = f(ts, y)
+            k2 = f(ts + 0.5 * h, y + 0.5 * h * k1)
+            k3 = f(ts + 0.5 * h, y + 0.5 * h * k2)
+            k4 = f(ts + h, y + h * k3)
+            y = y + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+            nfev += 4
+        out[j + 1] = y
+    _check_finite(out, "rk4")
+    return OdeSolution(grid, out, nfev, "rk4")
+
+
+# Dormand–Prince 5(4) Butcher tableau.
+_DP_C = np.array([0.0, 1 / 5, 3 / 10, 4 / 5, 8 / 9, 1.0, 1.0])
+_DP_A = [
+    np.array([]),
+    np.array([1 / 5]),
+    np.array([3 / 40, 9 / 40]),
+    np.array([44 / 45, -56 / 15, 32 / 9]),
+    np.array([19372 / 6561, -25360 / 2187, 64448 / 6561, -212 / 729]),
+    np.array([9017 / 3168, -355 / 33, 46732 / 5247, 49 / 176, -5103 / 18656]),
+    np.array([35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84]),
+]
+_DP_B5 = np.array([35 / 384, 0.0, 500 / 1113, 125 / 192, -2187 / 6784, 11 / 84, 0.0])
+_DP_B4 = np.array([5179 / 57600, 0.0, 7571 / 16695, 393 / 640,
+                   -92097 / 339200, 187 / 2100, 1 / 40])
+
+
+def dopri45(f: RhsFunction, y0: Sequence[float] | np.ndarray,
+            t_eval: Sequence[float] | np.ndarray, *,
+            rtol: float = 1e-8, atol: float = 1e-10,
+            h_init: float | None = None, h_max: float | None = None,
+            max_steps: int = 1_000_000) -> OdeSolution:
+    """Adaptive Dormand–Prince RK5(4) with PI step control.
+
+    Integrates from ``t_eval[0]`` to ``t_eval[-1]``, emitting the state at
+    every grid point via cubic Hermite dense output.  The embedded
+    4th-order solution drives the local error estimate
+    ``err = ||(y5 − y4) / (atol + rtol·max(|y|, |y_new|))||_RMS`` and a PI
+    controller (``β = 0.04``) smooths step-size changes.
+
+    Raises :class:`~repro.exceptions.IntegrationError` on step-size
+    underflow, NaN states, or step-budget exhaustion.
+    """
+    grid = _validate_grid(t_eval)
+    y = _validate_y0(y0)
+    t0, tf = grid[0], grid[-1]
+    span = tf - t0
+    if h_max is None:
+        h_max = span
+    if h_init is None:
+        h = _initial_step(f, t0, y, rtol, atol, h_max)
+        nfev = 2
+    else:
+        if h_init <= 0:
+            raise ParameterError("h_init must be positive")
+        h = min(h_init, h_max)
+        nfev = 0
+
+    out = np.empty((grid.size, y.size))
+    out[0] = y
+    next_output = 1  # index into grid of the next output point to fill
+
+    t = t0
+    f_now = f(t, y)
+    nfev += 1
+    err_prev = 1.0
+    safety, beta = 0.9, 0.04
+    min_factor, max_factor = 0.2, 5.0
+    order = 5.0
+
+    for _ in range(max_steps):
+        if t >= tf:
+            break
+        h = min(h, tf - t, h_max)
+        if h < 1e-14 * max(abs(t), 1.0):
+            raise IntegrationError(
+                f"dopri45 step size underflow at t={t:.6g} (h={h:.3g})"
+            )
+        # Stage evaluations (FSAL: k[0] reuses f_now).
+        k = np.empty((7, y.size))
+        k[0] = f_now
+        for stage in range(1, 7):
+            y_stage = y + h * (_DP_A[stage] @ k[:stage])
+            k[stage] = f(t + _DP_C[stage] * h, y_stage)
+        nfev += 6
+        y5 = y + h * (_DP_B5 @ k)
+        y4 = y + h * (_DP_B4 @ k)
+        if not np.all(np.isfinite(y5)):
+            # Shrink aggressively and retry rather than aborting outright.
+            h *= 0.25
+            if h < 1e-14 * max(abs(t), 1.0):
+                raise IntegrationError(f"dopri45 produced non-finite state at t={t:.6g}")
+            continue
+        scale = atol + rtol * np.maximum(np.abs(y), np.abs(y5))
+        err = math.sqrt(float(np.mean(((y5 - y4) / scale) ** 2)))
+        if err <= 1.0:
+            # Accept: emit dense output for all grid points inside (t, t+h].
+            t_new = t + h
+            f_new = k[6]  # FSAL: last stage is f(t_new, y5)
+            while next_output < grid.size and grid[next_output] <= t_new + 1e-14:
+                out[next_output] = _hermite(
+                    t, t_new, y, y5, f_now, f_new, grid[next_output]
+                )
+                next_output += 1
+            t, y, f_now = t_new, y5, f_new
+            # PI controller.
+            err = max(err, 1e-10)
+            factor = safety * err ** (-0.7 / order) * err_prev ** (beta)
+            err_prev = err
+            h *= min(max_factor, max(min_factor, factor))
+        else:
+            h *= max(min_factor, safety * err ** (-1.0 / order))
+    else:
+        raise IntegrationError(
+            f"dopri45 exhausted {max_steps} steps before reaching t={tf}"
+        )
+
+    if next_output < grid.size:
+        # Numerical edge: final grid point equals tf within round-off.
+        out[next_output:] = y
+    _check_finite(out, "dopri45")
+    return OdeSolution(grid, out, nfev, "dopri45")
+
+
+def _initial_step(f: RhsFunction, t0: float, y0: np.ndarray,
+                  rtol: float, atol: float, h_max: float) -> float:
+    """Hairer–Nørsett–Wanner heuristic for the first step size."""
+    scale = atol + rtol * np.abs(y0)
+    f0 = f(t0, y0)
+    d0 = math.sqrt(float(np.mean((y0 / scale) ** 2)))
+    d1 = math.sqrt(float(np.mean((f0 / scale) ** 2)))
+    h0 = 1e-6 if d0 < 1e-5 or d1 < 1e-5 else 0.01 * d0 / d1
+    y1 = y0 + h0 * f0
+    f1 = f(t0 + h0, y1)
+    d2 = math.sqrt(float(np.mean(((f1 - f0) / scale) ** 2))) / h0
+    if max(d1, d2) <= 1e-15:
+        h1 = max(1e-6, h0 * 1e-3)
+    else:
+        h1 = (0.01 / max(d1, d2)) ** (1.0 / 5.0)
+    return min(100.0 * h0, h1, h_max)
+
+
+def _hermite(t0: float, t1: float, y0: np.ndarray, y1: np.ndarray,
+             f0: np.ndarray, f1: np.ndarray, t: float) -> np.ndarray:
+    """Cubic Hermite interpolation on a single accepted step."""
+    h = t1 - t0
+    s = (t - t0) / h
+    h00 = (1.0 + 2.0 * s) * (1.0 - s) ** 2
+    h10 = s * (1.0 - s) ** 2
+    h01 = s * s * (3.0 - 2.0 * s)
+    h11 = s * s * (s - 1.0)
+    return h00 * y0 + h10 * h * f0 + h01 * y1 + h11 * h * f1
+
+
+def solve_ivp_scipy(f: RhsFunction, y0: Sequence[float] | np.ndarray,
+                    t_eval: Sequence[float] | np.ndarray, *,
+                    rtol: float = 1e-8, atol: float = 1e-10) -> OdeSolution:
+    """Integrate with ``scipy.integrate.odeint`` (LSODA).
+
+    Kept as an *independent* backend to cross-validate the from-scratch
+    integrators; LSODA switches between Adams and BDF, so it also covers
+    the stiff regimes our explicit methods handle via small steps.
+    """
+    from scipy.integrate import odeint
+
+    grid = _validate_grid(t_eval)
+    y = _validate_y0(y0)
+    result, info = odeint(
+        lambda state, t: f(t, state), y, grid,
+        rtol=rtol, atol=atol, full_output=True,
+    )
+    if info["message"] != "Integration successful.":
+        raise IntegrationError(f"scipy odeint failed: {info['message']}")
+    _check_finite(result, "scipy-lsoda")
+    return OdeSolution(grid, result, int(info["nfe"][-1]), "scipy-lsoda")
+
+
+def _check_finite(y: np.ndarray, solver: str) -> None:
+    if not np.all(np.isfinite(y)):
+        raise IntegrationError(f"{solver} produced non-finite state values")
+
+
+SOLVERS: dict[str, Callable[..., OdeSolution]] = {
+    "euler": euler,
+    "rk4": rk4,
+    "dopri45": dopri45,
+    "scipy": solve_ivp_scipy,
+}
+
+
+def integrate(f: RhsFunction, y0: Sequence[float] | np.ndarray,
+              t_eval: Sequence[float] | np.ndarray, *,
+              method: str = "dopri45", **options: object) -> OdeSolution:
+    """Integrate an IVP with the named method.
+
+    ``method`` is one of ``"euler"``, ``"rk4"``, ``"dopri45"`` (default),
+    or ``"scipy"``; remaining keyword options are forwarded to the solver.
+    """
+    try:
+        solver = SOLVERS[method]
+    except KeyError:
+        raise ParameterError(
+            f"unknown solver {method!r}; choose from {sorted(SOLVERS)}"
+        ) from None
+    return solver(f, y0, t_eval, **options)

@@ -1,0 +1,119 @@
+"""Derivative-free scalar and coordinate minimization, from scratch.
+
+Used by the two-phase (bang-bang style) countermeasure optimizer, which
+searches a three-dimensional policy space (switch time + two levels)
+where gradients are awkward: golden-section search handles each
+coordinate, cyclic coordinate descent composes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["MinimizeResult", "golden_section", "coordinate_descent"]
+
+_GOLDEN = (np.sqrt(5.0) - 1.0) / 2.0  # ≈ 0.618
+
+
+@dataclass(frozen=True)
+class MinimizeResult:
+    """Outcome of a minimization.
+
+    Attributes
+    ----------
+    x:
+        Minimizer (scalar for :func:`golden_section`, array for
+        :func:`coordinate_descent`).
+    fun:
+        Objective value at :attr:`x`.
+    iterations:
+        Iterations / sweeps performed.
+    converged:
+        Whether the tolerance was met within the budget.
+    """
+
+    x: float | np.ndarray
+    fun: float
+    iterations: int
+    converged: bool
+
+
+def golden_section(f: Callable[[float], float], lo: float, hi: float, *,
+                   xtol: float = 1e-8,
+                   max_iterations: int = 200) -> MinimizeResult:
+    """Minimize a unimodal scalar function on ``[lo, hi]``.
+
+    Golden-section search: no derivatives, guaranteed linear shrinkage of
+    the bracket.  On non-unimodal functions it still returns a local
+    minimizer inside the bracket.
+    """
+    if not lo < hi:
+        raise ParameterError(f"need lo < hi, got [{lo}, {hi}]")
+    if xtol <= 0:
+        raise ParameterError("xtol must be positive")
+    a, b = lo, hi
+    x1 = b - _GOLDEN * (b - a)
+    x2 = a + _GOLDEN * (b - a)
+    f1, f2 = f(x1), f(x2)
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        if (b - a) < xtol:
+            break
+        if f1 <= f2:
+            b, x2, f2 = x2, x1, f1
+            x1 = b - _GOLDEN * (b - a)
+            f1 = f(x1)
+        else:
+            a, x1, f1 = x1, x2, f2
+            x2 = a + _GOLDEN * (b - a)
+            f2 = f(x2)
+    x_best, f_best = (x1, f1) if f1 <= f2 else (x2, f2)
+    return MinimizeResult(float(x_best), float(f_best), iteration,
+                          (b - a) < xtol)
+
+
+def coordinate_descent(f: Callable[[np.ndarray], float],
+                       x0: Sequence[float] | np.ndarray,
+                       bounds: Sequence[tuple[float, float]], *,
+                       xtol: float = 1e-6,
+                       max_sweeps: int = 50) -> MinimizeResult:
+    """Cyclic coordinate descent with golden-section line searches.
+
+    Each sweep minimizes ``f`` along every coordinate in turn within its
+    box bound.  Stops when a full sweep moves the iterate by less than
+    ``xtol`` (∞-norm).  Suitable for low-dimensional, cheap, possibly
+    noisy objectives such as policy-parameter tuning.
+    """
+    x = np.asarray(x0, dtype=float).copy()
+    if x.ndim != 1 or x.size == 0:
+        raise ParameterError("x0 must be a non-empty 1-D array")
+    if len(bounds) != x.size:
+        raise ParameterError("one (lo, hi) bound per coordinate required")
+    for j, (lo, hi) in enumerate(bounds):
+        if not lo < hi:
+            raise ParameterError(f"bound {j} invalid: [{lo}, {hi}]")
+        x[j] = min(max(x[j], lo), hi)
+
+    best = f(x.copy())
+    sweep = 0
+    for sweep in range(1, max_sweeps + 1):
+        x_before = x.copy()
+        for j, (lo, hi) in enumerate(bounds):
+            def along(value: float, _j: int = j) -> float:
+                trial = x.copy()
+                trial[_j] = value
+                return f(trial)
+
+            line = golden_section(along, lo, hi,
+                                  xtol=xtol * max(1.0, hi - lo))
+            if line.fun < best:
+                x[j] = float(line.x)
+                best = line.fun
+        if float(np.max(np.abs(x - x_before))) < xtol:
+            return MinimizeResult(x, best, sweep, True)
+    return MinimizeResult(x, best, sweep, False)

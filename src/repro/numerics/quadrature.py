@@ -1,0 +1,116 @@
+"""Numerical quadrature on sampled data and callables.
+
+The cost functional (paper Eq. 13) integrates the running cost
+``Σ_i (c1 ε1² S_i² + c2 ε2² I_i²)`` along trajectories that are available
+only on the FBSM time grid, so composite rules on *samples* are the
+primary need; adaptive Simpson on callables is provided for calibration
+utilities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, ParameterError
+
+__all__ = ["trapezoid", "simpson", "adaptive_simpson", "cumulative_trapezoid"]
+
+
+def _validate_samples(y: Sequence[float] | np.ndarray,
+                      x: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_arr = np.asarray(y, dtype=float)
+    x_arr = np.asarray(x, dtype=float)
+    if y_arr.ndim != 1 or x_arr.ndim != 1 or y_arr.size != x_arr.size:
+        raise ParameterError("x and y must be 1-D arrays of equal length")
+    if y_arr.size < 2:
+        raise ParameterError("need at least two samples to integrate")
+    if not np.all(np.diff(x_arr) > 0):
+        raise ParameterError("x must be strictly increasing")
+    return y_arr, x_arr
+
+
+def trapezoid(y: Sequence[float] | np.ndarray,
+              x: Sequence[float] | np.ndarray) -> float:
+    """Composite trapezoid rule over samples ``(x, y)``."""
+    y_arr, x_arr = _validate_samples(y, x)
+    dx = np.diff(x_arr)
+    return float(np.sum(0.5 * dx * (y_arr[:-1] + y_arr[1:])))
+
+
+def cumulative_trapezoid(y: Sequence[float] | np.ndarray,
+                         x: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Running trapezoid integral; element ``j`` is ``∫_{x0}^{xj} y dx``."""
+    y_arr, x_arr = _validate_samples(y, x)
+    dx = np.diff(x_arr)
+    out = np.empty_like(y_arr)
+    out[0] = 0.0
+    np.cumsum(0.5 * dx * (y_arr[:-1] + y_arr[1:]), out=out[1:])
+    return out
+
+
+def simpson(y: Sequence[float] | np.ndarray,
+            x: Sequence[float] | np.ndarray) -> float:
+    """Composite Simpson rule on samples.
+
+    Requires a uniform grid.  With an even number of intervals the pure
+    Simpson rule applies; with an odd number the final interval is handled
+    by the trapezoid rule (consistent with common practice).
+    """
+    y_arr, x_arr = _validate_samples(y, x)
+    dx = np.diff(x_arr)
+    if not np.allclose(dx, dx[0], rtol=1e-9, atol=0.0):
+        raise ParameterError("simpson requires a uniform grid; use trapezoid")
+    h = float(dx[0])
+    n_intervals = y_arr.size - 1
+    even_span = n_intervals if n_intervals % 2 == 0 else n_intervals - 1
+    total = 0.0
+    if even_span >= 2:
+        ys = y_arr[: even_span + 1]
+        total += (h / 3.0) * float(
+            ys[0] + ys[-1] + 4.0 * np.sum(ys[1:-1:2]) + 2.0 * np.sum(ys[2:-1:2])
+        )
+    if even_span != n_intervals:
+        total += 0.5 * h * float(y_arr[-2] + y_arr[-1])
+    return total
+
+
+def adaptive_simpson(f: Callable[[float], float], a: float, b: float, *,
+                     tol: float = 1e-10, max_depth: int = 48) -> float:
+    """Adaptive Simpson quadrature of a callable on ``[a, b]``."""
+    if not (math.isfinite(a) and math.isfinite(b)):
+        raise ParameterError("integration bounds must be finite")
+    if a == b:
+        return 0.0
+    sign = 1.0
+    if a > b:
+        a, b, sign = b, a, -1.0
+    fa, fb = f(a), f(b)
+    m = 0.5 * (a + b)
+    fm = f(m)
+    whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+    value = _asimpson(f, a, b, fa, fm, fb, whole, tol, max_depth)
+    return sign * value
+
+
+def _asimpson(f: Callable[[float], float], a: float, b: float,
+              fa: float, fm: float, fb: float, whole: float,
+              tol: float, depth: int) -> float:
+    m = 0.5 * (a + b)
+    lm, rm = 0.5 * (a + m), 0.5 * (m + b)
+    flm, frm = f(lm), f(rm)
+    left = (m - a) / 6.0 * (fa + 4.0 * flm + fm)
+    right = (b - m) / 6.0 * (fm + 4.0 * frm + fb)
+    if depth <= 0:
+        raise ConvergenceError(
+            "adaptive Simpson reached maximum recursion depth",
+            residual=abs(left + right - whole),
+        )
+    if abs(left + right - whole) <= 15.0 * tol:
+        return left + right + (left + right - whole) / 15.0
+    return (
+        _asimpson(f, a, m, fa, flm, fm, left, tol / 2.0, depth - 1)
+        + _asimpson(f, m, b, fm, frm, fb, right, tol / 2.0, depth - 1)
+    )

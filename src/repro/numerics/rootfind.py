@@ -1,0 +1,223 @@
+"""Scalar root finding implemented from scratch.
+
+The reproduction needs reliable scalar root finding in two places:
+
+* solving the positive-equilibrium fixed-point equation ``F(Θ*) = 0``
+  (paper Eq. 5), where ``F`` is smooth and strictly monotone on the
+  bracket, and
+* calibrating controller gains and acceptance-rate scales against target
+  values of ``r0`` or terminal infection levels.
+
+Three methods are provided with a common interface: robust
+:func:`bisect`, fast-and-robust :func:`brent` (the default used across the
+library), and :func:`newton` for callers that can supply derivatives.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import BracketingError, ConvergenceError
+
+__all__ = ["RootResult", "bisect", "brent", "newton", "expand_bracket"]
+
+_DEFAULT_XTOL = 1e-12
+_DEFAULT_RTOL = 4.0 * math.ulp(1.0)
+_DEFAULT_MAXITER = 200
+
+
+@dataclass(frozen=True)
+class RootResult:
+    """Outcome of a scalar root search.
+
+    Attributes
+    ----------
+    root:
+        Abscissa of the located root.
+    residual:
+        Function value at :attr:`root`.
+    iterations:
+        Iterations consumed.
+    converged:
+        Whether the tolerance was met (methods raise on failure, so this
+        is ``True`` for any returned result; kept for API symmetry).
+    """
+
+    root: float
+    residual: float
+    iterations: int
+    converged: bool = True
+
+
+def _validate_bracket(f: Callable[[float], float], a: float, b: float) -> tuple[float, float]:
+    if not (math.isfinite(a) and math.isfinite(b)):
+        raise BracketingError(f"bracket endpoints must be finite, got ({a}, {b})")
+    if a == b:
+        raise BracketingError("bracket endpoints coincide")
+    fa, fb = f(a), f(b)
+    if not (math.isfinite(fa) and math.isfinite(fb)):
+        raise BracketingError(f"f is not finite on the bracket: f({a})={fa}, f({b})={fb}")
+    if fa == 0.0 or fb == 0.0:
+        return fa, fb
+    if fa * fb > 0.0:
+        raise BracketingError(
+            f"no sign change on bracket [{a}, {b}]: f(a)={fa:.6g}, f(b)={fb:.6g}"
+        )
+    return fa, fb
+
+
+def bisect(f: Callable[[float], float], a: float, b: float, *,
+           xtol: float = _DEFAULT_XTOL, rtol: float = _DEFAULT_RTOL,
+           maxiter: int = _DEFAULT_MAXITER * 4) -> RootResult:
+    """Find a root of ``f`` on ``[a, b]`` by bisection.
+
+    Linear convergence but unconditionally robust.  Raises
+    :class:`~repro.exceptions.BracketingError` when the bracket does not
+    enclose a sign change.
+    """
+    fa, fb = _validate_bracket(f, a, b)
+    if fa == 0.0:
+        return RootResult(a, 0.0, 0)
+    if fb == 0.0:
+        return RootResult(b, 0.0, 0)
+    lo, hi = (a, b) if a < b else (b, a)
+    flo = fa if a < b else fb
+    for iteration in range(1, maxiter + 1):
+        mid = 0.5 * (lo + hi)
+        fmid = f(mid)
+        if fmid == 0.0 or (hi - lo) < xtol + rtol * abs(mid):
+            return RootResult(mid, fmid, iteration)
+        if flo * fmid < 0.0:
+            hi = mid
+        else:
+            lo, flo = mid, fmid
+    raise ConvergenceError(
+        f"bisection did not converge in {maxiter} iterations",
+        iterations=maxiter, residual=f(0.5 * (lo + hi)),
+    )
+
+
+def brent(f: Callable[[float], float], a: float, b: float, *,
+          xtol: float = _DEFAULT_XTOL, rtol: float = _DEFAULT_RTOL,
+          maxiter: int = _DEFAULT_MAXITER) -> RootResult:
+    """Find a root of ``f`` on ``[a, b]`` with Brent's method.
+
+    Combines bisection, secant, and inverse quadratic interpolation;
+    superlinear on smooth functions while retaining the bisection
+    robustness guarantee.  This is the library default for all scalar
+    solves (notably the ``F(Θ*) = 0`` equilibrium equation).
+    """
+    fa, fb = _validate_bracket(f, a, b)
+    if fa == 0.0:
+        return RootResult(a, 0.0, 0)
+    if fb == 0.0:
+        return RootResult(b, 0.0, 0)
+    # Standard Brent bookkeeping: b is the best iterate, a the previous,
+    # c the counterpoint keeping the bracket.
+    if abs(fa) < abs(fb):
+        a, b, fa, fb = b, a, fb, fa
+    c, fc = a, fa
+    d = e = b - a
+    for iteration in range(1, maxiter + 1):
+        if fb == 0.0:
+            return RootResult(b, 0.0, iteration)
+        if fa * fb > 0.0:
+            a, fa = c, fc
+            d = e = b - a
+        if abs(fa) < abs(fb):
+            c, b, a = b, a, b
+            fc, fb, fa = fb, fa, fb
+        tol = 2.0 * rtol * abs(b) + 0.5 * xtol
+        m = 0.5 * (a - b)
+        if abs(m) <= tol:
+            return RootResult(b, fb, iteration)
+        if abs(e) < tol or abs(fc) <= abs(fb):
+            d = e = m  # fall back to bisection
+        else:
+            s = fb / fc
+            if a == c:
+                # secant step
+                p = 2.0 * m * s
+                q = 1.0 - s
+            else:
+                # inverse quadratic interpolation
+                q_ = fc / fa
+                r = fb / fa
+                p = s * (2.0 * m * q_ * (q_ - r) - (b - c) * (r - 1.0))
+                q = (q_ - 1.0) * (r - 1.0) * (s - 1.0)
+            if p > 0.0:
+                q = -q
+            p = abs(p)
+            if 2.0 * p < min(3.0 * m * q - abs(tol * q), abs(e * q)):
+                e, d = d, p / q  # accept interpolation
+            else:
+                d = e = m  # bisection
+        c, fc = b, fb
+        b += d if abs(d) > tol else math.copysign(tol, m)
+        fb = f(b)
+    raise ConvergenceError(
+        f"Brent's method did not converge in {maxiter} iterations",
+        iterations=maxiter, residual=fb,
+    )
+
+
+def newton(f: Callable[[float], float], fprime: Callable[[float], float],
+           x0: float, *, xtol: float = _DEFAULT_XTOL,
+           maxiter: int = 100) -> RootResult:
+    """Newton–Raphson iteration from ``x0`` with derivative ``fprime``.
+
+    Quadratic convergence near simple roots; raises
+    :class:`~repro.exceptions.ConvergenceError` on stagnation or when the
+    derivative vanishes.
+    """
+    x = float(x0)
+    for iteration in range(1, maxiter + 1):
+        fx = f(x)
+        if fx == 0.0:
+            return RootResult(x, 0.0, iteration)
+        dfx = fprime(x)
+        if dfx == 0.0 or not math.isfinite(dfx):
+            raise ConvergenceError(
+                f"Newton derivative vanished or diverged at x={x:.6g}",
+                iterations=iteration, residual=fx,
+            )
+        step = fx / dfx
+        x_new = x - step
+        if not math.isfinite(x_new):
+            raise ConvergenceError(
+                "Newton iterate diverged", iterations=iteration, residual=fx,
+            )
+        if abs(step) < xtol * (1.0 + abs(x_new)):
+            return RootResult(x_new, f(x_new), iteration)
+        x = x_new
+    raise ConvergenceError(
+        f"Newton did not converge in {maxiter} iterations",
+        iterations=maxiter, residual=f(x),
+    )
+
+
+def expand_bracket(f: Callable[[float], float], a: float, b: float, *,
+                   factor: float = 1.6, maxiter: int = 60) -> tuple[float, float]:
+    """Geometrically expand ``[a, b]`` until it brackets a sign change.
+
+    Useful when only a rough scale for the root is known (e.g. the upper
+    bound on ``Θ+``).  Returns the expanded bracket; raises
+    :class:`~repro.exceptions.BracketingError` if expansion fails.
+    """
+    if a == b:
+        raise BracketingError("cannot expand a degenerate bracket")
+    fa, fb = f(a), f(b)
+    for _ in range(maxiter):
+        if fa * fb <= 0.0:
+            return a, b
+        if abs(fa) < abs(fb):
+            a += factor * (a - b)
+            fa = f(a)
+        else:
+            b += factor * (b - a)
+            fb = f(b)
+    raise BracketingError(
+        f"failed to bracket a root starting from [{a:.6g}, {b:.6g}]"
+    )

@@ -1,0 +1,63 @@
+"""Stochastic simulation substrate: agent-based and event-driven rumor
+spreading on explicit graphs, seeding strategies, and mean-field
+comparison metrics."""
+
+from repro.simulation.agent_based import (
+    AgentBasedConfig,
+    AgentBasedResult,
+    simulate_agent_based,
+)
+from repro.simulation.blocking import (
+    BLOCKER_STRATEGIES,
+    BlockingOutcome,
+    compare_strategies,
+    run_with_blockers,
+    select_blockers,
+)
+from repro.simulation.gillespie import (
+    GillespieConfig,
+    GillespieResult,
+    simulate_gillespie,
+)
+from repro.simulation.influence import (
+    InfluenceResult,
+    estimate_spread,
+    greedy_influence_max,
+    independent_cascade,
+)
+from repro.simulation.metrics import (
+    EnsembleSummary,
+    ensemble_average,
+    step_interpolate,
+    trajectory_rmse,
+)
+from repro.simulation.seeding import (
+    seed_degree_proportional,
+    seed_random,
+    seed_top_degree,
+)
+
+__all__ = [
+    "AgentBasedConfig",
+    "AgentBasedResult",
+    "simulate_agent_based",
+    "GillespieConfig",
+    "GillespieResult",
+    "simulate_gillespie",
+    "EnsembleSummary",
+    "ensemble_average",
+    "step_interpolate",
+    "trajectory_rmse",
+    "seed_random",
+    "seed_top_degree",
+    "seed_degree_proportional",
+    "BLOCKER_STRATEGIES",
+    "select_blockers",
+    "BlockingOutcome",
+    "run_with_blockers",
+    "compare_strategies",
+    "independent_cascade",
+    "estimate_spread",
+    "greedy_influence_max",
+    "InfluenceResult",
+]

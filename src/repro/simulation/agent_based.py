@@ -1,0 +1,221 @@
+"""Discrete-time agent-based rumor simulation on explicit graphs.
+
+The mean-field ODE (paper System (1)) is an approximation; this module
+provides the ground truth it approximates — every user is a node, every
+contact an edge, and at each time step Δt:
+
+* a susceptible node ``v`` accumulates infection pressure
+  ``Σ_{u ∈ N(v), u infected} ω(k_u) / k_u`` — each infected user's
+  infectivity is spread across its ``k_u`` links, which is exactly how
+  the paper's ``Θ`` ("the proportion of the social connection of
+  infected individuals over the entire social connection") weights
+  spreaders — and believes the rumor with probability
+  ``1 − exp(−λ(k_v) · pressure / k_v · Δt)``; averaging this rate over
+  an uncorrelated network recovers the ODE's ``λ(k_v) Θ`` term exactly,
+* a susceptible node is immunized with probability ``1 − exp(−ε1 Δt)``,
+* an infected node is blocked with probability ``1 − exp(−ε2 Δt)``.
+
+Per-degree-group densities are recorded each step, so runs are directly
+comparable to :class:`~repro.core.state.RumorTrajectory`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.epidemic.acceptance import AcceptanceFunction
+from repro.epidemic.infectivity import InfectivityFunction
+from repro.exceptions import ParameterError
+from repro.networks.graph import Graph
+
+__all__ = ["AgentBasedConfig", "AgentBasedResult", "simulate_agent_based"]
+
+_SUSCEPTIBLE, _INFECTED, _RECOVERED = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class AgentBasedConfig:
+    """Configuration of a discrete-time agent-based run.
+
+    Attributes
+    ----------
+    acceptance, infectivity:
+        The λ(k)/ω(k) families shared with the mean-field model.
+    eps1, eps2:
+        Immunization/blocking rates — constants or callables of time.
+    dt:
+        Time step; probabilities ``rate·dt`` must stay below 1.
+    t_final:
+        Horizon.
+    """
+
+    acceptance: AcceptanceFunction
+    infectivity: InfectivityFunction
+    eps1: float | Callable[[float], float] = 0.0
+    eps2: float | Callable[[float], float] = 0.0
+    dt: float = 0.1
+    t_final: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0 or self.t_final <= 0:
+            raise ParameterError("dt and t_final must be positive")
+        if self.t_final < self.dt:
+            raise ParameterError("t_final must be at least one step")
+
+
+@dataclass(frozen=True)
+class AgentBasedResult:
+    """Per-step population densities plus per-group infected densities.
+
+    Attributes
+    ----------
+    times:
+        Step times, shape ``(m,)``.
+    susceptible, infected, recovered:
+        Population-level densities, shape ``(m,)``.
+    group_degrees:
+        Distinct degrees present in the graph, shape ``(g,)``.
+    group_infected:
+        Per-degree-group infected densities, shape ``(m, g)``.
+    """
+
+    times: np.ndarray
+    susceptible: np.ndarray
+    infected: np.ndarray
+    recovered: np.ndarray
+    group_degrees: np.ndarray
+    group_infected: np.ndarray
+
+    @property
+    def peak_infected(self) -> float:
+        """Maximum population infected density."""
+        return float(self.infected.max())
+
+    @property
+    def final_recovered(self) -> float:
+        """Recovered density at the end of the run."""
+        return float(self.recovered[-1])
+
+
+def _as_rate(value: float | Callable[[float], float]) -> Callable[[float], float]:
+    if callable(value):
+        return value
+    rate = float(value)
+    if rate < 0:
+        raise ParameterError("rates must be non-negative")
+    return lambda _t: rate
+
+
+def simulate_agent_based(graph: Graph, seeds: np.ndarray,
+                         config: AgentBasedConfig, *,
+                         rng: np.random.Generator | None = None) -> AgentBasedResult:
+    """Run one stochastic realization on ``graph`` from ``seeds``.
+
+    Nodes of degree 0 are left susceptible forever (they have no
+    contacts); they still count in population densities, matching how the
+    mean-field normalizes by total population.
+    """
+    if graph.n_nodes == 0:
+        raise ParameterError("graph has no nodes")
+    seeds = np.asarray(seeds, dtype=np.int64)
+    if seeds.size == 0 or np.unique(seeds).size != seeds.size:
+        raise ParameterError("seeds must be non-empty and distinct")
+    if seeds.min() < 0 or seeds.max() >= graph.n_nodes:
+        raise ParameterError("seed node ids out of range")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    n = graph.n_nodes
+    degrees = graph.degrees()
+    positive = degrees > 0
+    lambda_node = np.zeros(n)
+    spread_weight = np.zeros(n)  # ω(k_u)/k_u: infectivity per link
+    lambda_node[positive] = config.acceptance(degrees[positive].astype(float))
+    spread_weight[positive] = (
+        config.infectivity(degrees[positive].astype(float))
+        / degrees[positive]
+    )
+
+    eps1 = _as_rate(config.eps1)
+    eps2 = _as_rate(config.eps2)
+    dt = config.dt
+    n_steps = int(round(config.t_final / dt))
+
+    state = np.full(n, _SUSCEPTIBLE, dtype=np.int8)
+    state[seeds] = _INFECTED
+
+    group_degrees = np.unique(degrees[positive])
+    group_index = {int(k): j for j, k in enumerate(group_degrees)}
+    group_sizes = np.array(
+        [int(np.sum(degrees == k)) for k in group_degrees], dtype=float
+    )
+
+    times = np.empty(n_steps + 1)
+    pop = np.empty((n_steps + 1, 3))
+    group_infected = np.empty((n_steps + 1, group_degrees.size))
+
+    neighbor_lists = [np.fromiter(graph.neighbors(u), dtype=np.int64,
+                                  count=graph.degree(u)) for u in range(n)]
+
+    def record(step: int, t: float) -> None:
+        times[step] = t
+        pop[step, 0] = np.sum(state == _SUSCEPTIBLE) / n
+        pop[step, 1] = np.sum(state == _INFECTED) / n
+        pop[step, 2] = np.sum(state == _RECOVERED) / n
+        for k, j in group_index.items():
+            mask = degrees == k
+            group_infected[step, j] = np.sum(state[mask] == _INFECTED) / group_sizes[j]
+
+    record(0, 0.0)
+    for step in range(1, n_steps + 1):
+        t = step * dt
+        e1 = max(0.0, float(eps1(t)))
+        e2 = max(0.0, float(eps2(t)))
+        infected_nodes = np.flatnonzero(state == _INFECTED)
+        susceptible_nodes = np.flatnonzero(state == _SUSCEPTIBLE)
+
+        # Infection: accumulate per-link pressure from infected neighbors.
+        newly_infected: list[int] = []
+        if infected_nodes.size:
+            pressure = np.zeros(n)
+            for u in infected_nodes:
+                neighbors = neighbor_lists[u]
+                if neighbors.size:
+                    pressure[neighbors] += spread_weight[u]
+            candidates = susceptible_nodes[pressure[susceptible_nodes] > 0]
+            if candidates.size:
+                rate = (lambda_node[candidates] * pressure[candidates]
+                        / degrees[candidates])
+                prob = 1.0 - np.exp(-rate * dt)
+                draws = rng.random(candidates.size)
+                newly_infected = list(candidates[draws < prob])
+
+        # Immunization of susceptibles, blocking of infected.
+        if e1 > 0 and susceptible_nodes.size:
+            prob1 = 1.0 - np.exp(-e1 * dt)
+            immunized = susceptible_nodes[rng.random(susceptible_nodes.size) < prob1]
+        else:
+            immunized = np.empty(0, dtype=np.int64)
+        if e2 > 0 and infected_nodes.size:
+            prob2 = 1.0 - np.exp(-e2 * dt)
+            blocked = infected_nodes[rng.random(infected_nodes.size) < prob2]
+        else:
+            blocked = np.empty(0, dtype=np.int64)
+
+        # Apply transitions (immunization wins over same-step infection,
+        # matching the ODE where ε1 removes susceptibles before exposure).
+        state[newly_infected] = _INFECTED
+        state[immunized] = _RECOVERED
+        state[blocked] = _RECOVERED
+        record(step, t)
+
+    return AgentBasedResult(
+        times=times,
+        susceptible=pop[:, 0],
+        infected=pop[:, 1],
+        recovered=pop[:, 2],
+        group_degrees=group_degrees.astype(float),
+        group_infected=group_infected,
+    )

@@ -1,0 +1,152 @@
+"""Influential-user blocking strategies ("Rumor ends with Sage").
+
+The paper's related work blocks rumors at influential users chosen by
+Degree, Betweenness, or Core.  This module makes those strategies
+runnable: pre-immunize a budget of users (they start Recovered — trained
+to recognize the rumor, so they neither believe nor spread it), run the
+stochastic simulation, and compare how much each selection rule shrinks
+the outbreak.
+
+This is the *graph-level* countermeasure complementing the paper's
+*rate-level* ε1/ε2 controls; the bench ``bench_blocking.py`` reproduces
+the classic finding that targeted immunization beats random immunization
+dramatically on scale-free networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.networks.centrality import (
+    betweenness_centrality,
+    core_numbers,
+    degree_centrality,
+    top_nodes,
+)
+from repro.networks.graph import Graph
+from repro.simulation.agent_based import (
+    AgentBasedConfig,
+    AgentBasedResult,
+    simulate_agent_based,
+)
+
+__all__ = ["BLOCKER_STRATEGIES", "select_blockers", "BlockingOutcome",
+           "run_with_blockers", "compare_strategies"]
+
+
+def _random_scores(graph: Graph, rng: np.random.Generator) -> np.ndarray:
+    return rng.random(graph.n_nodes)
+
+
+#: strategy name → score function (higher score = blocked first).
+BLOCKER_STRATEGIES: dict[str, Callable[..., np.ndarray]] = {
+    "degree": lambda graph, rng: degree_centrality(graph),
+    "betweenness": lambda graph, rng: betweenness_centrality(graph),
+    "core": lambda graph, rng: core_numbers(graph).astype(float),
+    "random": _random_scores,
+}
+
+
+def select_blockers(graph: Graph, strategy: str, budget: int, *,
+                    rng: np.random.Generator | None = None) -> np.ndarray:
+    """Pick ``budget`` blocker nodes by the named strategy."""
+    try:
+        scorer = BLOCKER_STRATEGIES[strategy]
+    except KeyError:
+        raise ParameterError(
+            f"unknown strategy {strategy!r}; choose from "
+            f"{sorted(BLOCKER_STRATEGIES)}"
+        ) from None
+    rng = rng if rng is not None else np.random.default_rng()
+    scores = scorer(graph, rng)
+    return top_nodes(scores, budget)
+
+
+@dataclass(frozen=True)
+class BlockingOutcome:
+    """Outbreak summary under one blocking strategy."""
+
+    strategy: str
+    budget: int
+    peak_infected: float
+    final_recovered: float
+    #: cumulative ever-infected fraction (excludes the pre-immunized)
+    attack_rate: float
+    result: AgentBasedResult
+
+
+def run_with_blockers(graph: Graph, seeds: np.ndarray,
+                      blockers: np.ndarray, config: AgentBasedConfig, *,
+                      strategy: str = "custom",
+                      rng: np.random.Generator | None = None) -> BlockingOutcome:
+    """Run the agent-based simulation with ``blockers`` pre-immunized.
+
+    Pre-immunization is modelled by letting the blocked nodes start
+    recovered — implemented by seeding the simulation normally and
+    removing the blockers from the contact structure (their edges cannot
+    carry the rumor, exactly the "trained to distinguish rumor from
+    truth" semantics).  Seeds overlapping the blocker set are rejected.
+    """
+    blockers = np.asarray(blockers, dtype=np.int64)
+    seeds = np.asarray(seeds, dtype=np.int64)
+    if np.intersect1d(blockers, seeds).size:
+        raise ParameterError("seeds and blockers must be disjoint")
+    if callable(config.eps1) or config.eps1 != 0.0:
+        raise ParameterError(
+            "blocking comparisons require eps1 = 0 so the recovered "
+            "compartment counts only ever-infected users (the attack rate)"
+        )
+    # Remove the blockers' edges; the nodes stay (still susceptible but
+    # unreachable), so densities keep the same population denominator.
+    blocked = set(blockers.tolist())
+    pruned = Graph(graph.n_nodes, (
+        (u, v) for u, v in graph.edges()
+        if u not in blocked and v not in blocked
+    ))
+    result = simulate_agent_based(pruned, seeds, config, rng=rng)
+    # With eps1 = 0, everyone in I or R was infected at some point.
+    attack = float(result.infected[-1] + result.recovered[-1])
+    return BlockingOutcome(
+        strategy=strategy,
+        budget=int(blockers.size),
+        peak_infected=result.peak_infected,
+        final_recovered=result.final_recovered,
+        attack_rate=attack,
+        result=result,
+    )
+
+
+def compare_strategies(graph: Graph, config: AgentBasedConfig, *,
+                       budget: int, n_seeds: int,
+                       strategies: Sequence[str] = ("degree", "betweenness",
+                                                    "core", "random"),
+                       n_runs: int = 3,
+                       rng: np.random.Generator | None = None) -> dict[str, float]:
+    """Mean attack rate per strategy over ``n_runs`` seeded outbreaks.
+
+    Seeds are drawn uniformly from the non-blocked nodes, separately per
+    strategy and run (same generator stream, so comparisons share luck).
+    """
+    if budget < 1 or budget >= graph.n_nodes:
+        raise ParameterError("budget must be in [1, n_nodes)")
+    if n_seeds < 1 or budget + n_seeds > graph.n_nodes:
+        raise ParameterError("budget + n_seeds must fit in the graph")
+    rng = rng if rng is not None else np.random.default_rng()
+    outcome: dict[str, float] = {}
+    for strategy in strategies:
+        blockers = select_blockers(graph, strategy, budget, rng=rng)
+        blocked = set(blockers.tolist())
+        eligible = np.array([v for v in range(graph.n_nodes)
+                             if v not in blocked])
+        rates = []
+        for _ in range(n_runs):
+            seeds = rng.choice(eligible, size=n_seeds, replace=False)
+            run = run_with_blockers(graph, seeds, blockers, config,
+                                    strategy=strategy, rng=rng)
+            rates.append(run.attack_rate)
+        outcome[strategy] = float(np.mean(rates))
+    return outcome

@@ -1,0 +1,87 @@
+"""Comparison metrics between stochastic runs and mean-field trajectories.
+
+Used by the V1 validation benchmark and tests: ensemble-average several
+stochastic runs onto a common grid and measure their deviation from the
+ODE's population densities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.simulation.agent_based import AgentBasedResult
+from repro.simulation.gillespie import GillespieResult
+
+__all__ = ["EnsembleSummary", "ensemble_average", "trajectory_rmse",
+           "step_interpolate"]
+
+
+@dataclass(frozen=True)
+class EnsembleSummary:
+    """Mean ± std of population densities over an ensemble of runs."""
+
+    times: np.ndarray
+    mean_susceptible: np.ndarray
+    mean_infected: np.ndarray
+    mean_recovered: np.ndarray
+    std_infected: np.ndarray
+    n_runs: int
+
+
+def step_interpolate(times: np.ndarray, values: np.ndarray,
+                     grid: np.ndarray) -> np.ndarray:
+    """Right-continuous step interpolation (event series onto a grid)."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    grid = np.asarray(grid, dtype=float)
+    if times.size != values.size or times.size == 0:
+        raise ParameterError("times and values must be equal-length, non-empty")
+    idx = np.clip(np.searchsorted(times, grid, side="right") - 1, 0,
+                  times.size - 1)
+    return values[idx]
+
+
+def ensemble_average(runs: Sequence[AgentBasedResult | GillespieResult],
+                     grid: np.ndarray) -> EnsembleSummary:
+    """Average population densities of several runs on a common grid.
+
+    Agent-based results are linearly interpolated; Gillespie results use
+    step interpolation (their trajectories are genuinely piecewise
+    constant).
+    """
+    if not runs:
+        raise ParameterError("need at least one run")
+    grid = np.asarray(grid, dtype=float)
+    s_all = np.empty((len(runs), grid.size))
+    i_all = np.empty((len(runs), grid.size))
+    r_all = np.empty((len(runs), grid.size))
+    for row, run in enumerate(runs):
+        if isinstance(run, GillespieResult):
+            s_all[row] = step_interpolate(run.times, run.susceptible, grid)
+            i_all[row] = step_interpolate(run.times, run.infected, grid)
+            r_all[row] = step_interpolate(run.times, run.recovered, grid)
+        else:
+            s_all[row] = np.interp(grid, run.times, run.susceptible)
+            i_all[row] = np.interp(grid, run.times, run.infected)
+            r_all[row] = np.interp(grid, run.times, run.recovered)
+    return EnsembleSummary(
+        times=grid,
+        mean_susceptible=s_all.mean(axis=0),
+        mean_infected=i_all.mean(axis=0),
+        mean_recovered=r_all.mean(axis=0),
+        std_infected=i_all.std(axis=0),
+        n_runs=len(runs),
+    )
+
+
+def trajectory_rmse(reference: np.ndarray, measured: np.ndarray) -> float:
+    """Root-mean-square deviation between two equal-length series."""
+    reference = np.asarray(reference, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    if reference.shape != measured.shape or reference.size == 0:
+        raise ParameterError("series must be non-empty with equal shapes")
+    return float(np.sqrt(np.mean((reference - measured) ** 2)))

@@ -1,0 +1,7 @@
+"""Text-based visualization: ASCII charts and CSV series export."""
+
+from repro.viz.ascii import line_chart, multi_line_chart
+from repro.viz.export import read_series_csv, write_series_csv
+
+__all__ = ["line_chart", "multi_line_chart", "write_series_csv",
+           "read_series_csv"]

@@ -1,0 +1,94 @@
+"""ASCII line charts — figure rendering without matplotlib.
+
+The environment has no plotting stack, so figure runners render their
+series as Unicode-block line charts: good enough to eyeball the shapes
+the paper's figures show (decay to zero, convergence to a plateau,
+control crossovers) directly in a terminal or log file.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["line_chart", "multi_line_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, size: int) -> np.ndarray:
+    if hi <= lo:
+        return np.zeros(values.size, dtype=int)
+    frac = (values - lo) / (hi - lo)
+    return np.clip((frac * (size - 1)).round().astype(int), 0, size - 1)
+
+
+def multi_line_chart(x: Sequence[float] | np.ndarray,
+                     series: Mapping[str, Sequence[float] | np.ndarray], *,
+                     width: int = 72, height: int = 18,
+                     title: str = "", x_label: str = "t") -> str:
+    """Render several named series over a shared x-axis as ASCII art.
+
+    Each series gets a marker from ``* o + x …``; the legend, y-range, and
+    x-range are printed around the canvas.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1 or x.size < 2:
+        raise ParameterError("x must be a 1-D array with >= 2 points")
+    if not series:
+        raise ParameterError("need at least one series")
+    if len(series) > len(_MARKERS):
+        raise ParameterError(f"at most {len(_MARKERS)} series supported")
+    if width < 16 or height < 4:
+        raise ParameterError("canvas too small (min 16×4)")
+
+    arrays: dict[str, np.ndarray] = {}
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=float)
+        if arr.shape != x.shape:
+            raise ParameterError(
+                f"series {name!r} shape {arr.shape} must match x {x.shape}"
+            )
+        arrays[name] = arr
+
+    all_values = np.concatenate(list(arrays.values()))
+    finite = all_values[np.isfinite(all_values)]
+    if finite.size == 0:
+        raise ParameterError("all series values are non-finite")
+    y_lo, y_hi = float(finite.min()), float(finite.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    cols = _scale(x, float(x[0]), float(x[-1]), width)
+    for marker, (name, arr) in zip(_MARKERS, arrays.items()):
+        rows = _scale(arr, y_lo, y_hi, height)
+        for col, row, value in zip(cols, rows, arr):
+            if np.isfinite(value):
+                canvas[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(f"{marker}={name}"
+                        for marker, name in zip(_MARKERS, arrays))
+    lines.append(legend)
+    lines.append(f"{y_hi:.4g}".rjust(10))
+    for row in canvas:
+        lines.append(" " * 2 + "|" + "".join(row))
+    lines.append(f"{y_lo:.4g}".rjust(10))
+    lines.append(" " * 2 + "+" + "-" * width)
+    lines.append(f"  {x_label}: {x[0]:.4g} .. {x[-1]:.4g}")
+    return "\n".join(lines)
+
+
+def line_chart(x: Sequence[float] | np.ndarray,
+               y: Sequence[float] | np.ndarray, *,
+               name: str = "y", width: int = 72, height: int = 18,
+               title: str = "", x_label: str = "t") -> str:
+    """Single-series convenience wrapper around :func:`multi_line_chart`."""
+    return multi_line_chart(x, {name: y}, width=width, height=height,
+                            title=title, x_label=x_label)

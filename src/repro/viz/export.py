@@ -1,0 +1,63 @@
+"""CSV export of figure series.
+
+Every experiment runner writes its numeric series as CSV so the paper's
+figures can be regenerated in any plotting tool; this module owns the
+(minimal, dependency-free) format.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["write_series_csv", "read_series_csv"]
+
+
+def write_series_csv(path: str | Path,
+                     columns: Mapping[str, Sequence[float] | np.ndarray]) -> int:
+    """Write named, equal-length columns to ``path``; returns row count.
+
+    Column order follows the mapping's insertion order (put the x-axis
+    first).  Parent directories are created as needed.
+    """
+    if not columns:
+        raise ParameterError("need at least one column")
+    arrays = {name: np.asarray(values, dtype=float)
+              for name, values in columns.items()}
+    lengths = {arr.size for arr in arrays.values()}
+    if len(lengths) != 1:
+        raise ParameterError(
+            f"columns have inconsistent lengths: "
+            f"{ {name: arr.size for name, arr in arrays.items()} }"
+        )
+    n_rows = lengths.pop()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(arrays))
+        for row_index in range(n_rows):
+            writer.writerow([f"{arrays[name][row_index]:.10g}"
+                             for name in arrays])
+    return n_rows
+
+
+def read_series_csv(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a CSV written by :func:`write_series_csv` back into arrays."""
+    path = Path(path)
+    if not path.exists():
+        raise ParameterError(f"CSV not found: {path}")
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ParameterError(f"empty CSV: {path}") from None
+        rows = [[float(cell) for cell in row] for row in reader if row]
+    data = np.array(rows, dtype=float) if rows else np.empty((0, len(header)))
+    return {name: data[:, j].copy() for j, name in enumerate(header)}

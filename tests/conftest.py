@@ -1,0 +1,70 @@
+"""Shared fixtures: small, fast model configurations for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import RumorModelParameters
+from repro.core.state import SIRState
+from repro.core.threshold import calibrate_acceptance_scale
+from repro.epidemic.acceptance import LinearAcceptance
+from repro.epidemic.infectivity import SaturatingInfectivity
+from repro.networks.degree import DegreeDistribution, power_law_distribution
+from repro.networks.generators import erdos_renyi
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_distribution() -> DegreeDistribution:
+    """Three degree groups — the smallest interesting heterogeneity."""
+    return DegreeDistribution(
+        np.array([1.0, 4.0, 16.0]), np.array([0.6, 0.3, 0.1])
+    )
+
+
+@pytest.fixture
+def small_distribution() -> DegreeDistribution:
+    """Ten-group truncated power law."""
+    return power_law_distribution(1, 10, 2.0)
+
+
+@pytest.fixture
+def tiny_params(tiny_distribution: DegreeDistribution) -> RumorModelParameters:
+    """Three-group model with paper-style rate functions."""
+    return RumorModelParameters(
+        tiny_distribution, alpha=0.01,
+        acceptance=LinearAcceptance(0.05),
+        infectivity=SaturatingInfectivity(0.5, 0.5),
+    )
+
+
+@pytest.fixture
+def subcritical_params(small_distribution: DegreeDistribution) -> RumorModelParameters:
+    """Ten-group model calibrated to r0 = 0.7 at (ε1, ε2) = (0.2, 0.05)."""
+    base = RumorModelParameters(small_distribution, alpha=0.01)
+    return calibrate_acceptance_scale(base, 0.2, 0.05, 0.7)
+
+
+@pytest.fixture
+def supercritical_params(small_distribution: DegreeDistribution) -> RumorModelParameters:
+    """Ten-group model calibrated to r0 = 2.0 at (ε1, ε2) = (0.05, 0.05)."""
+    base = RumorModelParameters(small_distribution, alpha=0.01)
+    return calibrate_acceptance_scale(base, 0.05, 0.05, 2.0)
+
+
+@pytest.fixture
+def initial_state(subcritical_params: RumorModelParameters) -> SIRState:
+    """Paper-style initial condition on the ten-group model."""
+    return SIRState.initial(subcritical_params.n_groups, 0.05)
+
+
+@pytest.fixture
+def small_graph(rng: np.random.Generator):
+    """A modest ER graph for simulation tests."""
+    return erdos_renyi(200, 0.05, rng=rng)

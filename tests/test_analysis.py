@@ -1,0 +1,169 @@
+"""Tests for repro.analysis (distances, timeseries, sweep)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.distances import (
+    dist0_series,
+    dist_plus_series,
+    distance_series,
+    state_distance,
+)
+from repro.analysis.sweep import sweep_1d, sweep_grid
+from repro.analysis.timeseries import (
+    convergence_time,
+    extinction_time,
+    has_converged,
+    is_monotone_decreasing,
+    peak,
+)
+from repro.core.equilibrium import positive_equilibrium, zero_equilibrium
+from repro.core.model import HeterogeneousSIRModel
+from repro.core.state import SIRState
+from repro.exceptions import ParameterError
+
+
+class TestDistances:
+    def test_distance_zero_at_equilibrium(self, subcritical_params):
+        eq = zero_equilibrium(subcritical_params, 0.2, 0.05)
+        assert state_distance(eq.state, eq) == 0.0
+
+    def test_distance_positive_off_equilibrium(self, subcritical_params):
+        eq = zero_equilibrium(subcritical_params, 0.2, 0.05)
+        state = SIRState.initial(10, 0.3)
+        assert state_distance(state, eq) > 0.0
+
+    def test_inf_norm_vs_euclidean(self, subcritical_params):
+        eq = zero_equilibrium(subcritical_params, 0.2, 0.05)
+        state = SIRState.initial(10, 0.3)
+        inf_d = state_distance(state, eq, ord=np.inf)
+        l2_d = state_distance(state, eq, ord=2)
+        assert l2_d >= inf_d
+
+    def test_series_decays_for_subcritical(self, subcritical_params):
+        model = HeterogeneousSIRModel(subcritical_params)
+        eq = zero_equilibrium(subcritical_params, 0.2, 0.05)
+        traj = model.simulate(SIRState.initial(10, 0.2), t_final=400.0,
+                              eps1=0.2, eps2=0.05)
+        series = dist0_series(traj, eq)
+        assert series[-1] < 0.05 * series[0]
+
+    def test_series_decays_for_supercritical(self, supercritical_params):
+        model = HeterogeneousSIRModel(supercritical_params)
+        eq = positive_equilibrium(supercritical_params, 0.05, 0.05)
+        traj = model.simulate(SIRState.initial(10, 0.2), t_final=500.0,
+                              eps1=0.05, eps2=0.05)
+        series = dist_plus_series(traj, eq)
+        assert series[-1] < 0.05 * series[0]
+
+    def test_dist0_requires_zero_equilibrium(self, supercritical_params):
+        model = HeterogeneousSIRModel(supercritical_params)
+        eq = positive_equilibrium(supercritical_params, 0.05, 0.05)
+        traj = model.simulate(SIRState.initial(10, 0.1), t_final=10.0,
+                              eps1=0.05, eps2=0.05)
+        with pytest.raises(ParameterError):
+            dist0_series(traj, eq)
+
+    def test_dist_plus_requires_positive_equilibrium(self, subcritical_params):
+        model = HeterogeneousSIRModel(subcritical_params)
+        eq = zero_equilibrium(subcritical_params, 0.2, 0.05)
+        traj = model.simulate(SIRState.initial(10, 0.1), t_final=10.0,
+                              eps1=0.2, eps2=0.05)
+        with pytest.raises(ParameterError):
+            dist_plus_series(traj, eq)
+
+    def test_group_count_mismatch_raises(self, subcritical_params,
+                                         tiny_params):
+        eq = zero_equilibrium(subcritical_params, 0.2, 0.05)
+        state = SIRState.initial(3, 0.1)
+        with pytest.raises(ParameterError):
+            state_distance(state, eq)
+
+
+class TestExtinctionTime:
+    def test_simple_decay(self):
+        t = np.linspace(0, 10, 11)
+        infected = np.array([0.5, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01,
+                             1e-5, 1e-6, 1e-7, 1e-8])
+        assert extinction_time(t, infected) == pytest.approx(7.0)
+
+    def test_never_extinct(self):
+        t = np.linspace(0, 10, 11)
+        assert extinction_time(t, np.full(11, 0.5)) is None
+
+    def test_extinct_from_start(self):
+        t = np.linspace(0, 10, 11)
+        assert extinction_time(t, np.full(11, 1e-9)) == 0.0
+
+    def test_recrossing_detected(self):
+        t = np.linspace(0, 4, 5)
+        infected = np.array([0.5, 1e-9, 0.5, 1e-9, 1e-9])
+        # Last above-threshold sample at t = 2; extinction from t = 3.
+        assert extinction_time(t, infected) == pytest.approx(3.0)
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ParameterError):
+            extinction_time(np.array([0.0]), np.array([1.0]), threshold=0.0)
+
+
+class TestConvergence:
+    def test_has_converged_flat_tail(self):
+        values = np.concatenate([np.linspace(1, 0.5, 50), np.full(20, 0.5)])
+        assert has_converged(values, window=10, tolerance=1e-9)
+
+    def test_has_not_converged_moving_tail(self):
+        values = np.linspace(1.0, 0.0, 50)
+        assert not has_converged(values, window=10, tolerance=1e-9)
+
+    def test_too_short_series(self):
+        assert not has_converged(np.array([1.0, 1.0]), window=10)
+
+    def test_convergence_time(self):
+        t = np.linspace(0, 9, 10)
+        values = np.array([1.0, 0.8, 0.6, 0.5, 0.502, 0.5, 0.5005, 0.5,
+                           0.5, 0.5])
+        assert convergence_time(t, values, 0.5, tolerance=0.01) == \
+            pytest.approx(3.0)
+
+    def test_convergence_time_none(self):
+        t = np.linspace(0, 9, 10)
+        assert convergence_time(t, t, 0.0, tolerance=0.5) is None
+
+    def test_peak(self):
+        t = np.linspace(0, 4, 5)
+        values = np.array([0.0, 1.0, 3.0, 2.0, 0.5])
+        assert peak(t, values) == (2.0, 3.0)
+
+    def test_monotone_decreasing(self):
+        assert is_monotone_decreasing(np.array([3.0, 2.0, 2.0, 1.0]))
+        assert not is_monotone_decreasing(np.array([1.0, 2.0]))
+        assert is_monotone_decreasing(np.array([1.0, 1.05]), atol=0.1)
+
+
+class TestSweep:
+    def test_sweep_1d(self):
+        result = sweep_1d("x", [1, 2, 3], lambda x: {"square": x * x})
+        assert len(result) == 3
+        assert result.column("square") == [1, 4, 9]
+        assert result.column("x") == [1, 2, 3]
+
+    def test_sweep_1d_empty_raises(self):
+        with pytest.raises(ParameterError):
+            sweep_1d("x", [], lambda x: {})
+
+    def test_column_unknown_raises(self):
+        result = sweep_1d("x", [1], lambda x: {"y": x})
+        with pytest.raises(ParameterError):
+            result.column("z")
+
+    def test_sweep_grid_cartesian(self):
+        result = sweep_grid({"a": [1, 2], "b": [10, 20]},
+                            lambda a, b: {"sum": a + b})
+        assert len(result) == 4
+        assert result.column("sum") == [11, 21, 12, 22]
+
+    def test_sweep_grid_empty_axis_raises(self):
+        with pytest.raises(ParameterError):
+            sweep_grid({"a": []}, lambda a: {})

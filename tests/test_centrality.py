@@ -1,0 +1,114 @@
+"""Tests for repro.networks.centrality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.networks.centrality import (
+    betweenness_centrality,
+    core_numbers,
+    degree_centrality,
+    top_nodes,
+)
+from repro.networks.generators import barabasi_albert, erdos_renyi
+from repro.networks.graph import Graph
+
+
+@pytest.fixture
+def path_graph():
+    """0 - 1 - 2 - 3 - 4."""
+    return Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def star_graph():
+    return Graph(6, [(0, j) for j in range(1, 6)])
+
+
+class TestDegreeCentrality:
+    def test_star(self, star_graph):
+        scores = degree_centrality(star_graph)
+        assert scores[0] == pytest.approx(1.0)
+        assert scores[1] == pytest.approx(0.2)
+
+    def test_unnormalized(self, star_graph):
+        scores = degree_centrality(star_graph, normalized=False)
+        assert scores[0] == 5.0
+
+
+class TestBetweenness:
+    def test_path_graph_middle_dominates(self, path_graph):
+        scores = betweenness_centrality(path_graph)
+        # Middle node lies on all 3·2 = 6 of the (n−1)(n−2)/2 = 6 pairs
+        # not involving itself... exactly 4 pairs cross node 2 (0-3, 0-4,
+        # 1-3, 1-4) of 6 → 4/6.
+        assert scores[2] == pytest.approx(4.0 / 6.0)
+        assert scores[0] == 0.0
+        assert scores[4] == 0.0
+
+    def test_star_center(self, star_graph):
+        scores = betweenness_centrality(star_graph)
+        assert scores[0] == pytest.approx(1.0)  # on every leaf pair
+        assert np.all(scores[1:] == 0.0)
+
+    def test_cycle_symmetric(self):
+        g = Graph(6, [(j, (j + 1) % 6) for j in range(6)])
+        scores = betweenness_centrality(g)
+        assert np.allclose(scores, scores[0])
+
+    def test_matches_networkx(self):
+        import networkx as nx
+        g = erdos_renyi(60, 0.1, rng=np.random.default_rng(3))
+        ours = betweenness_centrality(g)
+        ref = nx.betweenness_centrality(g.to_networkx())
+        assert ours == pytest.approx(
+            np.array([ref[v] for v in range(g.n_nodes)]), abs=1e-12)
+
+    def test_tiny_graph_zero(self):
+        assert np.all(betweenness_centrality(Graph(2, [(0, 1)])) == 0.0)
+
+
+class TestCoreNumbers:
+    def test_tree_is_one_core(self, path_graph):
+        assert np.all(core_numbers(path_graph) == 1)
+
+    def test_clique_core(self):
+        g = Graph(4, [(a, b) for a in range(4) for b in range(a + 1, 4)])
+        assert np.all(core_numbers(g) == 3)
+
+    def test_clique_with_pendant(self):
+        g = Graph(5, [(a, b) for a in range(4) for b in range(a + 1, 4)])
+        g.add_edge(3, 4)
+        cores = core_numbers(g)
+        assert list(cores[:4]) == [3, 3, 3, 3]
+        assert cores[4] == 1
+
+    def test_isolated_nodes_zero(self):
+        g = Graph(3, [(0, 1)])
+        assert core_numbers(g)[2] == 0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+        g = barabasi_albert(200, 3, rng=np.random.default_rng(4))
+        ours = core_numbers(g)
+        ref = nx.core_number(g.to_networkx())
+        assert np.array_equal(ours, [ref[v] for v in range(g.n_nodes)])
+
+    def test_empty_graph(self):
+        assert core_numbers(Graph(0)).size == 0
+
+
+class TestTopNodes:
+    def test_selects_highest(self):
+        picked = top_nodes(np.array([0.1, 0.9, 0.5]), 2)
+        assert list(picked) == [1, 2]
+
+    def test_ties_break_by_id(self):
+        picked = top_nodes(np.array([0.5, 0.5, 0.5]), 2)
+        assert list(picked) == [0, 1]
+
+    def test_invalid_count_raises(self):
+        with pytest.raises(GraphError):
+            top_nodes(np.array([1.0]), 2)

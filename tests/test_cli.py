@@ -1,0 +1,59 @@
+"""Tests for repro.cli."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_subcommand(self):
+        args = build_parser().parse_args(["experiment", "fig2", "--out", "x"])
+        assert args.command == "experiment"
+        assert args.id == "fig2"
+        assert args.out == "x"
+
+    def test_threshold_defaults(self):
+        args = build_parser().parse_args(["threshold"])
+        assert args.alpha == 0.01
+        assert args.eps1 == 0.2
+        assert args.eps2 == 0.05
+
+    def test_dataset_subcommand(self):
+        args = build_parser().parse_args(["dataset"])
+        assert args.friends_csv is None
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_dataset_synthetic(self, capsys):
+        assert main(["dataset"]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic" in out
+        assert "848" in out
+
+    def test_dataset_from_csv(self, tmp_path: Path, capsys):
+        path = tmp_path / "digg_friends.csv"
+        path.write_text("1,1,1,2\n1,2,2,3\n")
+        assert main(["dataset", "--friends-csv", str(path)]) == 0
+        assert "digg2009-csv" in capsys.readouterr().out
+
+    def test_threshold_reports_verdict(self, capsys):
+        assert main(["threshold", "--eps1", "0.2", "--eps2", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "r0 =" in out
+        assert "EXTINCT" in out or "SPREADING" in out
+
+    def test_threshold_spreading_verdict(self, capsys):
+        assert main(["threshold", "--eps1", "0.01", "--eps2", "0.01"]) == 0
+        assert "SPREADING" in capsys.readouterr().out

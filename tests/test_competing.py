@@ -1,0 +1,103 @@
+"""Tests for repro.epidemic.competing — rumor vs anti-rumor cascades."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import RumorModelParameters
+from repro.epidemic.competing import (
+    CompetingDiffusionModel,
+    truth_seed_sweep,
+)
+from repro.exceptions import ParameterError
+from repro.networks.degree import power_law_distribution
+
+
+@pytest.fixture
+def model():
+    params = RumorModelParameters(power_law_distribution(1, 20, 2.0),
+                                  alpha=0.01).with_acceptance_scale(0.3)
+    return CompetingDiffusionModel(params, truth_advantage=0.8,
+                                   correction=0.5)
+
+
+class TestConstruction:
+    def test_invalid_parameters_raise(self, model):
+        with pytest.raises(ParameterError):
+            CompetingDiffusionModel(model.params, truth_advantage=0.0)
+        with pytest.raises(ParameterError):
+            CompetingDiffusionModel(model.params, correction=-0.1)
+        with pytest.raises(ParameterError):
+            CompetingDiffusionModel(model.params, eps2=-0.1)
+
+
+class TestDynamics:
+    def test_conservation(self, model):
+        trajectory = model.simulate(rumor0=0.05, truth0=0.05, t_final=60.0)
+        totals = trajectory.undecided + trajectory.rumor + trajectory.truth
+        assert np.allclose(totals, 1.0, atol=1e-9)
+
+    def test_no_truth_rumor_sweeps(self, model):
+        trajectory = model.simulate(rumor0=0.05, truth0=0.0, t_final=200.0)
+        assert trajectory.final_rumor_share() > 0.9
+        assert trajectory.winner() == "rumor"
+
+    def test_truth_seeding_suppresses_rumor(self, model):
+        unopposed = model.simulate(rumor0=0.05, truth0=0.0, t_final=200.0)
+        opposed = model.simulate(rumor0=0.05, truth0=0.05, t_final=200.0)
+        assert opposed.final_rumor_share() < \
+            0.2 * unopposed.final_rumor_share()
+
+    def test_symmetric_start_truth_wins_via_correction(self, model):
+        """With equal seeds and adoption disadvantage compensated by the
+        correction channel, truth ends ahead."""
+        trajectory = model.simulate(rumor0=0.05, truth0=0.05, t_final=300.0)
+        assert trajectory.winner() == "truth"
+
+    def test_blocking_helps_truth(self):
+        params = RumorModelParameters(power_law_distribution(1, 20, 2.0),
+                                      alpha=0.01).with_acceptance_scale(0.3)
+        passive = CompetingDiffusionModel(params, truth_advantage=0.5,
+                                          correction=0.1, eps2=0.0)
+        active = CompetingDiffusionModel(params, truth_advantage=0.5,
+                                         correction=0.1, eps2=0.1)
+        r_passive = passive.simulate(rumor0=0.05, truth0=0.02,
+                                     t_final=150.0).final_rumor_share()
+        r_active = active.simulate(rumor0=0.05, truth0=0.02,
+                                   t_final=150.0).final_rumor_share()
+        assert r_active < r_passive
+
+    def test_no_spontaneous_generation(self, model):
+        """Zero seeds of either cascade stay zero."""
+        trajectory = model.simulate(rumor0=0.0, truth0=0.05, t_final=50.0)
+        assert np.all(trajectory.rumor == 0.0)
+
+    def test_invalid_initial_shares_raise(self, model):
+        with pytest.raises(ParameterError):
+            model.simulate(rumor0=0.6, truth0=0.6, t_final=10.0)
+        with pytest.raises(ParameterError):
+            model.simulate(rumor0=-0.1, truth0=0.1, t_final=10.0)
+
+    def test_invalid_horizon_raises(self, model):
+        with pytest.raises(ParameterError):
+            model.simulate(rumor0=0.05, truth0=0.05, t_final=0.0)
+
+
+class TestTruthSeedSweep:
+    def test_monotone_suppression(self, model):
+        rows = truth_seed_sweep(model, rumor0=0.05,
+                                truth_seeds=(0.0, 0.02, 0.05, 0.1),
+                                t_final=150.0)
+        shares = [share for _, share in rows]
+        assert all(b < a for a, b in zip(shares, shares[1:]))
+
+    def test_returns_requested_points(self, model):
+        rows = truth_seed_sweep(model, rumor0=0.05,
+                                truth_seeds=(0.01, 0.03), t_final=50.0)
+        assert [seed for seed, _ in rows] == [0.01, 0.03]
+
+    def test_empty_sweep_raises(self, model):
+        with pytest.raises(ParameterError):
+            truth_seed_sweep(model, rumor0=0.05, truth_seeds=(),
+                             t_final=50.0)

@@ -1,0 +1,225 @@
+"""Tests for repro.control.heuristic and repro.control.constant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.admissible import ControlBounds
+from repro.control.constant import cheapest_extinction_pair, run_constant
+from repro.control.heuristic import (
+    HeuristicController,
+    calibrate_heuristic,
+    run_heuristic,
+)
+from repro.control.objective import CostParameters
+from repro.core.state import SIRState
+from repro.core.threshold import basic_reproduction_number
+from repro.exceptions import ConvergenceError, ParameterError
+
+
+@pytest.fixture
+def bounds():
+    return ControlBounds(1.0, 1.0)
+
+
+@pytest.fixture
+def costs():
+    return CostParameters(5.0, 10.0)
+
+
+class TestHeuristicController:
+    def test_threshold_mode_on_off(self, bounds):
+        c = HeuristicController(gain=0.4, bounds=bounds, mode="threshold",
+                                off_threshold=0.01)
+        assert c.controls_for(0.05, 0.1) == (0.4, 0.4)
+        assert c.controls_for(0.005, 0.1) == (0.0, 0.0)
+
+    def test_threshold_never_off_by_default(self, bounds):
+        c = HeuristicController(gain=0.4, bounds=bounds)
+        assert c.controls_for(1e-12, 0.1) == (0.4, 0.4)
+        assert c.controls_for(0.0, 0.1) == (0.0, 0.0)  # exactly extinct
+
+    def test_proportional_scales_with_severity(self, bounds):
+        c = HeuristicController(gain=0.4, bounds=bounds, mode="proportional")
+        low = c.controls_for(0.05, 0.1)
+        high = c.controls_for(0.1, 0.1)
+        assert high[0] == pytest.approx(2.0 * low[0])
+        assert high[1] == pytest.approx(2.0 * low[1])
+
+    def test_clamped_to_bounds(self):
+        c = HeuristicController(gain=100.0, bounds=ControlBounds(0.3, 0.6))
+        e1, e2 = c.controls_for(0.5, 0.5)
+        assert e1 == 0.3
+        assert e2 == 0.6
+
+    def test_negative_density_treated_as_zero(self, bounds):
+        c = HeuristicController(gain=1.0, bounds=bounds, mode="proportional")
+        assert c.controls_for(-1.0, 0.1) == (0.0, 0.0)
+
+    def test_shares_split_effort(self, bounds):
+        c = HeuristicController(gain=0.2, bounds=bounds, share1=2.0,
+                                share2=1.0)
+        e1, e2 = c.controls_for(0.5, 0.5)
+        assert e1 == pytest.approx(2.0 * e2)
+
+    def test_invalid_gain_raises(self, bounds):
+        with pytest.raises(ParameterError):
+            HeuristicController(gain=-1.0, bounds=bounds)
+
+    def test_zero_shares_raise(self, bounds):
+        with pytest.raises(ParameterError):
+            HeuristicController(gain=1.0, bounds=bounds, share1=0.0,
+                                share2=0.0)
+
+    def test_unknown_mode_raises(self, bounds):
+        with pytest.raises(ParameterError):
+            HeuristicController(gain=1.0, bounds=bounds, mode="psychic")
+
+
+class TestRunHeuristic:
+    def test_zero_gain_is_uncontrolled(self, supercritical_params, bounds,
+                                       costs):
+        initial = SIRState.initial(10, 0.05)
+        controller = HeuristicController(gain=0.0, bounds=bounds)
+        run = run_heuristic(supercritical_params, initial, controller,
+                            t_final=50.0, costs=costs)
+        assert np.all(run.eps1 == 0.0)
+        assert np.all(run.eps2 == 0.0)
+        assert run.cost.running == 0.0
+
+    def test_higher_gain_less_infection(self, supercritical_params, bounds,
+                                        costs):
+        initial = SIRState.initial(10, 0.05)
+        weak = run_heuristic(
+            supercritical_params, initial,
+            HeuristicController(gain=0.05, bounds=bounds),
+            t_final=50.0, costs=costs)
+        strong = run_heuristic(
+            supercritical_params, initial,
+            HeuristicController(gain=0.5, bounds=bounds),
+            t_final=50.0, costs=costs)
+        assert strong.terminal_infected() < weak.terminal_infected()
+
+    def test_proportional_controls_track_infection(self, supercritical_params,
+                                                   bounds, costs):
+        """Feedback property: the control trace follows the infection."""
+        initial = SIRState.initial(10, 0.05)
+        run = run_heuristic(
+            supercritical_params, initial,
+            HeuristicController(gain=0.3, bounds=bounds,
+                                mode="proportional"),
+            t_final=100.0, costs=costs)
+        infected = run.trajectory.population_infected()
+        unclamped = run.eps1 < bounds.eps1_max - 1e-12
+        ratio = run.eps1[unclamped] / (infected[unclamped] / infected[0])
+        assert np.allclose(ratio, 0.3, rtol=1e-6)
+
+    def test_threshold_controls_are_bang_bang(self, subcritical_params,
+                                              bounds, costs):
+        initial = SIRState.initial(10, 0.05)
+        run = run_heuristic(
+            subcritical_params, initial,
+            HeuristicController(gain=0.25, bounds=bounds,
+                                off_threshold=1e-4),
+            t_final=300.0, costs=costs)
+        levels = set(np.unique(np.round(run.eps1, 12)))
+        assert levels.issubset({0.0, 0.25})
+
+    def test_bad_horizon_raises(self, supercritical_params, bounds, costs):
+        initial = SIRState.initial(10, 0.05)
+        controller = HeuristicController(gain=0.1, bounds=bounds)
+        with pytest.raises(ParameterError):
+            run_heuristic(supercritical_params, initial, controller,
+                          t_final=0.0, costs=costs)
+
+
+class TestCalibrateHeuristic:
+    def test_meets_target(self, supercritical_params, bounds, costs):
+        initial = SIRState.initial(10, 0.05)
+        run = calibrate_heuristic(
+            supercritical_params, initial, t_final=60.0, bounds=bounds,
+            costs=costs, target_infected=1e-3, n_grid=121)
+        assert run.terminal_infected() <= 1e-3
+
+    def test_near_minimal_level(self, supercritical_params, bounds, costs):
+        """A materially weaker response must miss the target."""
+        initial = SIRState.initial(10, 0.05)
+        run = calibrate_heuristic(
+            supercritical_params, initial, t_final=60.0, bounds=bounds,
+            costs=costs, target_infected=1e-3, n_grid=121)
+        level = float(run.eps1.max())
+        weaker = run_heuristic(
+            supercritical_params, initial,
+            HeuristicController(gain=0.8 * level, bounds=bounds),
+            t_final=60.0, costs=costs, n_grid=121)
+        assert weaker.terminal_infected() > 1e-3
+
+    def test_longer_horizon_cheaper(self, supercritical_params, bounds,
+                                    costs):
+        """More time ⇒ gentler level ⇒ lower quadratic cost (the paper's
+        decreasing heuristic curve in Fig 4(c))."""
+        initial = SIRState.initial(10, 0.05)
+        short = calibrate_heuristic(
+            supercritical_params, initial, t_final=20.0, bounds=bounds,
+            costs=costs, target_infected=1e-3, n_grid=101)
+        long = calibrate_heuristic(
+            supercritical_params, initial, t_final=80.0, bounds=bounds,
+            costs=costs, target_infected=1e-3, n_grid=101)
+        assert long.cost.running < short.cost.running
+
+    def test_unreachable_target_raises(self, supercritical_params, costs):
+        initial = SIRState.initial(10, 0.3)
+        tight = ControlBounds(0.01, 0.01)
+        with pytest.raises(ConvergenceError):
+            calibrate_heuristic(
+                supercritical_params, initial, t_final=10.0, bounds=tight,
+                costs=costs, target_infected=1e-6, n_grid=51)
+
+    def test_invalid_target_raises(self, supercritical_params, bounds, costs):
+        initial = SIRState.initial(10, 0.05)
+        with pytest.raises(ParameterError):
+            calibrate_heuristic(
+                supercritical_params, initial, t_final=10.0, bounds=bounds,
+                costs=costs, target_infected=0.0)
+
+
+class TestConstantController:
+    def test_run_constant_costs(self, subcritical_params, costs):
+        initial = SIRState.initial(10, 0.05)
+        run = run_constant(subcritical_params, initial, eps1=0.2, eps2=0.05,
+                           t_final=400.0, costs=costs)
+        assert run.cost.running > 0.0
+        assert run.eps1 == 0.2
+        # r0 = 0.7 < 1: the rumor must be (nearly) extinct by t = 400.
+        assert run.terminal_infected() < 0.01
+
+    def test_negative_rate_raises(self, subcritical_params, costs):
+        initial = SIRState.initial(10, 0.05)
+        with pytest.raises(ParameterError):
+            run_constant(subcritical_params, initial, eps1=-0.1, eps2=0.05,
+                         t_final=10.0, costs=costs)
+
+    def test_cheapest_extinction_pair_on_critical_surface(
+            self, supercritical_params, costs):
+        bounds = ControlBounds(1.0, 1.0)
+        e1, e2 = cheapest_extinction_pair(supercritical_params, bounds, costs)
+        assert basic_reproduction_number(supercritical_params, e1, e2) == \
+            pytest.approx(1.0, rel=1e-9)
+        assert bounds.contains(e1, e2)
+
+    def test_cheapest_pair_prefers_cheaper_instrument(
+            self, supercritical_params):
+        bounds = ControlBounds(1.0, 1.0)
+        cheap_truth = cheapest_extinction_pair(
+            supercritical_params, bounds, CostParameters(c1=1.0, c2=100.0))
+        cheap_block = cheapest_extinction_pair(
+            supercritical_params, bounds, CostParameters(c1=100.0, c2=1.0))
+        # When truth is cheap, lean on ε1 (larger ε1, smaller ε2).
+        assert cheap_truth[0] > cheap_block[0]
+        assert cheap_truth[1] < cheap_block[1]
+
+    def test_unreachable_extinction_raises(self, supercritical_params, costs):
+        tight = ControlBounds(0.001, 0.001)
+        with pytest.raises(ParameterError):
+            cheapest_extinction_pair(supercritical_params, tight, costs)

@@ -1,0 +1,122 @@
+"""Tests for repro.core.correlated — the mixing-kernel extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.correlated import (
+    CorrelatedRumorModel,
+    assortative_kernel,
+    uniform_kernel,
+)
+from repro.core.model import HeterogeneousSIRModel
+from repro.core.state import SIRState
+from repro.core.threshold import basic_reproduction_number
+from repro.exceptions import ParameterError
+
+
+class TestKernels:
+    def test_uniform_kernel_values(self, subcritical_params):
+        kernel = uniform_kernel(subcritical_params)
+        n = subcritical_params.n_groups
+        assert kernel.shape == (n, n)
+        assert np.allclose(kernel, 1.0 / subcritical_params.mean_degree)
+
+    def test_assortative_strength_zero_is_uniform(self, subcritical_params):
+        assert np.allclose(assortative_kernel(subcritical_params, 0.0),
+                           uniform_kernel(subcritical_params))
+
+    def test_assortative_rows_preserve_total_coupling(self,
+                                                      subcritical_params):
+        kernel = assortative_kernel(subcritical_params, 3.0)
+        n = subcritical_params.n_groups
+        expected = n / subcritical_params.mean_degree
+        assert kernel.sum(axis=1) == pytest.approx(np.full(n, expected))
+
+    def test_assortative_concentrates_on_diagonal(self, subcritical_params):
+        kernel = assortative_kernel(subcritical_params, 3.0)
+        uniform = uniform_kernel(subcritical_params)
+        assert np.all(np.diag(kernel) > np.diag(uniform))
+
+    def test_negative_strength_raises(self, subcritical_params):
+        with pytest.raises(ParameterError):
+            assortative_kernel(subcritical_params, -1.0)
+
+
+class TestThreshold:
+    def test_uniform_kernel_recovers_paper_r0(self, subcritical_params):
+        """ρ of the rank-one growth matrix equals the paper's closed form."""
+        model = CorrelatedRumorModel(subcritical_params,
+                                     uniform_kernel(subcritical_params))
+        spectral = model.basic_reproduction_number(0.2, 0.05)
+        closed_form = basic_reproduction_number(subcritical_params, 0.2, 0.05)
+        assert spectral == pytest.approx(closed_form, rel=1e-10)
+
+    def test_assortativity_raises_r0(self, subcritical_params):
+        """Aligning hub-to-hub pressure raises the spectral threshold —
+        echo chambers make rumors harder to kill."""
+        base = CorrelatedRumorModel(
+            subcritical_params, uniform_kernel(subcritical_params))
+        mixed = CorrelatedRumorModel(
+            subcritical_params, assortative_kernel(subcritical_params, 2.0))
+        assert mixed.basic_reproduction_number(0.2, 0.05) > \
+            base.basic_reproduction_number(0.2, 0.05)
+
+    def test_r0_monotone_in_strength(self, subcritical_params):
+        values = [
+            CorrelatedRumorModel(
+                subcritical_params,
+                assortative_kernel(subcritical_params, s),
+            ).basic_reproduction_number(0.2, 0.05)
+            for s in (0.0, 0.5, 1.0, 2.0, 4.0)
+        ]
+        assert np.all(np.diff(values) > 0)
+
+    def test_invalid_rates_raise(self, subcritical_params):
+        model = CorrelatedRumorModel(subcritical_params,
+                                     uniform_kernel(subcritical_params))
+        with pytest.raises(ParameterError):
+            model.basic_reproduction_number(0.0, 0.05)
+        with pytest.raises(ParameterError):
+            model.basic_reproduction_number(0.2, 0.0)
+
+
+class TestDynamics:
+    def test_uniform_kernel_matches_base_model(self, subcritical_params):
+        """With the rank-one kernel the correlated system IS System (1)."""
+        base = HeterogeneousSIRModel(subcritical_params)
+        correlated = CorrelatedRumorModel(subcritical_params,
+                                          uniform_kernel(subcritical_params))
+        y0 = SIRState.initial(subcritical_params.n_groups, 0.05)
+        t_base = base.simulate(y0, t_final=50.0, eps1=0.2, eps2=0.05)
+        t_corr = correlated.simulate(y0, t_final=50.0, eps1=0.2, eps2=0.05)
+        assert np.max(np.abs(t_base.infected - t_corr.infected)) < 1e-8
+
+    def test_dynamics_verdict_matches_spectral_threshold(
+            self, subcritical_params):
+        """Assortativity strong enough to push r0 > 1 must flip the
+        simulated outcome from extinction to persistence."""
+        strong = CorrelatedRumorModel(
+            subcritical_params, assortative_kernel(subcritical_params, 4.0))
+        r0 = strong.basic_reproduction_number(0.2, 0.05)
+        assert r0 > 1.0
+        y0 = SIRState.initial(subcritical_params.n_groups, 0.05)
+        trajectory = strong.simulate(y0, t_final=600.0, eps1=0.2, eps2=0.05)
+        assert trajectory.population_infected()[-1] > 1e-3
+
+    def test_pressures_shape_and_positivity(self, subcritical_params):
+        model = CorrelatedRumorModel(
+            subcritical_params, assortative_kernel(subcritical_params, 1.0))
+        pressures = model.pressures(np.full(subcritical_params.n_groups, 0.1))
+        assert pressures.shape == (subcritical_params.n_groups,)
+        assert np.all(pressures > 0.0)
+
+    def test_kernel_shape_mismatch_raises(self, subcritical_params):
+        with pytest.raises(ParameterError):
+            CorrelatedRumorModel(subcritical_params, np.ones((2, 2)))
+
+    def test_negative_kernel_raises(self, subcritical_params):
+        n = subcritical_params.n_groups
+        with pytest.raises(ParameterError):
+            CorrelatedRumorModel(subcritical_params, -np.ones((n, n)))

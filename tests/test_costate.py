@@ -1,0 +1,112 @@
+"""Tests for repro.control.costate — the adjoint equations (Eqs. 15–16)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.costate import costate_rhs, make_costate_rhs
+from repro.core.parameters import RumorModelParameters
+from repro.exceptions import ParameterError
+from repro.networks.degree import power_law_distribution
+
+
+@pytest.fixture
+def params():
+    return RumorModelParameters(power_law_distribution(1, 5, 2.0), alpha=0.01)
+
+
+def hamiltonian(params: RumorModelParameters, s, i, psi, q, e1, e2, c1, c2):
+    """Reference Hamiltonian for finite-difference validation."""
+    theta = params.theta(i)
+    running = c1 * e1 ** 2 * np.sum(s ** 2) + c2 * e2 ** 2 * np.sum(i ** 2)
+    ds = params.alpha - params.lambda_k * s * theta - e1 * s
+    di = params.lambda_k * s * theta - e2 * i
+    return running + float(np.dot(psi, ds)) + float(np.dot(q, di))
+
+
+class TestFullGradient:
+    def test_matches_finite_difference_hamiltonian(self, params):
+        rng = np.random.default_rng(0)
+        n = params.n_groups
+        s = rng.uniform(0.1, 0.9, n)
+        i = rng.uniform(0.05, 0.5, n)
+        psi = rng.normal(size=n)
+        q = rng.normal(size=n)
+        e1, e2, c1, c2 = 0.2, 0.1, 5.0, 10.0
+        dpsi, dq = costate_rhs(params, s, i, psi, q, e1, e2, c1, c2,
+                               mode="full")
+        h = 1e-7
+        for j in range(n):
+            s_pert = s.copy()
+            s_pert[j] += h
+            dh_ds = (hamiltonian(params, s_pert, i, psi, q, e1, e2, c1, c2)
+                     - hamiltonian(params, s, i, psi, q, e1, e2, c1, c2)) / h
+            assert dpsi[j] == pytest.approx(-dh_ds, abs=1e-4)
+            i_pert = i.copy()
+            i_pert[j] += h
+            dh_di = (hamiltonian(params, s, i_pert, psi, q, e1, e2, c1, c2)
+                     - hamiltonian(params, s, i, psi, q, e1, e2, c1, c2)) / h
+            assert dq[j] == pytest.approx(-dh_di, abs=1e-4)
+
+    def test_paper_mode_drops_cross_terms(self, params):
+        """Paper (16) keeps only the diagonal coupling — the two modes
+        differ exactly by the off-diagonal Θ-coupling sum."""
+        rng = np.random.default_rng(1)
+        n = params.n_groups
+        s = rng.uniform(0.1, 0.9, n)
+        i = rng.uniform(0.05, 0.5, n)
+        psi = rng.normal(size=n)
+        q = rng.normal(size=n)
+        args = (params, s, i, psi, q, 0.2, 0.1, 5.0, 10.0)
+        dpsi_full, dq_full = costate_rhs(*args, mode="full")
+        dpsi_paper, dq_paper = costate_rhs(*args, mode="paper")
+        # ψ equations agree (no Θ cross terms there).
+        assert dpsi_full == pytest.approx(dpsi_paper)
+        # q equations differ by the off-diagonal contribution.
+        lam_s = params.lambda_k * s
+        phi_over_k = params.phi_k / params.mean_degree
+        full_coupling = phi_over_k * float(np.dot(q - psi, lam_s))
+        diag_coupling = phi_over_k * (q - psi) * lam_s
+        assert (dq_paper - dq_full) == pytest.approx(
+            full_coupling - diag_coupling, rel=1e-10)
+
+    def test_single_group_modes_identical(self):
+        """With one group there are no cross terms: modes must agree."""
+        params = RumorModelParameters(power_law_distribution(3, 3, 2.0))
+        s = np.array([0.7])
+        i = np.array([0.2])
+        psi = np.array([0.5])
+        q = np.array([1.2])
+        full = costate_rhs(params, s, i, psi, q, 0.1, 0.1, 5.0, 10.0,
+                           mode="full")
+        paper = costate_rhs(params, s, i, psi, q, 0.1, 0.1, 5.0, 10.0,
+                            mode="paper")
+        assert full[0] == pytest.approx(paper[0])
+        assert full[1] == pytest.approx(paper[1])
+
+    def test_unknown_mode_raises(self, params):
+        n = params.n_groups
+        z = np.zeros(n)
+        with pytest.raises(ParameterError):
+            costate_rhs(params, z, z, z, z, 0.1, 0.1, 1.0, 1.0,
+                        mode="bogus")
+
+
+class TestMakeCostateRhs:
+    def test_flat_vector_wiring(self, params):
+        n = params.n_groups
+        s = np.full(n, 0.6)
+        i = np.full(n, 0.2)
+        rhs = make_costate_rhs(
+            params,
+            state_lookup=lambda _t: (s, i),
+            control_lookup=lambda _t: (0.2, 0.1),
+            c1=5.0, c2=10.0,
+        )
+        y = np.concatenate([np.ones(n), np.full(n, 2.0)])
+        out = rhs(0.0, y)
+        dpsi, dq = costate_rhs(params, s, i, np.ones(n), np.full(n, 2.0),
+                               0.2, 0.1, 5.0, 10.0)
+        assert out[:n] == pytest.approx(dpsi)
+        assert out[n:] == pytest.approx(dq)

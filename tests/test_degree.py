@@ -1,0 +1,139 @@
+"""Tests for repro.networks.degree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.networks.degree import (
+    DegreeDistribution,
+    poisson_distribution,
+    power_law_distribution,
+    truncated_power_law_pmf,
+)
+from repro.networks.graph import Graph
+
+
+class TestDegreeDistribution:
+    def test_basic_statistics(self):
+        d = DegreeDistribution(np.array([1.0, 2.0, 4.0]),
+                               np.array([0.5, 0.25, 0.25]))
+        assert d.n_groups == 3
+        assert d.mean_degree() == pytest.approx(2.0)
+        assert d.moment(2) == pytest.approx(0.5 + 1.0 + 4.0)
+        assert d.min_degree() == 1.0
+        assert d.max_degree() == 4.0
+
+    def test_moment_zero_is_one(self):
+        d = power_law_distribution(1, 50, 2.5)
+        assert d.moment(0) == pytest.approx(1.0)
+
+    def test_expectation(self):
+        d = DegreeDistribution(np.array([1.0, 2.0]), np.array([0.5, 0.5]))
+        assert d.expectation([10.0, 20.0]) == pytest.approx(15.0)
+
+    def test_expectation_shape_mismatch_raises(self):
+        d = DegreeDistribution(np.array([1.0, 2.0]), np.array([0.5, 0.5]))
+        with pytest.raises(ParameterError):
+            d.expectation([1.0])
+
+    def test_pmf_must_sum_to_one(self):
+        with pytest.raises(ParameterError):
+            DegreeDistribution(np.array([1.0, 2.0]), np.array([0.5, 0.6]))
+
+    def test_negative_pmf_raises(self):
+        with pytest.raises(ParameterError):
+            DegreeDistribution(np.array([1.0, 2.0]), np.array([-0.5, 1.5]))
+
+    def test_unsorted_degrees_raise(self):
+        with pytest.raises(ParameterError):
+            DegreeDistribution(np.array([2.0, 1.0]), np.array([0.5, 0.5]))
+
+    def test_zero_degree_raises(self):
+        with pytest.raises(ParameterError):
+            DegreeDistribution(np.array([0.0, 1.0]), np.array([0.5, 0.5]))
+
+    def test_negative_moment_order_raises(self):
+        d = DegreeDistribution(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ParameterError):
+            d.moment(-1)
+
+
+class TestFromSequence:
+    def test_counts(self):
+        d = DegreeDistribution.from_degree_sequence([1, 1, 2, 3, 3, 3])
+        assert list(d.degrees) == [1.0, 2.0, 3.0]
+        assert d.pmf == pytest.approx([2 / 6, 1 / 6, 3 / 6])
+
+    def test_isolated_nodes_excluded(self):
+        d = DegreeDistribution.from_degree_sequence([0, 0, 2, 2])
+        assert list(d.degrees) == [2.0]
+        assert d.pmf[0] == pytest.approx(1.0)
+
+    def test_all_isolated_raises(self):
+        with pytest.raises(ParameterError):
+            DegreeDistribution.from_degree_sequence([0, 0])
+
+    def test_negative_degree_raises(self):
+        with pytest.raises(ParameterError):
+            DegreeDistribution.from_degree_sequence([-1, 2])
+
+    def test_from_graph(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        d = DegreeDistribution.from_graph(g)
+        assert list(d.degrees) == [1.0, 3.0]
+        assert d.pmf == pytest.approx([0.75, 0.25])
+
+
+class TestTruncate:
+    def test_keeps_smallest_degrees(self):
+        d = power_law_distribution(1, 100, 2.0)
+        truncated = d.truncate(20)
+        assert truncated.n_groups == 20
+        assert truncated.max_degree() == 20.0
+        assert truncated.pmf.sum() == pytest.approx(1.0)
+
+    def test_truncate_larger_than_support_is_identity(self):
+        d = power_law_distribution(1, 5, 2.0)
+        assert d.truncate(50).n_groups == 5
+
+    def test_invalid_count_raises(self):
+        d = power_law_distribution(1, 5, 2.0)
+        with pytest.raises(ParameterError):
+            d.truncate(0)
+
+
+class TestAnalyticFamilies:
+    def test_power_law_shape(self):
+        d = power_law_distribution(1, 100, 2.0)
+        # P(k) ∝ k^-2 → P(1)/P(10) = 100.
+        ratio = d.pmf[0] / d.pmf[9]
+        assert ratio == pytest.approx(100.0, rel=1e-9)
+
+    def test_power_law_invalid_range_raises(self):
+        with pytest.raises(ParameterError):
+            power_law_distribution(10, 5, 2.0)
+
+    def test_power_law_invalid_exponent_raises(self):
+        with pytest.raises(ParameterError):
+            truncated_power_law_pmf(np.array([1.0, 2.0]), 0.0)
+
+    def test_poisson_mean_approximates_target(self):
+        d = poisson_distribution(8.0)
+        # Zero-truncation slightly raises the mean above 8 — tiny at mean 8.
+        assert d.mean_degree() == pytest.approx(8.0, rel=1e-2)
+
+    def test_poisson_invalid_mean_raises(self):
+        with pytest.raises(ParameterError):
+            poisson_distribution(0.0)
+
+    @given(st.floats(min_value=1.2, max_value=3.5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_power_law_heavier_tail_for_smaller_exponent(
+            self, exponent: float):
+        heavy = power_law_distribution(1, 200, exponent)
+        light = power_law_distribution(1, 200, exponent + 0.5)
+        assert heavy.mean_degree() > light.mean_degree()

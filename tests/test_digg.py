@@ -1,0 +1,87 @@
+"""Tests for repro.datasets.digg — the Digg2009 loader and synthesizer."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets.digg import (
+    DIGG2009_MAX_DEGREE,
+    DIGG2009_MEAN_DEGREE,
+    DIGG2009_MIN_DEGREE,
+    DIGG2009_N_GROUPS,
+    DIGG2009_N_USERS,
+    load_digg2009,
+    synthesize_digg2009,
+)
+from repro.exceptions import DatasetError, ParameterError
+
+
+class TestSynthesizer:
+    def test_matches_published_group_count(self):
+        ds = synthesize_digg2009()
+        assert ds.n_groups == DIGG2009_N_GROUPS == 848
+
+    def test_matches_published_degree_range(self):
+        d = synthesize_digg2009().distribution
+        assert d.min_degree() == DIGG2009_MIN_DEGREE == 1
+        assert d.max_degree() == DIGG2009_MAX_DEGREE == 995
+
+    def test_matches_published_mean_degree(self):
+        d = synthesize_digg2009().distribution
+        assert d.mean_degree() == pytest.approx(DIGG2009_MEAN_DEGREE,
+                                                abs=1e-6)
+
+    def test_user_count(self):
+        assert synthesize_digg2009().n_users == DIGG2009_N_USERS == 71367
+
+    def test_deterministic(self):
+        a = synthesize_digg2009().distribution
+        b = synthesize_digg2009().distribution
+        assert np.array_equal(a.degrees, b.degrees)
+        assert np.array_equal(a.pmf, b.pmf)
+
+    def test_power_law_shape(self):
+        d = synthesize_digg2009().distribution
+        # pmf strictly decreasing on the dense support.
+        assert np.all(np.diff(d.pmf[:700]) < 0)
+
+    def test_custom_mean_degree(self):
+        ds = synthesize_digg2009(mean_degree=10.0)
+        assert ds.distribution.mean_degree() == pytest.approx(10.0, abs=1e-6)
+
+    def test_unreachable_mean_raises(self):
+        with pytest.raises(DatasetError):
+            synthesize_digg2009(mean_degree=900.0)
+
+    def test_source_label(self):
+        assert synthesize_digg2009().source == "synthetic"
+
+    def test_realize_graph_small(self):
+        ds = synthesize_digg2009()
+        g = ds.realize_graph(500, rng=np.random.default_rng(0))
+        assert g.n_nodes == 500
+        assert g.n_edges > 0
+
+    def test_realize_graph_invalid_size_raises(self):
+        with pytest.raises(ParameterError):
+            synthesize_digg2009().realize_graph(0)
+
+
+class TestLoader:
+    def test_load_small_csv(self, tmp_path: Path):
+        path = tmp_path / "digg_friends.csv"
+        rows = ["1,1,1,2", "1,2,2,3", "0,3,3,4", "1,4,4,1", "1,5,1,3"]
+        path.write_text("\n".join(rows) + "\n")
+        ds = load_digg2009(path)
+        assert ds.source == "digg2009-csv"
+        assert ds.n_users == 4
+        assert ds.distribution.mean_degree() == pytest.approx(2.5)
+
+    def test_load_empty_raises(self, tmp_path: Path):
+        path = tmp_path / "digg_friends.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_digg2009(path)

@@ -1,0 +1,196 @@
+"""Tests for the baseline epidemic models (SIR/SIS/SEIR/DK/MT)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.epidemic.daley_kendall import DaleyKendallModel
+from repro.epidemic.maki_thompson import MakiThompsonModel
+from repro.epidemic.seir import HomogeneousSEIR
+from repro.epidemic.sir import HomogeneousSIR
+from repro.epidemic.sis import HeterogeneousSIS, HomogeneousSIS
+from repro.exceptions import ParameterError
+from repro.networks.degree import power_law_distribution
+
+
+class TestHomogeneousSIR:
+    def test_conservation(self):
+        model = HomogeneousSIR(0.5, 0.2)
+        result = model.simulate(0.99, 0.01, 50.0)
+        totals = result.susceptible + result.infected + result.recovered
+        assert np.allclose(totals, 1.0, atol=1e-8)
+
+    def test_supercritical_peaks(self):
+        model = HomogeneousSIR(0.5, 0.1)  # R0 = 5
+        result = model.simulate(0.99, 0.01, 100.0)
+        assert result.peak_infected > 0.1
+        assert 0.0 < result.peak_time < 100.0
+        assert result.infected[-1] < 1e-3
+
+    def test_subcritical_monotone_decay(self):
+        model = HomogeneousSIR(0.1, 0.5)  # R0 = 0.2
+        result = model.simulate(0.9, 0.1, 80.0)
+        assert np.all(np.diff(result.infected) <= 1e-12)
+
+    def test_final_size_matches_analytic(self):
+        model = HomogeneousSIR(0.6, 0.2)
+        result = model.simulate(0.999, 0.001, 200.0)
+        analytic = model.final_size_equation(0.999, 0.001)
+        assert result.final_size == pytest.approx(analytic, abs=1e-3)
+
+    def test_r0_formula(self):
+        assert HomogeneousSIR(0.4, 0.2).basic_reproduction_number() == 2.0
+        assert HomogeneousSIR(0.4, 0.2).basic_reproduction_number(0.5) == 1.0
+
+    def test_invalid_rates_raise(self):
+        with pytest.raises(ParameterError):
+            HomogeneousSIR(0.0, 0.1)
+        with pytest.raises(ParameterError):
+            HomogeneousSIR(0.1, -0.1)
+
+    def test_invalid_initial_raises(self):
+        model = HomogeneousSIR(0.5, 0.2)
+        with pytest.raises(ParameterError):
+            model.simulate(0.9, 0.2, 10.0)
+
+
+class TestHomogeneousSIS:
+    def test_endemic_level(self):
+        model = HomogeneousSIS(0.6, 0.2)
+        _, infected = model.simulate(0.01, 200.0)
+        assert infected[-1] == pytest.approx(model.endemic_level(), abs=1e-4)
+        assert model.endemic_level() == pytest.approx(2.0 / 3.0)
+
+    def test_subcritical_dies(self):
+        model = HomogeneousSIS(0.1, 0.5)
+        _, infected = model.simulate(0.2, 100.0)
+        assert infected[-1] < 1e-4
+        assert model.endemic_level() == 0.0
+
+
+class TestHeterogeneousSIS:
+    @pytest.fixture
+    def distribution(self):
+        return power_law_distribution(1, 50, 2.5)
+
+    def test_threshold_ratio_uses_moments(self, distribution):
+        model = HeterogeneousSIS(distribution, 0.1, 0.2)
+        expected = 0.5 * distribution.moment(2) / distribution.mean_degree()
+        assert model.threshold_ratio() == pytest.approx(expected)
+
+    def test_endemic_fixed_point_matches_ode(self, distribution):
+        model = HeterogeneousSIS(distribution, 0.08, 0.2)
+        assert model.threshold_ratio() > 1.0
+        prevalence = model.endemic_prevalence()
+        _, infected = model.simulate(0.01, 500.0)
+        assert np.max(np.abs(infected[-1] - prevalence)) < 1e-4
+
+    def test_below_threshold_zero_prevalence(self, distribution):
+        model = HeterogeneousSIS(distribution, 0.001, 0.5)
+        assert model.threshold_ratio() < 1.0
+        assert np.all(model.endemic_prevalence() == 0.0)
+
+    def test_higher_degree_groups_more_infected(self, distribution):
+        model = HeterogeneousSIS(distribution, 0.08, 0.2)
+        prevalence = model.endemic_prevalence()
+        assert np.all(np.diff(prevalence) > 0)
+
+    def test_heterogeneity_lowers_threshold(self):
+        homogeneous = power_law_distribution(5, 5, 2.0)  # all degree 5
+        heterogeneous = power_law_distribution(1, 50, 2.0)  # ⟨k⟩ varies
+        m_hom = HeterogeneousSIS(homogeneous, 0.05, 0.2)
+        m_het = HeterogeneousSIS(heterogeneous, 0.05, 0.2)
+        # Same ⟨k²⟩/⟨k⟩ comparison: heterogeneous ratio is larger.
+        assert (m_het.threshold_ratio() / m_het.distribution.mean_degree()
+                > m_hom.threshold_ratio() / m_hom.distribution.mean_degree())
+
+
+class TestHomogeneousSEIR:
+    def test_conservation(self):
+        model = HomogeneousSEIR(0.5, 0.3, 0.2)
+        result = model.simulate(0.98, 0.01, 0.01, 100.0)
+        totals = (result.susceptible + result.exposed + result.infected
+                  + result.recovered)
+        assert np.allclose(totals, 1.0, atol=1e-8)
+
+    def test_latency_delays_peak(self):
+        sir = HomogeneousSIR(0.5, 0.2).simulate(0.99, 0.01, 120.0)
+        seir = HomogeneousSEIR(0.5, 0.3, 0.2).simulate(0.99, 0.0, 0.01, 120.0)
+        assert seir.peak_time > sir.peak_time
+
+    def test_r0_unchanged_by_latency(self):
+        assert HomogeneousSEIR(0.5, 0.3, 0.25).basic_reproduction_number() \
+            == pytest.approx(2.0)
+
+    def test_invalid_rates_raise(self):
+        with pytest.raises(ParameterError):
+            HomogeneousSEIR(0.5, 0.0, 0.2)
+
+
+class TestDaleyKendall:
+    def test_classic_203_constant(self):
+        model = DaleyKendallModel(1.0, 1.0)
+        assert model.final_ignorant_fraction() == pytest.approx(0.2032,
+                                                                abs=1e-3)
+
+    def test_ode_matches_analytic_final_size(self):
+        model = DaleyKendallModel(1.0, 1.0)
+        result = model.simulate(0.9995, 0.0005, 100.0)
+        assert result.final_ignorant == pytest.approx(
+            model.final_ignorant_fraction(), abs=2e-3)
+
+    def test_rumor_always_dies(self):
+        model = DaleyKendallModel(2.0, 1.0)
+        result = model.simulate(0.99, 0.01, 200.0)
+        assert result.spreader[-1] < 1e-6
+
+    def test_conservation(self):
+        model = DaleyKendallModel(1.0, 1.0)
+        result = model.simulate(0.95, 0.05, 50.0)
+        totals = result.ignorant + result.spreader + result.stifler
+        assert np.allclose(totals, 1.0, atol=1e-8)
+
+    def test_stronger_stifling_leaves_more_ignorant(self):
+        weak = DaleyKendallModel(1.0, 0.5).final_ignorant_fraction()
+        strong = DaleyKendallModel(1.0, 2.0).final_ignorant_fraction()
+        assert strong > weak
+
+    def test_invalid_initial_raises(self):
+        with pytest.raises(ParameterError):
+            DaleyKendallModel().simulate(0.9, 0.2, 10.0)
+
+
+class TestMakiThompson:
+    def test_mean_field_is_daley_kendall(self):
+        mt = MakiThompsonModel(1.0, 1.0)
+        assert mt.final_ignorant_fraction() == pytest.approx(0.2032,
+                                                             abs=1e-3)
+
+    def test_stochastic_final_fraction_near_203(self):
+        mt = MakiThompsonModel(1.0, 1.0)
+        rng = np.random.default_rng(0)
+        fractions = [
+            mt.simulate_stochastic(1500, 3, rng=rng).final_ignorant_fraction
+            for _ in range(12)
+        ]
+        assert np.mean(fractions) == pytest.approx(0.203, abs=0.03)
+
+    def test_stochastic_terminates_with_zero_spreaders(self):
+        run = MakiThompsonModel().simulate_stochastic(
+            300, 1, rng=np.random.default_rng(1))
+        assert run.spreader[-1] == 0
+
+    def test_counts_conserved(self):
+        run = MakiThompsonModel().simulate_stochastic(
+            200, 2, rng=np.random.default_rng(2))
+        totals = run.ignorant + run.spreader + run.stifler
+        assert np.all(totals == 200)
+
+    def test_invalid_population_raises(self):
+        with pytest.raises(ParameterError):
+            MakiThompsonModel().simulate_stochastic(1, 1)
+
+    def test_invalid_seeds_raise(self):
+        with pytest.raises(ParameterError):
+            MakiThompsonModel().simulate_stochastic(10, 10)

@@ -1,0 +1,116 @@
+"""Tests for repro.core.equilibrium — Theorem 1's two equilibria."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.equilibrium import (
+    equilibrium_for,
+    positive_equilibrium,
+    zero_equilibrium,
+)
+from repro.core.model import HeterogeneousSIRModel
+from repro.core.parameters import RumorModelParameters
+from repro.core.threshold import (
+    basic_reproduction_number,
+    calibrate_acceptance_scale,
+)
+from repro.exceptions import ParameterError
+from repro.networks.degree import power_law_distribution
+
+
+class TestZeroEquilibrium:
+    def test_theorem1_case1_values(self, subcritical_params):
+        eq = zero_equilibrium(subcritical_params, 0.2, 0.05)
+        s0 = subcritical_params.alpha / 0.2
+        assert np.all(eq.state.susceptible == pytest.approx(s0))
+        assert np.all(eq.state.infected == 0.0)
+        assert np.all(eq.state.recovered == pytest.approx(1.0 - s0))
+        assert eq.kind == "zero"
+        assert eq.theta == 0.0
+        assert not eq.is_endemic
+
+    def test_is_a_fixed_point_of_the_ode(self, subcritical_params):
+        model = HeterogeneousSIRModel(subcritical_params)
+        eq = zero_equilibrium(subcritical_params, 0.2, 0.05)
+        assert model.equilibrium_residual(eq.state, 0.2, 0.05) < 1e-14
+
+    def test_alpha_exceeding_eps1_raises(self, subcritical_params):
+        # α = 0.01 > ε1 = 0.005 → S0 > 1, not a density.
+        with pytest.raises(ParameterError):
+            zero_equilibrium(subcritical_params, 0.005, 0.05)
+
+    def test_nonpositive_rates_raise(self, subcritical_params):
+        with pytest.raises(ParameterError):
+            zero_equilibrium(subcritical_params, 0.0, 0.05)
+
+
+class TestPositiveEquilibrium:
+    def test_requires_supercritical(self, subcritical_params):
+        with pytest.raises(ParameterError):
+            positive_equilibrium(subcritical_params, 0.2, 0.05)
+
+    def test_theorem1_case2_consistency(self, supercritical_params):
+        """E+ satisfies the closed-form relations of Theorem 1 Case 2."""
+        eps1 = eps2 = 0.05
+        eq = positive_equilibrium(supercritical_params, eps1, eps2)
+        p = supercritical_params
+        lam = p.lambda_k
+        expected_i = p.alpha * lam * eq.theta / (
+            eps2 * (lam * eq.theta + eps1))
+        expected_s = eps2 * expected_i / (lam * eq.theta)
+        assert eq.state.infected == pytest.approx(expected_i, rel=1e-10)
+        assert eq.state.susceptible == pytest.approx(expected_s, rel=1e-10)
+
+    def test_theta_self_consistent(self, supercritical_params):
+        eq = positive_equilibrium(supercritical_params, 0.05, 0.05)
+        assert supercritical_params.theta(eq.state.infected) == \
+            pytest.approx(eq.theta, rel=1e-10)
+
+    def test_is_a_fixed_point_of_the_ode(self, supercritical_params):
+        model = HeterogeneousSIRModel(supercritical_params)
+        eq = positive_equilibrium(supercritical_params, 0.05, 0.05)
+        assert model.equilibrium_residual(eq.state, 0.05, 0.05) < 1e-12
+
+    def test_all_groups_positive(self, supercritical_params):
+        eq = positive_equilibrium(supercritical_params, 0.05, 0.05)
+        assert np.all(eq.state.infected > 0.0)
+        assert np.all(eq.state.susceptible > 0.0)
+        assert eq.is_endemic
+
+    def test_higher_degree_more_infected(self, supercritical_params):
+        """I+ increases with degree (λ(k) = λ0·k is increasing)."""
+        eq = positive_equilibrium(supercritical_params, 0.05, 0.05)
+        assert np.all(np.diff(eq.state.infected) > 0)
+
+    @given(st.floats(min_value=1.2, max_value=8.0))
+    @settings(max_examples=15, deadline=None)
+    def test_property_theta_grows_with_r0(self, target_r0: float):
+        base = RumorModelParameters(power_law_distribution(1, 10, 2.0),
+                                    alpha=0.01)
+        params = calibrate_acceptance_scale(base, 0.05, 0.05, target_r0)
+        eq = positive_equilibrium(params, 0.05, 0.05)
+        assert eq.r0 == pytest.approx(target_r0, rel=1e-9)
+        assert eq.theta > 0.0
+        # Stronger spreading → larger endemic coupling.
+        weaker = positive_equilibrium(
+            calibrate_acceptance_scale(base, 0.05, 0.05, 1.1), 0.05, 0.05)
+        assert eq.theta > weaker.theta
+
+
+class TestEquilibriumFor:
+    def test_selects_zero_below_threshold(self, subcritical_params):
+        eq = equilibrium_for(subcritical_params, 0.2, 0.05)
+        assert eq.kind == "zero"
+
+    def test_selects_positive_above_threshold(self, supercritical_params):
+        eq = equilibrium_for(supercritical_params, 0.05, 0.05)
+        assert eq.kind == "positive"
+
+    def test_r0_recorded(self, subcritical_params):
+        eq = equilibrium_for(subcritical_params, 0.2, 0.05)
+        assert eq.r0 == pytest.approx(
+            basic_reproduction_number(subcritical_params, 0.2, 0.05))

@@ -1,0 +1,80 @@
+"""Tests for the exception hierarchy and package metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    BracketingError,
+    ConvergenceError,
+    DatasetError,
+    GraphError,
+    IntegrationError,
+    ParameterError,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ParameterError, ConvergenceError, BracketingError,
+        IntegrationError, DatasetError, GraphError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_parameter_error_is_value_error(self):
+        """API boundaries can be caught with plain ValueError too."""
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(BracketingError, ValueError)
+
+    def test_runtime_failures_are_runtime_errors(self):
+        assert issubclass(ConvergenceError, RuntimeError)
+        assert issubclass(IntegrationError, RuntimeError)
+
+    def test_convergence_error_carries_diagnostics(self):
+        error = ConvergenceError("stalled", iterations=42, residual=1e-3)
+        assert error.iterations == 42
+        assert error.residual == 1e-3
+        assert "stalled" in str(error)
+
+    def test_single_catch_at_api_boundary(self):
+        """One except clause covers every library failure mode."""
+        from repro.numerics.rootfind import brent
+        with pytest.raises(ReproError):
+            brent(lambda x: x * x + 1.0, -1.0, 1.0)
+
+
+class TestPackage:
+    def test_version_string(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_subpackages_import(self):
+        import repro.analysis
+        import repro.control
+        import repro.core
+        import repro.datasets
+        import repro.epidemic
+        import repro.experiments
+        import repro.networks
+        import repro.numerics
+        import repro.simulation
+        import repro.viz
+
+    def test_all_exports_resolve(self):
+        """Every name in each subpackage's __all__ actually exists."""
+        import repro.analysis
+        import repro.control
+        import repro.core
+        import repro.datasets
+        import repro.epidemic
+        import repro.networks
+        import repro.numerics
+        import repro.simulation
+        import repro.viz
+        for module in (repro.core, repro.control, repro.networks,
+                       repro.datasets, repro.epidemic, repro.simulation,
+                       repro.numerics, repro.analysis, repro.viz):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,196 @@
+"""Tests for repro.experiments — shrunken figure configurations.
+
+The full-scale runs live in ``benchmarks/``; here each figure pipeline is
+exercised end-to-end on small networks / short horizons so the suite
+stays fast while still validating the headline claims' *shape*.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.threshold import basic_reproduction_number
+from repro.exceptions import ParameterError
+from repro.experiments.config import Fig2Config, Fig3Config, Fig4Config
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4ab, run_fig4c
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+@pytest.fixture(scope="module")
+def fig2_result():
+    config = Fig2Config(t_final=150.0, n_samples=51,
+                        n_initial_conditions=3)
+    return run_fig2(config)
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    config = Fig3Config(t_final=300.0, n_samples=61,
+                        n_initial_conditions=3)
+    return run_fig3(config)
+
+
+@pytest.fixture(scope="module")
+def fig4_config():
+    return Fig4Config(n_groups=8, t_final=60.0, n_grid=101,
+                      sweep_n_grid=61, max_iterations=60,
+                      tf_values=(20.0, 60.0),
+                      target_terminal_infected=1e-3)
+
+
+class TestFig2:
+    def test_r0_matches_paper(self, fig2_result):
+        assert fig2_result.r0 == pytest.approx(0.7220, abs=1e-6)
+
+    def test_dist0_decays_for_all_initial_conditions(self, fig2_result):
+        initial = fig2_result.dist0[:, 0]
+        final = fig2_result.dist0[:, -1]
+        assert np.all(final < 0.12 * initial)
+
+    def test_dist0_decreasing_overall(self, fig2_result):
+        # Allow tiny transient wiggles; the trend must be decay.
+        for row in fig2_result.dist0:
+            assert row[-1] < row[len(row) // 2] < row[0]
+
+    def test_infection_dies(self, fig2_result):
+        ipop = fig2_result.trajectory.population_infected()
+        assert ipop[-1] < 0.05 * ipop.max()
+
+    def test_equilibrium_is_zero_kind(self, fig2_result):
+        assert fig2_result.equilibrium.kind == "zero"
+
+    def test_emit_writes_artifacts(self, fig2_result, tmp_path: Path):
+        paths = fig2_result.emit(tmp_path)
+        assert len(paths) == 5
+        for p in paths:
+            assert p.exists()
+            assert p.stat().st_size > 0
+
+
+class TestFig3:
+    def test_r0_matches_paper(self, fig3_result):
+        assert fig3_result.r0 == pytest.approx(2.1661, abs=1e-6)
+
+    def test_dist_plus_converges(self, fig3_result):
+        final = fig3_result.dist_plus[:, -1]
+        assert np.all(final < 1e-2)
+
+    def test_endemic_level_positive(self, fig3_result):
+        ipop = fig3_result.trajectory.population_infected()
+        assert ipop[-1] > 0.01
+
+    def test_equilibrium_density_valid(self, fig3_result):
+        eq = fig3_result.equilibrium.state
+        assert np.all(eq.infected > 0.0)
+        assert np.all(eq.infected < 1.0)
+        assert np.all(eq.susceptible + eq.infected <= 1.0 + 1e-9)
+
+    def test_trajectory_matches_equilibrium_groupwise(self, fig3_result):
+        final = fig3_result.trajectory.final_state
+        eq = fig3_result.equilibrium.state
+        assert np.max(np.abs(final.infected - eq.infected)) < 1e-2
+
+    def test_emit_writes_artifacts(self, fig3_result, tmp_path: Path):
+        paths = fig3_result.emit(tmp_path)
+        assert len(paths) == 5
+        assert all(p.exists() for p in paths)
+
+
+class TestFig4ab:
+    @pytest.fixture(scope="class")
+    def result(self, fig4_config):
+        return run_fig4ab(fig4_config)
+
+    def test_truth_dominates_early(self, result):
+        m = result.times.size
+        early = slice(m // 10, m // 3)  # skip the t≈0 transient
+        assert result.result.eps1[early].mean() > \
+            result.result.eps2[early].mean()
+
+    def test_blocking_dominates_late(self, result):
+        m = result.times.size
+        late = slice(-m // 10, None)
+        assert result.result.eps2[late].mean() > \
+            result.result.eps1[late].mean()
+
+    def test_crossover_exists(self, result):
+        crossover = result.crossover_time()
+        assert crossover is not None
+        assert 0.0 < crossover <= result.times[-1]
+
+    def test_r0_decreasing_through_one(self, result):
+        # Both endpoints carry control transients (relaxed initial guess at
+        # t = 0, transversality ε1(tf) = 0 at t = tf); judge the interior.
+        m = result.r0_series.size
+        interior = result.r0_series[max(1, m // 50): -max(2, m // 10)]
+        assert interior[0] > 1.0
+        assert interior[-1] < 1.0
+        crossings = np.sum(np.diff(np.sign(interior - 1.0)) != 0)
+        assert crossings == 1  # decays through 1 exactly once
+
+    def test_emit_writes_artifacts(self, result, tmp_path: Path):
+        paths = result.emit(tmp_path)
+        assert len(paths) == 3
+        assert all(p.exists() for p in paths)
+
+
+class TestFig4c:
+    @pytest.fixture(scope="class")
+    def result(self, fig4_config):
+        return run_fig4c(fig4_config)
+
+    def test_optimized_always_cheaper(self, result):
+        assert result.optimized_always_cheaper()
+
+    def test_both_meet_terminal_target(self, result, fig4_config):
+        target = fig4_config.target_terminal_infected
+        for row in result.rows:
+            assert row.heuristic_terminal <= target * 1.01
+            assert row.optimized_terminal <= target * 1.01
+
+    def test_costs_decrease_with_horizon(self, result):
+        rows = result.rows
+        assert rows[-1].optimized_cost < rows[0].optimized_cost
+        assert rows[-1].heuristic_cost < rows[0].heuristic_cost
+
+    def test_emit_writes_artifacts(self, result, tmp_path: Path):
+        paths = result.emit(tmp_path)
+        assert len(paths) == 2
+        assert all(p.exists() for p in paths)
+
+
+class TestRunner:
+    def test_registry_contains_all_figures(self):
+        assert set(EXPERIMENTS) == {"fig2", "fig3", "fig4ab", "fig4c"}
+
+    def test_unknown_experiment_raises(self, tmp_path: Path):
+        with pytest.raises(ParameterError):
+            run_experiment("fig99", tmp_path)
+
+
+class TestConfigs:
+    def test_fig2_build_parameters_calibrated(self):
+        config = Fig2Config()
+        params = config.build_parameters()
+        assert basic_reproduction_number(params, config.eps1, config.eps2) \
+            == pytest.approx(config.target_r0, rel=1e-9)
+        assert params.n_groups == 848
+
+    def test_fig3_build_parameters_calibrated(self):
+        config = Fig3Config()
+        params = config.build_parameters()
+        assert basic_reproduction_number(params, config.eps1, config.eps2) \
+            == pytest.approx(config.target_r0, rel=1e-9)
+        assert params.n_groups == 20
+
+    def test_fig4_reference_r0(self):
+        config = Fig4Config()
+        params = config.build_parameters()
+        assert basic_reproduction_number(params, config.ref_eps1,
+                                         config.ref_eps2) == \
+            pytest.approx(config.target_r0, rel=1e-9)

@@ -1,0 +1,143 @@
+"""Tests for repro.networks.generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.networks.degree import DegreeDistribution, power_law_distribution
+from repro.networks.generators import (
+    barabasi_albert,
+    configuration_model,
+    erdos_renyi,
+    make_sequence_graphical,
+    sample_degree_sequence,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        rng = np.random.default_rng(0)
+        n, p = 400, 0.05
+        g = erdos_renyi(n, p, rng=rng)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.n_edges - expected) < 4.0 * np.sqrt(expected)
+
+    def test_p_zero_empty(self):
+        g = erdos_renyi(50, 0.0, rng=np.random.default_rng(0))
+        assert g.n_edges == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi(10, 1.0, rng=np.random.default_rng(0))
+        assert g.n_edges == 45
+
+    def test_deterministic_under_seed(self):
+        g1 = erdos_renyi(100, 0.1, rng=np.random.default_rng(7))
+        g2 = erdos_renyi(100, 0.1, rng=np.random.default_rng(7))
+        assert sorted(g1.edges()) == sorted(g2.edges())
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi(10, 1.5)
+
+    def test_negative_nodes_raises(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi(-1, 0.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(200, 3, rng=np.random.default_rng(1))
+        # Star seed gives m edges, each of the remaining n−m−1 nodes adds m.
+        assert g.n_edges == 3 + (200 - 4) * 3
+
+    def test_hub_formation(self):
+        g = barabasi_albert(500, 2, rng=np.random.default_rng(2))
+        degrees = g.degrees()
+        # Preferential attachment: the max degree is far above the mean.
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_all_nodes_connected(self):
+        g = barabasi_albert(100, 1, rng=np.random.default_rng(3))
+        assert len(g.connected_components()) == 1
+
+    def test_invalid_m_raises(self):
+        with pytest.raises(ParameterError):
+            barabasi_albert(10, 0)
+
+    def test_n_not_greater_than_m_raises(self):
+        with pytest.raises(ParameterError):
+            barabasi_albert(3, 3)
+
+
+class TestSampleDegreeSequence:
+    def test_length_and_support(self):
+        d = power_law_distribution(1, 10, 2.0)
+        seq = sample_degree_sequence(d, 500, rng=np.random.default_rng(4))
+        assert seq.size == 500
+        assert set(np.unique(seq)).issubset(set(range(1, 11)))
+
+    def test_mean_approximates_distribution(self):
+        d = power_law_distribution(1, 10, 2.0)
+        seq = sample_degree_sequence(d, 20_000, rng=np.random.default_rng(5))
+        assert seq.mean() == pytest.approx(d.mean_degree(), rel=0.05)
+
+    def test_invalid_count_raises(self):
+        d = power_law_distribution(1, 5, 2.0)
+        with pytest.raises(ParameterError):
+            sample_degree_sequence(d, 0)
+
+
+class TestMakeGraphical:
+    def test_even_sum_unchanged(self):
+        seq = np.array([2, 2, 2])
+        assert list(make_sequence_graphical(seq)) == [2, 2, 2]
+
+    def test_odd_sum_repaired(self):
+        seq = np.array([3, 2, 2])
+        repaired = make_sequence_graphical(seq)
+        assert int(repaired.sum()) % 2 == 0
+        assert int(repaired.sum()) == 6
+
+    def test_negative_raises(self):
+        with pytest.raises(ParameterError):
+            make_sequence_graphical(np.array([-1, 3]))
+
+    def test_does_not_mutate_input(self):
+        seq = np.array([3, 2, 2])
+        make_sequence_graphical(seq)
+        assert list(seq) == [3, 2, 2]
+
+
+class TestConfigurationModel:
+    def test_realizes_degrees_approximately(self):
+        rng = np.random.default_rng(6)
+        d = power_law_distribution(1, 20, 2.0)
+        seq = sample_degree_sequence(d, 2000, rng=rng)
+        g = configuration_model(seq, rng=rng)
+        realized = g.degrees()
+        target = make_sequence_graphical(seq)
+        # Erased configuration model: realized ≤ target, small losses.
+        assert np.all(realized <= target)
+        assert realized.sum() >= 0.95 * target.sum()
+
+    def test_empirical_distribution_close_to_target(self):
+        rng = np.random.default_rng(7)
+        d = power_law_distribution(1, 15, 2.0)
+        seq = sample_degree_sequence(d, 5000, rng=rng)
+        g = configuration_model(seq, rng=rng)
+        empirical = DegreeDistribution.from_graph(g)
+        assert empirical.mean_degree() == pytest.approx(
+            d.mean_degree(), rel=0.1)
+
+    def test_all_zero_sequence_gives_empty_graph(self):
+        g = configuration_model(np.array([0, 0, 0]))
+        assert g.n_nodes == 3
+        assert g.n_edges == 0
+
+    def test_regular_sequence(self):
+        g = configuration_model(np.full(50, 4),
+                                rng=np.random.default_rng(8))
+        assert np.all(g.degrees() <= 4)
+        assert g.degrees().mean() > 3.5

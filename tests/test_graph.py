@@ -1,0 +1,140 @@
+"""Tests for repro.networks.graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.networks.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.n_nodes == 0
+        assert g.n_edges == 0
+        assert list(g.edges()) == []
+
+    def test_with_edges(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        assert g.n_edges == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(2, 1)
+        assert not g.has_edge(0, 2)
+
+    def test_negative_size_raises(self):
+        with pytest.raises(GraphError):
+            Graph(-1)
+
+    def test_from_edge_list_sizes_to_max_id(self):
+        g = Graph.from_edge_list([(0, 5), (2, 3)])
+        assert g.n_nodes == 6
+        assert g.n_edges == 2
+
+    def test_from_empty_edge_list(self):
+        g = Graph.from_edge_list([])
+        assert g.n_nodes == 0
+
+
+class TestEdges:
+    def test_add_edge_is_symmetric(self):
+        g = Graph(2)
+        g.add_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert 0 in g.neighbors(1)
+        assert 1 in g.neighbors(0)
+
+    def test_duplicate_edge_returns_false(self):
+        g = Graph(2)
+        assert g.add_edge(0, 1) is True
+        assert g.add_edge(1, 0) is False
+        assert g.n_edges == 1
+
+    def test_self_loop_raises(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range_raises(self):
+        g = Graph(2)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 2)
+
+    def test_remove_edge(self):
+        g = Graph(2, [(0, 1)])
+        g.remove_edge(1, 0)
+        assert g.n_edges == 0
+        assert not g.has_edge(0, 1)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(3)
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 1)
+
+    def test_edges_iterates_once_each(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        edges = list(g.edges())
+        assert len(edges) == 4
+        assert all(u < v for u, v in edges)
+
+
+class TestQueries:
+    def test_degrees(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert list(g.degrees()) == [3, 1, 1, 1]
+
+    def test_average_degree(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.average_degree() == pytest.approx(1.0)
+
+    def test_average_degree_empty(self):
+        assert Graph(0).average_degree() == 0.0
+
+    def test_neighbors_immutable_view(self):
+        g = Graph(3, [(0, 1)])
+        neighbors = g.neighbors(0)
+        assert isinstance(neighbors, frozenset)
+
+
+class TestAlgorithms:
+    def test_connected_components(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        components = g.connected_components()
+        assert components[0] == [0, 1, 2]
+        assert components[1] == [3, 4]
+        assert components[2] == [5]
+
+    def test_components_largest_first(self):
+        g = Graph(5, [(3, 4)])
+        components = g.connected_components()
+        assert len(components[0]) == 2
+
+    def test_subgraph_relabels(self):
+        g = Graph(5, [(1, 3), (3, 4)])
+        sub = g.subgraph([1, 3, 4])
+        assert sub.n_nodes == 3
+        assert sub.has_edge(0, 1)  # 1-3
+        assert sub.has_edge(1, 2)  # 3-4
+        assert sub.n_edges == 2
+
+    def test_subgraph_duplicate_raises(self):
+        g = Graph(3)
+        with pytest.raises(GraphError):
+            g.subgraph([0, 0])
+
+    def test_to_networkx_roundtrip(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        nx_graph = g.to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 2
+
+    @given(st.sets(st.tuples(st.integers(0, 19), st.integers(0, 19)),
+                   max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_property_handshake_lemma(self, raw_edges: set[tuple[int, int]]):
+        edges = [(u, v) for u, v in raw_edges if u != v]
+        g = Graph(20, edges)
+        assert int(g.degrees().sum()) == 2 * g.n_edges

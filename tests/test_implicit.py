@@ -1,0 +1,122 @@
+"""Tests for repro.numerics.implicit — the stiff-solver fallbacks."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, ParameterError
+from repro.numerics.implicit import (
+    backward_euler,
+    newton_solve_step,
+    trapezoidal,
+)
+from repro.numerics.ode import integrate, rk4
+
+GRID = np.linspace(0.0, 2.0, 21)
+
+
+def decay(_t: float, y: np.ndarray) -> np.ndarray:
+    return -y
+
+
+class TestNewtonSolveStep:
+    def test_linear_system(self):
+        # x − b = 0.
+        b = np.array([1.0, -2.0])
+        x = newton_solve_step(lambda x: x - b, np.zeros(2))
+        assert x == pytest.approx(b)
+
+    def test_nonlinear_system(self):
+        # x² − 4 = 0 (componentwise), start near the positive root.
+        x = newton_solve_step(lambda x: x * x - 4.0, np.array([1.0]))
+        assert x[0] == pytest.approx(2.0, abs=1e-8)
+
+    def test_singular_jacobian_raises(self):
+        with pytest.raises(ConvergenceError):
+            newton_solve_step(lambda x: np.array([x[0] * 0.0 + 1.0]),
+                              np.array([0.0]))
+
+
+class TestBackwardEuler:
+    def test_decay_first_order_accuracy(self):
+        coarse = backward_euler(decay, [1.0], GRID, substeps=1)
+        fine = backward_euler(decay, [1.0], GRID, substeps=4)
+        exact = math.exp(-2.0)
+        err_coarse = abs(coarse.final_state[0] - exact)
+        err_fine = abs(fine.final_state[0] - exact)
+        assert err_fine < err_coarse
+        assert err_coarse / err_fine == pytest.approx(4.0, rel=0.4)
+
+    def test_l_stability_damps_stiff_transient(self):
+        """Large hλ: the stiff transient is damped, the slow manifold
+        followed — where explicit fixed-step methods explode."""
+        def stiff(t: float, y: np.ndarray) -> np.ndarray:
+            return np.array([-1000.0 * (y[0] - math.cos(t)) - math.sin(t)])
+
+        grid = np.linspace(0.0, 1.0, 6)  # h = 0.2, hλ = 200
+        sol = backward_euler(stiff, [0.0], grid, substeps=2)
+        assert sol.final_state[0] == pytest.approx(math.cos(1.0), abs=1e-3)
+        # The same step size destroys fixed-step RK4.
+        exploded = rk4(stiff, [0.0], grid, substeps=2)
+        assert abs(exploded.final_state[0]) > 1.0
+
+    def test_registered_in_solver_table(self):
+        sol = integrate(decay, [1.0], GRID, method="beuler", substeps=4)
+        assert sol.solver == "beuler"
+
+    def test_invalid_substeps_raise(self):
+        with pytest.raises(ParameterError):
+            backward_euler(decay, [1.0], GRID, substeps=0)
+
+
+class TestTrapezoidal:
+    def test_second_order_accuracy(self):
+        exact = math.exp(-2.0)
+        coarse = trapezoidal(decay, [1.0], GRID, substeps=1)
+        fine = trapezoidal(decay, [1.0], GRID, substeps=2)
+        err_coarse = abs(coarse.final_state[0] - exact)
+        err_fine = abs(fine.final_state[0] - exact)
+        assert err_coarse / err_fine == pytest.approx(4.0, rel=0.4)
+
+    def test_more_accurate_than_backward_euler(self):
+        exact = math.exp(-2.0)
+        be = backward_euler(decay, [1.0], GRID)
+        tz = trapezoidal(decay, [1.0], GRID)
+        assert abs(tz.final_state[0] - exact) < abs(be.final_state[0] - exact)
+
+    def test_a_stable_but_not_l_stable(self):
+        """Textbook behaviour: on a very stiff transient the trapezoidal
+        rule does not blow up (A-stability) but rings with slowly
+        decaying oscillations (no L-stability) — unlike backward Euler."""
+        def stiff(t: float, y: np.ndarray) -> np.ndarray:
+            return np.array([-1000.0 * (y[0] - math.cos(t)) - math.sin(t)])
+
+        grid = np.linspace(0.0, 1.0, 6)
+        sol = trapezoidal(stiff, [0.0], grid, substeps=2)
+        assert np.all(np.abs(sol.y) < 2.0)  # bounded (A-stable) ...
+        assert abs(sol.final_state[0] - math.cos(1.0)) > 0.05  # ... ringing
+
+    def test_registered_in_solver_table(self):
+        sol = integrate(decay, [1.0], GRID, method="trapezoid")
+        assert sol.solver == "trapezoid"
+
+
+class TestOnTheRumorModel:
+    def test_backward_euler_matches_dopri_on_system_one(
+            self, subcritical_params):
+        """The implicit fallback reproduces the reference solution of the
+        paper's ODE system."""
+        from repro.core.model import HeterogeneousSIRModel
+        from repro.core.state import SIRState
+        model = HeterogeneousSIRModel(subcritical_params)
+        y0 = SIRState.initial(10, 0.05)
+        reference = model.simulate(y0, t_final=50.0, eps1=0.2, eps2=0.05,
+                                   n_samples=26)
+        implicit = model.simulate(y0, t_final=50.0, eps1=0.2, eps2=0.05,
+                                  n_samples=26, method="beuler",
+                                  substeps=40)
+        gap = np.max(np.abs(reference.infected - implicit.infected))
+        assert gap < 5e-3

@@ -1,0 +1,112 @@
+"""Tests for repro.simulation.influence — greedy IC influence maximization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.networks.generators import barabasi_albert
+from repro.networks.graph import Graph
+from repro.simulation.influence import (
+    estimate_spread,
+    greedy_influence_max,
+    independent_cascade,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert(300, 2, rng=np.random.default_rng(0))
+
+
+class TestIndependentCascade:
+    def test_seeds_always_active(self, graph, rng):
+        active = independent_cascade(graph, np.array([5, 10]), 0.05, rng)
+        assert 5 in active and 10 in active
+
+    def test_probability_one_floods_component(self, rng):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3)])  # node 4 isolated
+        active = independent_cascade(g, np.array([0]), 1.0, rng)
+        assert set(active) == {0, 1, 2, 3}
+
+    def test_tiny_probability_stays_local(self, graph):
+        rng = np.random.default_rng(1)
+        sizes = [independent_cascade(graph, np.array([0]), 1e-6, rng).size
+                 for _ in range(10)]
+        assert max(sizes) <= 2
+
+    def test_invalid_probability_raises(self, graph, rng):
+        with pytest.raises(ParameterError):
+            independent_cascade(graph, np.array([0]), 0.0, rng)
+        with pytest.raises(ParameterError):
+            independent_cascade(graph, np.array([0]), 1.5, rng)
+
+    def test_empty_seeds_raise(self, graph, rng):
+        with pytest.raises(ParameterError):
+            independent_cascade(graph, np.array([], dtype=np.int64), 0.1,
+                                rng)
+
+    def test_out_of_range_seed_raises(self, graph, rng):
+        with pytest.raises(ParameterError):
+            independent_cascade(graph, np.array([graph.n_nodes]), 0.1, rng)
+
+
+class TestEstimateSpread:
+    def test_at_least_seed_count(self, graph):
+        spread = estimate_spread(graph, np.array([0, 1]), 0.01,
+                                 n_samples=20, rng=np.random.default_rng(2))
+        assert spread >= 2.0
+
+    def test_monotone_in_probability(self, graph):
+        low = estimate_spread(graph, np.array([0]), 0.02, n_samples=200,
+                              rng=np.random.default_rng(3))
+        high = estimate_spread(graph, np.array([0]), 0.3, n_samples=200,
+                               rng=np.random.default_rng(3))
+        assert high > low
+
+    def test_invalid_samples_raise(self, graph, rng):
+        with pytest.raises(ParameterError):
+            estimate_spread(graph, np.array([0]), 0.1, n_samples=0, rng=rng)
+
+
+class TestGreedy:
+    def test_beats_random_seeds(self, graph):
+        result = greedy_influence_max(
+            graph, budget=3, probability=0.1, n_samples=60,
+            candidate_pool=40, rng=np.random.default_rng(4))
+        random_spreads = []
+        for s in range(5):
+            seeds = np.random.default_rng(100 + s).choice(
+                graph.n_nodes, 3, replace=False)
+            random_spreads.append(estimate_spread(
+                graph, seeds, 0.1, n_samples=60,
+                rng=np.random.default_rng(200 + s)))
+        assert result.expected_spread > np.mean(random_spreads)
+
+    def test_budget_respected_and_distinct(self, graph):
+        result = greedy_influence_max(
+            graph, budget=4, probability=0.05, n_samples=30,
+            candidate_pool=30, rng=np.random.default_rng(5))
+        assert result.seeds.size == 4
+        assert np.unique(result.seeds).size == 4
+
+    def test_marginal_gains_shrink(self, graph):
+        """Submodularity: later seeds add less (up to MC noise)."""
+        result = greedy_influence_max(
+            graph, budget=4, probability=0.1, n_samples=100,
+            candidate_pool=30, rng=np.random.default_rng(6))
+        gains = result.marginal_gains
+        assert gains[0] >= gains[-1] - 1.0  # generous MC slack
+
+    def test_invalid_budget_raises(self, graph, rng):
+        with pytest.raises(ParameterError):
+            greedy_influence_max(graph, budget=0, probability=0.1, rng=rng)
+        with pytest.raises(ParameterError):
+            greedy_influence_max(graph, budget=graph.n_nodes,
+                                 probability=0.1, rng=rng)
+
+    def test_pool_smaller_than_budget_raises(self, graph, rng):
+        with pytest.raises(ParameterError):
+            greedy_influence_max(graph, budget=5, probability=0.1,
+                                 candidate_pool=3, rng=rng)

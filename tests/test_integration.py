@@ -1,0 +1,150 @@
+"""Cross-module integration tests: the full pipelines a user would run.
+
+Each test stitches several subsystems together the way the examples and
+experiments do — dataset → model → threshold → simulation → analysis —
+and checks end-to-end invariants rather than unit behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.distances import distance_series
+from repro.analysis.timeseries import extinction_time
+from repro.control import (
+    ControlBounds,
+    CostParameters,
+    run_constant,
+    solve_optimal_control,
+)
+from repro.core import (
+    HeterogeneousSIRModel,
+    RumorModelParameters,
+    SIRState,
+    basic_reproduction_number,
+    calibrate_acceptance_scale,
+    classify_equilibrium,
+    critical_eps2,
+    equilibrium_for,
+)
+from repro.datasets import synthesize_digg2009
+from repro.epidemic.acceptance import LinearAcceptance
+from repro.epidemic.infectivity import ConstantInfectivity
+from repro.networks import DegreeDistribution, power_law_distribution
+from repro.simulation import (
+    AgentBasedConfig,
+    ensemble_average,
+    seed_random,
+    simulate_agent_based,
+)
+
+
+class TestDiggPipeline:
+    """Dataset → parameters → threshold decision → simulation."""
+
+    @pytest.fixture(scope="class")
+    def digg_params(self):
+        dataset = synthesize_digg2009()
+        params = RumorModelParameters(dataset.distribution, alpha=0.01)
+        return calibrate_acceptance_scale(params, 0.2, 0.05, 0.7220)
+
+    def test_threshold_decision_consistent_with_dynamics(self, digg_params):
+        """Theorem 5 end-to-end: the r0 verdict predicts the simulated
+        outcome on the full 848-group Digg system."""
+        r0 = basic_reproduction_number(digg_params, 0.2, 0.05)
+        assert r0 < 1.0
+        model = HeterogeneousSIRModel(digg_params)
+        traj = model.simulate(SIRState.initial(848, 0.05), t_final=600.0,
+                              eps1=0.2, eps2=0.05, n_samples=121)
+        assert traj.population_infected()[-1] < 1e-3
+
+    def test_weakened_countermeasures_flip_the_verdict(self, digg_params):
+        """Dropping ε2 below its critical value flips extinction to
+        persistence — the operational content of the critical surface."""
+        critical = critical_eps2(digg_params, 0.2)
+        weak = 0.5 * critical
+        assert basic_reproduction_number(digg_params, 0.2, weak) > 1.0
+        eq = equilibrium_for(digg_params, 0.2, weak)
+        assert eq.is_endemic
+        report = classify_equilibrium(digg_params, eq, 0.2, weak)
+        assert report.locally_stable
+
+    def test_distance_to_attractor_decays(self, digg_params):
+        model = HeterogeneousSIRModel(digg_params)
+        eq = equilibrium_for(digg_params, 0.2, 0.05)
+        rng = np.random.default_rng(7)
+        traj = model.simulate(SIRState.random_initial(848, rng),
+                              t_final=600.0, eps1=0.2, eps2=0.05,
+                              n_samples=61)
+        series = distance_series(traj, eq, ord=2)
+        assert series[-1] < 0.05 * series[0]
+
+
+class TestControlPipeline:
+    """Model → optimal control → verification against the threshold."""
+
+    def test_optimized_policy_ends_the_rumor(self):
+        base = RumorModelParameters(power_law_distribution(1, 8, 2.0),
+                                    alpha=0.01)
+        params = calibrate_acceptance_scale(base, 0.2, 0.05, 3.0)
+        initial = SIRState.initial(8, 0.05)
+        bounds = ControlBounds(1.0, 1.0)
+        costs = CostParameters(5.0, 10.0, terminal_weight=50.0)
+        result = solve_optimal_control(params, initial, t_final=60.0,
+                                       bounds=bounds, costs=costs,
+                                       n_grid=121, max_iterations=80)
+        infected = result.trajectory.population_infected()
+        when = extinction_time(result.times, infected, threshold=1e-3)
+        assert when is not None and when < 60.0
+
+    def test_optimal_beats_cheapest_constant_extinction_policy(self):
+        from repro.control import cheapest_extinction_pair
+        base = RumorModelParameters(power_law_distribution(1, 8, 2.0),
+                                    alpha=0.01)
+        params = calibrate_acceptance_scale(base, 0.2, 0.05, 3.0)
+        initial = SIRState.initial(8, 0.05)
+        bounds = ControlBounds(1.0, 1.0)
+        costs = CostParameters(5.0, 10.0)
+        e1, e2 = cheapest_extinction_pair(params, bounds, costs, margin=1.5)
+        constant = run_constant(params, initial, eps1=e1, eps2=e2,
+                                t_final=60.0, costs=costs, n_grid=121)
+        optimal = solve_optimal_control(params, initial, t_final=60.0,
+                                        bounds=bounds, costs=costs,
+                                        n_grid=121, max_iterations=80)
+        assert optimal.cost.total < constant.cost.total
+
+
+class TestStochasticMeanFieldPipeline:
+    """Graph realization → agent-based ensemble → mean-field check."""
+
+    def test_digg_subsample_agent_based_matches_ode_direction(self):
+        dataset = synthesize_digg2009()
+        rng = np.random.default_rng(11)
+        graph = dataset.realize_graph(1500, rng=rng)
+        acceptance = LinearAcceptance(0.3)
+        infectivity = ConstantInfectivity(1.0)
+        eps2 = 0.05
+        config = AgentBasedConfig(acceptance=acceptance,
+                                  infectivity=infectivity,
+                                  eps1=0.0, eps2=eps2, dt=0.2, t_final=30.0)
+        seeds = seed_random(graph, 75, rng)
+        runs = [simulate_agent_based(graph, seeds, config,
+                                     rng=np.random.default_rng(s))
+                for s in range(3)]
+        grid = np.linspace(0.0, 30.0, 31)
+        summary = ensemble_average(runs, grid)
+
+        distribution = DegreeDistribution.from_graph(graph)
+        params = RumorModelParameters(distribution, alpha=1e-9,
+                                      acceptance=acceptance,
+                                      infectivity=infectivity)
+        model = HeterogeneousSIRModel(params)
+        traj = model.simulate(SIRState.initial(params.n_groups, 75 / 1500),
+                              t_final=30.0, eps1=0.0, eps2=eps2,
+                              t_eval=grid)
+        ode = traj.population_infected()
+        # Both must agree the rumor grows, and on the rough magnitude.
+        assert summary.mean_infected[-1] > summary.mean_infected[0]
+        assert ode[-1] > ode[0]
+        assert summary.mean_infected[-1] == pytest.approx(ode[-1], rel=0.5)

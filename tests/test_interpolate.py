@@ -1,0 +1,105 @@
+"""Tests for repro.numerics.interpolate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.numerics.interpolate import GridFunction, linear_interp
+
+
+class TestLinearInterp:
+    def test_midpoint(self):
+        xs = np.array([0.0, 1.0])
+        ys = np.array([0.0, 10.0])
+        assert linear_interp(0.5, xs, ys) == pytest.approx(5.0)
+
+    def test_clamps_left(self):
+        xs = np.array([1.0, 2.0])
+        ys = np.array([3.0, 4.0])
+        assert linear_interp(0.0, xs, ys) == 3.0
+
+    def test_clamps_right(self):
+        xs = np.array([1.0, 2.0])
+        ys = np.array([3.0, 4.0])
+        assert linear_interp(9.0, xs, ys) == 4.0
+
+    def test_multichannel(self):
+        xs = np.array([0.0, 1.0])
+        ys = np.array([[0.0, 100.0], [10.0, 200.0]])
+        out = linear_interp(0.25, xs, ys)
+        assert out == pytest.approx([2.5, 125.0])
+
+
+class TestGridFunction:
+    def test_scalar_linear(self):
+        f = GridFunction([0.0, 1.0, 2.0], [0.0, 2.0, 0.0])
+        assert f(0.5) == pytest.approx(1.0)
+        assert f(1.5) == pytest.approx(1.0)
+
+    def test_exact_nodes(self):
+        times = np.array([0.0, 0.5, 1.0])
+        values = np.array([1.0, -1.0, 3.0])
+        f = GridFunction(times, values)
+        for t, v in zip(times, values):
+            assert f(t) == pytest.approx(v)
+
+    def test_previous_kind_holds_value(self):
+        f = GridFunction([0.0, 1.0, 2.0], [5.0, 7.0, 9.0], kind="previous")
+        assert f(0.0) == 5.0
+        assert f(0.99) == 5.0
+        assert f(1.0) == 7.0
+        assert f(10.0) == 9.0
+
+    def test_multichannel_call_returns_array(self):
+        f = GridFunction([0.0, 1.0], [[1.0, 2.0], [3.0, 4.0]])
+        out = f(0.5)
+        assert isinstance(out, np.ndarray)
+        assert out == pytest.approx([2.0, 3.0])
+
+    def test_n_channels(self):
+        scalar = GridFunction([0.0, 1.0], [1.0, 2.0])
+        multi = GridFunction([0.0, 1.0], [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        assert scalar.n_channels == 1
+        assert multi.n_channels == 3
+
+    def test_sample_vectorizes(self):
+        f = GridFunction([0.0, 2.0], [0.0, 4.0])
+        out = f.sample([0.0, 0.5, 1.0, 2.0])
+        assert out == pytest.approx([0.0, 1.0, 2.0, 4.0])
+
+    def test_unsorted_times_raise(self):
+        with pytest.raises(ParameterError):
+            GridFunction([1.0, 0.0], [0.0, 1.0])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            GridFunction([0.0, 1.0, 2.0], [0.0, 1.0])
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ParameterError):
+            GridFunction([0.0, 1.0], [0.0, 1.0], kind="cubic")
+
+    def test_single_sample_raises(self):
+        with pytest.raises(ParameterError):
+            GridFunction([0.0], [1.0])
+
+    @given(st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_property_linear_function_reproduced(self, t: float):
+        times = np.linspace(0.0, 5.0, 11)
+        f = GridFunction(times, 3.0 * times - 1.0)
+        assert float(f(t)) == pytest.approx(3.0 * t - 1.0, abs=1e-10)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100),
+                    min_size=2, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_property_interpolant_within_range(self, values: list[float]):
+        times = np.arange(len(values), dtype=float)
+        f = GridFunction(times, np.array(values))
+        query = 0.37 * (len(values) - 1)
+        out = float(f(query))
+        assert min(values) - 1e-9 <= out <= max(values) + 1e-9

@@ -1,0 +1,128 @@
+"""Tests for repro.core.lyapunov — the paper's proofs as executable checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import positive_equilibrium, zero_equilibrium
+from repro.core.lyapunov import (
+    is_nonincreasing,
+    lyapunov_v0_series,
+    lyapunov_v_plus_series,
+    theorem3_region_entry,
+)
+from repro.core.model import HeterogeneousSIRModel
+from repro.core.state import SIRState
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def subcritical_trajectory(request):
+    from repro.core.parameters import RumorModelParameters
+    from repro.core.threshold import calibrate_acceptance_scale
+    from repro.networks.degree import power_law_distribution
+    params = calibrate_acceptance_scale(
+        RumorModelParameters(power_law_distribution(1, 10, 2.0), alpha=0.01),
+        0.2, 0.05, 0.7)
+    model = HeterogeneousSIRModel(params)
+    trajectory = model.simulate(SIRState.initial(10, 0.3), t_final=300.0,
+                                eps1=0.2, eps2=0.05, n_samples=301)
+    return params, trajectory
+
+
+@pytest.fixture(scope="module")
+def supercritical_trajectory(request):
+    from repro.core.parameters import RumorModelParameters
+    from repro.core.threshold import calibrate_acceptance_scale
+    from repro.networks.degree import power_law_distribution
+    params = calibrate_acceptance_scale(
+        RumorModelParameters(power_law_distribution(1, 10, 2.0), alpha=0.01),
+        0.05, 0.05, 2.0)
+    model = HeterogeneousSIRModel(params)
+    trajectory = model.simulate(SIRState.initial(10, 0.3), t_final=500.0,
+                                eps1=0.05, eps2=0.05, n_samples=251)
+    return params, trajectory
+
+
+class TestTheorem3:
+    def test_v0_decays_to_zero(self, subcritical_trajectory):
+        _, trajectory = subcritical_trajectory
+        v0 = lyapunov_v0_series(trajectory, 0.05)
+        assert v0[-1] < 1e-2 * v0[0]
+
+    def test_v0_monotone_inside_region(self, subcritical_trajectory):
+        """The proof's inequality holds exactly where it applies:
+        after the state enters max_i S_i ≤ α/ε1."""
+        _, trajectory = subcritical_trajectory
+        entry = theorem3_region_entry(trajectory, 0.2)
+        assert entry is not None
+        v0 = lyapunov_v0_series(trajectory, 0.05)
+        assert is_nonincreasing(v0[entry:])
+
+    def test_v0_not_globally_monotone_from_paper_ics(self,
+                                                     subcritical_trajectory):
+        """The documented gap: from S(0) = 1 − I(0) ≫ α/ε1, V rises
+        before the region is reached."""
+        _, trajectory = subcritical_trajectory
+        v0 = lyapunov_v0_series(trajectory, 0.05)
+        assert not is_nonincreasing(v0)
+
+    def test_region_entry_is_when_s_drops(self, subcritical_trajectory):
+        params, trajectory = subcritical_trajectory
+        entry = theorem3_region_entry(trajectory, 0.2)
+        bound = params.alpha / 0.2
+        assert trajectory.susceptible[entry].max() <= bound + 1e-12
+        assert trajectory.susceptible[entry - 1].max() > bound
+
+    def test_invalid_eps2_raises(self, subcritical_trajectory):
+        _, trajectory = subcritical_trajectory
+        with pytest.raises(ParameterError):
+            lyapunov_v0_series(trajectory, 0.0)
+
+
+class TestTheorem4:
+    def test_v_plus_nonnegative(self, supercritical_trajectory):
+        params, trajectory = supercritical_trajectory
+        eq = positive_equilibrium(params, 0.05, 0.05)
+        v = lyapunov_v_plus_series(trajectory, eq)
+        assert np.all(v >= -1e-12)
+
+    def test_v_plus_monotone_decreasing(self, supercritical_trajectory):
+        """Theorem 4's V behaves exactly as proved — globally."""
+        params, trajectory = supercritical_trajectory
+        eq = positive_equilibrium(params, 0.05, 0.05)
+        v = lyapunov_v_plus_series(trajectory, eq)
+        assert is_nonincreasing(v)
+        assert v[-1] < 1e-6 * v[0]
+
+    def test_v_plus_zero_at_equilibrium(self, supercritical_trajectory):
+        """Starting exactly at E+, V stays at 0."""
+        params, _ = supercritical_trajectory
+        eq = positive_equilibrium(params, 0.05, 0.05)
+        model = HeterogeneousSIRModel(params)
+        trajectory = model.simulate(eq.state, t_final=50.0, eps1=0.05,
+                                    eps2=0.05, n_samples=26)
+        v = lyapunov_v_plus_series(trajectory, eq)
+        assert np.all(np.abs(v) < 1e-10)
+
+    def test_requires_positive_equilibrium(self, subcritical_trajectory):
+        params, trajectory = subcritical_trajectory
+        eq = zero_equilibrium(params, 0.2, 0.05)
+        with pytest.raises(ParameterError):
+            lyapunov_v_plus_series(trajectory, eq)
+
+
+class TestIsNonincreasing:
+    def test_strictly_decreasing(self):
+        assert is_nonincreasing(np.array([3.0, 2.0, 1.0]))
+
+    def test_increasing_fails(self):
+        assert not is_nonincreasing(np.array([1.0, 2.0]))
+
+    def test_tolerates_round_off(self):
+        series = np.array([1.0, 0.5, 0.5 + 1e-9, 0.2])
+        assert is_nonincreasing(series, rtol=1e-6)
+
+    def test_short_series(self):
+        assert is_nonincreasing(np.array([1.0]))

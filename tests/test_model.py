@@ -1,0 +1,176 @@
+"""Tests for repro.core.model — the heterogeneous SIR ODE (System (1))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import HeterogeneousSIRModel, as_control
+from repro.core.parameters import RumorModelParameters
+from repro.core.state import SIRState
+from repro.exceptions import ParameterError
+from repro.networks.degree import power_law_distribution
+
+
+class TestAsControl:
+    def test_constant_wrapped(self):
+        f = as_control(0.3, "eps1")
+        assert f(0.0) == 0.3
+        assert f(100.0) == 0.3
+
+    def test_callable_passthrough(self):
+        g = lambda t: t * 0.1  # noqa: E731
+        assert as_control(g, "eps1") is g
+
+    def test_negative_constant_raises(self):
+        with pytest.raises(ParameterError):
+            as_control(-0.1, "eps2")
+
+
+class TestRHS:
+    @pytest.fixture
+    def model(self, subcritical_params):
+        return HeterogeneousSIRModel(subcritical_params)
+
+    def test_mass_balance(self, model):
+        """d(S+I+R)/dt = α for every group (new users enter as S)."""
+        y0 = SIRState.initial(model.params.n_groups, 0.1).pack()
+        d = model.rhs(0.0, y0, as_control(0.2, "e1"), as_control(0.05, "e2"))
+        n = model.params.n_groups
+        group_totals = d[:n] + d[n:2 * n] + d[2 * n:]
+        assert group_totals == pytest.approx([model.params.alpha] * n)
+
+    def test_no_infection_without_infected(self, model):
+        n = model.params.n_groups
+        state = SIRState(np.full(n, 1.0), np.zeros(n), np.zeros(n))
+        d = model.rhs(0.0, state.pack(), as_control(0.0, "e1"),
+                      as_control(0.0, "e2"))
+        # Only the α inflow remains.
+        assert d[:n] == pytest.approx([model.params.alpha] * n)
+        assert np.all(d[n:2 * n] == 0.0)
+
+    def test_rhs_constant_matches_generic(self, model):
+        y0 = SIRState.initial(model.params.n_groups, 0.05).pack()
+        fast = model.rhs_constant(0.1, 0.02)(0.0, y0)
+        generic = model.rhs(0.0, y0, as_control(0.1, "e1"),
+                            as_control(0.02, "e2"))
+        assert fast == pytest.approx(generic)
+
+    def test_negative_control_raises(self, model):
+        y0 = SIRState.initial(model.params.n_groups, 0.05).pack()
+        with pytest.raises(ParameterError):
+            model.rhs(0.0, y0, lambda t: -1.0, as_control(0.0, "e2"))
+        with pytest.raises(ParameterError):
+            model.rhs_constant(-0.1, 0.0)
+
+    def test_higher_degree_infected_faster(self, model):
+        """Early infection rate grows with λ(k): hubs catch rumors first."""
+        n = model.params.n_groups
+        state = SIRState.initial(n, 0.01)
+        d = model.rhs(0.0, state.pack(), as_control(0.0, "e1"),
+                      as_control(0.0, "e2"))
+        di = d[n:2 * n]
+        assert np.all(np.diff(di) > 0)  # degrees are sorted ascending
+
+
+class TestSimulate:
+    def test_subcritical_extinction(self, subcritical_params):
+        model = HeterogeneousSIRModel(subcritical_params)
+        traj = model.simulate(SIRState.initial(10, 0.05), t_final=400.0,
+                              eps1=0.2, eps2=0.05)
+        assert traj.population_infected()[-1] < 1e-3
+
+    def test_supercritical_persistence(self, supercritical_params):
+        model = HeterogeneousSIRModel(supercritical_params)
+        traj = model.simulate(SIRState.initial(10, 0.05), t_final=400.0,
+                              eps1=0.05, eps2=0.05)
+        assert traj.population_infected()[-1] > 1e-3
+
+    def test_densities_stay_nonnegative(self, subcritical_params):
+        model = HeterogeneousSIRModel(subcritical_params)
+        traj = model.simulate(SIRState.initial(10, 0.3), t_final=100.0,
+                              eps1=0.2, eps2=0.05)
+        assert np.all(traj.susceptible >= -1e-9)
+        assert np.all(traj.infected >= -1e-9)
+        assert np.all(traj.recovered >= -1e-9)
+
+    def test_time_varying_control(self, subcritical_params):
+        model = HeterogeneousSIRModel(subcritical_params)
+        traj = model.simulate(
+            SIRState.initial(10, 0.05), t_final=50.0,
+            eps1=lambda t: 0.1 + 0.001 * t, eps2=0.05,
+        )
+        assert traj.times[-1] == 50.0
+        assert len(traj) == 201
+
+    def test_explicit_grid(self, subcritical_params):
+        model = HeterogeneousSIRModel(subcritical_params)
+        grid = np.array([0.0, 1.0, 5.0, 10.0])
+        traj = model.simulate(SIRState.initial(10, 0.05), t_final=10.0,
+                              eps1=0.1, eps2=0.05, t_eval=grid)
+        assert np.array_equal(traj.times, grid)
+
+    def test_group_count_mismatch_raises(self, subcritical_params):
+        model = HeterogeneousSIRModel(subcritical_params)
+        with pytest.raises(ParameterError):
+            model.simulate(SIRState.initial(3, 0.05), t_final=10.0,
+                           eps1=0.1, eps2=0.05)
+
+    def test_invalid_horizon_raises(self, subcritical_params):
+        model = HeterogeneousSIRModel(subcritical_params)
+        with pytest.raises(ParameterError):
+            model.simulate(SIRState.initial(10, 0.05), t_final=0.0,
+                           eps1=0.1, eps2=0.05)
+
+    def test_solver_cross_check(self, subcritical_params):
+        """Our dopri45 and scipy LSODA agree on the same problem."""
+        model = HeterogeneousSIRModel(subcritical_params)
+        y0 = SIRState.initial(10, 0.05)
+        ours = model.simulate(y0, t_final=50.0, eps1=0.2, eps2=0.05,
+                              method="dopri45")
+        scipy_traj = model.simulate(y0, t_final=50.0, eps1=0.2, eps2=0.05,
+                                    method="scipy")
+        assert np.max(np.abs(ours.infected - scipy_traj.infected)) < 1e-5
+
+    def test_stronger_blocking_lowers_infection(self, supercritical_params):
+        model = HeterogeneousSIRModel(supercritical_params)
+        y0 = SIRState.initial(10, 0.05)
+        weak = model.simulate(y0, t_final=100.0, eps1=0.05, eps2=0.02)
+        strong = model.simulate(y0, t_final=100.0, eps1=0.05, eps2=0.2)
+        assert (strong.population_infected()[-1]
+                < weak.population_infected()[-1])
+
+    @given(st.floats(min_value=0.01, max_value=0.4))
+    @settings(max_examples=10, deadline=None)
+    def test_property_mass_growth_rate(self, i0: float):
+        """Total mass grows exactly at rate α·t for every group."""
+        params = RumorModelParameters(power_law_distribution(1, 5, 2.0),
+                                      alpha=0.01)
+        model = HeterogeneousSIRModel(params)
+        traj = model.simulate(SIRState.initial(5, i0), t_final=20.0,
+                              eps1=0.1, eps2=0.1, n_samples=11)
+        totals = traj.susceptible + traj.infected + traj.recovered
+        expected = 1.0 + 0.01 * traj.times
+        for group in range(5):
+            assert totals[:, group] == pytest.approx(expected, abs=1e-6)
+
+
+class TestEquilibriumResidual:
+    def test_zero_at_e0(self, subcritical_params):
+        from repro.core.equilibrium import zero_equilibrium
+        model = HeterogeneousSIRModel(subcritical_params)
+        eq = zero_equilibrium(subcritical_params, 0.2, 0.05)
+        assert model.equilibrium_residual(eq.state, 0.2, 0.05) < 1e-12
+
+    def test_zero_at_e_plus(self, supercritical_params):
+        from repro.core.equilibrium import positive_equilibrium
+        model = HeterogeneousSIRModel(supercritical_params)
+        eq = positive_equilibrium(supercritical_params, 0.05, 0.05)
+        assert model.equilibrium_residual(eq.state, 0.05, 0.05) < 1e-10
+
+    def test_nonzero_off_equilibrium(self, subcritical_params):
+        model = HeterogeneousSIRModel(subcritical_params)
+        state = SIRState.initial(10, 0.3)
+        assert model.equilibrium_residual(state, 0.2, 0.05) > 1e-3

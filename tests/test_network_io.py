@@ -1,0 +1,101 @@
+"""Tests for repro.networks.io."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.networks.graph import Graph
+from repro.networks.io import (
+    read_digg_friends_csv,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+class TestEdgeListRoundTrip:
+    def test_roundtrip(self, tmp_path: Path):
+        g = Graph(5, [(0, 1), (1, 2), (3, 4)])
+        path = tmp_path / "edges.txt"
+        count = write_edge_list(g, path)
+        assert count == 3
+        loaded = read_edge_list(path)
+        assert loaded.n_nodes == 5
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    def test_missing_file_raises(self, tmp_path: Path):
+        with pytest.raises(DatasetError):
+            read_edge_list(tmp_path / "nope.txt")
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path: Path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n\n0 1\n# comment\n1 2\n")
+        g = read_edge_list(path)
+        assert g.n_edges == 2
+
+    def test_self_loops_ignored(self, tmp_path: Path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 0\n0 1\n")
+        g = read_edge_list(path)
+        assert g.n_edges == 1
+
+    def test_duplicate_edges_merged(self, tmp_path: Path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 0\n0 1\n")
+        g = read_edge_list(path)
+        assert g.n_edges == 1
+
+    def test_malformed_line_raises(self, tmp_path: Path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
+    def test_non_integer_raises(self, tmp_path: Path):
+        path = tmp_path / "edges.txt"
+        path.write_text("a b\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
+    def test_n_nodes_override(self, tmp_path: Path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, n_nodes=10)
+        assert g.n_nodes == 10
+
+
+class TestDiggFriendsFormat:
+    def test_parses_mutual_rows(self, tmp_path: Path):
+        path = tmp_path / "digg_friends.csv"
+        path.write_text(
+            "1,1240000000,100,200\n"
+            "0,1240000001,200,300\n"
+            "1,1240000002,100,300\n"
+        )
+        g = read_digg_friends_csv(path)
+        assert g.n_nodes == 3  # compacted ids
+        assert g.n_edges == 3
+
+    def test_self_friendship_skipped(self, tmp_path: Path):
+        path = tmp_path / "digg_friends.csv"
+        path.write_text("1,1,7,7\n1,1,7,8\n")
+        g = read_digg_friends_csv(path)
+        assert g.n_edges == 1
+
+    def test_short_row_raises(self, tmp_path: Path):
+        path = tmp_path / "digg_friends.csv"
+        path.write_text("1,2\n")
+        with pytest.raises(DatasetError):
+            read_digg_friends_csv(path)
+
+    def test_missing_file_raises(self, tmp_path: Path):
+        with pytest.raises(DatasetError):
+            read_digg_friends_csv(tmp_path / "nope.csv")
+
+    def test_duplicate_links_merged(self, tmp_path: Path):
+        path = tmp_path / "digg_friends.csv"
+        path.write_text("1,1,5,6\n0,2,6,5\n")
+        g = read_digg_friends_csv(path)
+        assert g.n_edges == 1

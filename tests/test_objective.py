@@ -1,0 +1,123 @@
+"""Tests for repro.control.objective and repro.control.admissible."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.admissible import ControlBounds
+from repro.control.objective import (
+    CostParameters,
+    evaluate_cost,
+    running_cost_series,
+)
+from repro.core.parameters import RumorModelParameters
+from repro.core.state import RumorTrajectory
+from repro.exceptions import ParameterError
+from repro.networks.degree import power_law_distribution
+
+
+@pytest.fixture
+def flat_trajectory():
+    """Constant trajectory: S_i = 0.5, I_i = 0.25, R_i = 0.25, 2 groups."""
+    params = RumorModelParameters(power_law_distribution(1, 2, 2.0))
+    times = np.linspace(0.0, 10.0, 11)
+    n = params.n_groups
+    flat = np.tile(np.concatenate([
+        np.full(n, 0.5), np.full(n, 0.25), np.full(n, 0.25)]), (11, 1))
+    return RumorTrajectory(params, times, flat)
+
+
+class TestControlBounds:
+    def test_clamp_scalar(self):
+        bounds = ControlBounds(0.7, 0.5)
+        assert bounds.clamp_eps1(2.0) == 0.7
+        assert bounds.clamp_eps2(-1.0) == 0.0
+        assert bounds.clamp_eps1(0.3) == 0.3
+
+    def test_clamp_array(self):
+        bounds = ControlBounds(1.0, 1.0)
+        out = bounds.clamp_eps2(np.array([-0.5, 0.5, 1.5]))
+        assert np.array_equal(out, [0.0, 0.5, 1.0])
+
+    def test_contains(self):
+        bounds = ControlBounds(0.5, 0.5)
+        assert bounds.contains(0.2, 0.5)
+        assert not bounds.contains(0.6, 0.1)
+        assert not bounds.contains(0.1, -0.2)
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ParameterError):
+            ControlBounds(0.0, 1.0)
+
+
+class TestCostParameters:
+    def test_defaults_match_paper(self):
+        costs = CostParameters()
+        assert costs.c1 == 5.0
+        assert costs.c2 == 10.0
+        assert costs.terminal_weight == 1.0
+
+    def test_invalid_costs_raise(self):
+        with pytest.raises(ParameterError):
+            CostParameters(c1=0.0)
+        with pytest.raises(ParameterError):
+            CostParameters(c2=-1.0)
+        with pytest.raises(ParameterError):
+            CostParameters(terminal_weight=-0.5)
+
+    def test_with_terminal_weight(self):
+        costs = CostParameters(3.0, 4.0, 1.0).with_terminal_weight(7.0)
+        assert costs.terminal_weight == 7.0
+        assert costs.c1 == 3.0
+
+
+class TestRunningCostSeries:
+    def test_hand_computed_values(self, flat_trajectory):
+        m = flat_trajectory.times.size
+        costs = CostParameters(c1=2.0, c2=4.0)
+        e1 = np.full(m, 0.1)
+        e2 = np.full(m, 0.2)
+        truth, blocking = running_cost_series(flat_trajectory, e1, e2, costs)
+        # ΣS² = 2·0.25 = 0.5; ΣI² = 2·0.0625 = 0.125.
+        assert truth == pytest.approx([2.0 * 0.01 * 0.5] * m)
+        assert blocking == pytest.approx([4.0 * 0.04 * 0.125] * m)
+
+    def test_misaligned_controls_raise(self, flat_trajectory):
+        costs = CostParameters()
+        with pytest.raises(ParameterError):
+            running_cost_series(flat_trajectory, np.zeros(3), np.zeros(3),
+                                costs)
+
+
+class TestEvaluateCost:
+    def test_breakdown_adds_up(self, flat_trajectory):
+        m = flat_trajectory.times.size
+        costs = CostParameters(c1=2.0, c2=4.0, terminal_weight=3.0)
+        e1 = np.full(m, 0.1)
+        e2 = np.full(m, 0.2)
+        breakdown = evaluate_cost(flat_trajectory, e1, e2, costs)
+        assert breakdown.total == pytest.approx(
+            breakdown.terminal + breakdown.truth + breakdown.blocking)
+        assert breakdown.running == pytest.approx(
+            breakdown.truth + breakdown.blocking)
+        # Terminal: 3 · ΣI(tf) = 3 · 0.5.
+        assert breakdown.terminal == pytest.approx(1.5)
+        # Constant integrand over [0, 10].
+        assert breakdown.truth == pytest.approx(10.0 * 2.0 * 0.01 * 0.5)
+
+    def test_zero_controls_zero_running_cost(self, flat_trajectory):
+        m = flat_trajectory.times.size
+        breakdown = evaluate_cost(flat_trajectory, np.zeros(m), np.zeros(m),
+                                  CostParameters())
+        assert breakdown.running == 0.0
+        assert breakdown.terminal > 0.0
+
+    def test_quadratic_in_control_level(self, flat_trajectory):
+        m = flat_trajectory.times.size
+        costs = CostParameters()
+        low = evaluate_cost(flat_trajectory, np.full(m, 0.1), np.zeros(m),
+                            costs)
+        high = evaluate_cost(flat_trajectory, np.full(m, 0.2), np.zeros(m),
+                             costs)
+        assert high.truth == pytest.approx(4.0 * low.truth)

@@ -1,0 +1,88 @@
+"""Tests for repro.numerics.optimize."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.numerics.optimize import coordinate_descent, golden_section
+
+
+class TestGoldenSection:
+    def test_parabola(self):
+        result = golden_section(lambda x: (x - 2.0) ** 2, 0.0, 5.0)
+        assert result.converged
+        assert result.x == pytest.approx(2.0, abs=1e-6)
+        assert result.fun == pytest.approx(0.0, abs=1e-10)
+
+    def test_minimum_at_boundary(self):
+        result = golden_section(lambda x: x, 1.0, 3.0)
+        assert result.x == pytest.approx(1.0, abs=1e-6)
+
+    def test_nonsmooth_vee(self):
+        result = golden_section(lambda x: abs(x - 0.7), 0.0, 2.0)
+        assert result.x == pytest.approx(0.7, abs=1e-6)
+
+    def test_invalid_bracket_raises(self):
+        with pytest.raises(ParameterError):
+            golden_section(lambda x: x * x, 2.0, 2.0)
+
+    def test_invalid_xtol_raises(self):
+        with pytest.raises(ParameterError):
+            golden_section(lambda x: x * x, 0.0, 1.0, xtol=0.0)
+
+    @given(st.floats(min_value=-8.0, max_value=8.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_finds_quadratic_minimum(self, center: float):
+        result = golden_section(lambda x: (x - center) ** 2 + 1.0,
+                                -10.0, 10.0)
+        assert result.x == pytest.approx(center, abs=1e-5)
+
+
+class TestCoordinateDescent:
+    def test_separable_quadratic(self):
+        target = np.array([1.0, -2.0, 0.5])
+        result = coordinate_descent(
+            lambda x: float(np.sum((x - target) ** 2)),
+            x0=np.zeros(3),
+            bounds=[(-5.0, 5.0)] * 3,
+        )
+        assert result.converged
+        assert result.x == pytest.approx(target, abs=1e-4)
+
+    def test_coupled_quadratic(self):
+        # f = (x0 + x1 − 1)² + (x0 − x1)²: minimum at (0.5, 0.5).
+        result = coordinate_descent(
+            lambda x: float((x[0] + x[1] - 1.0) ** 2 + (x[0] - x[1]) ** 2),
+            x0=np.array([0.0, 0.0]),
+            bounds=[(-2.0, 2.0)] * 2,
+            max_sweeps=100,
+        )
+        assert result.x == pytest.approx([0.5, 0.5], abs=1e-3)
+
+    def test_respects_bounds(self):
+        result = coordinate_descent(
+            lambda x: float((x[0] - 10.0) ** 2),
+            x0=np.array([0.0]),
+            bounds=[(0.0, 1.0)],
+        )
+        assert result.x[0] == pytest.approx(1.0, abs=1e-5)
+
+    def test_clamps_infeasible_start(self):
+        result = coordinate_descent(
+            lambda x: float(x[0] ** 2),
+            x0=np.array([100.0]),
+            bounds=[(-1.0, 1.0)],
+        )
+        assert result.x[0] == pytest.approx(0.0, abs=1e-5)
+
+    def test_bound_count_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            coordinate_descent(lambda x: 0.0, np.zeros(2), [(-1.0, 1.0)])
+
+    def test_invalid_bound_raises(self):
+        with pytest.raises(ParameterError):
+            coordinate_descent(lambda x: 0.0, np.zeros(1), [(1.0, 1.0)])

@@ -1,0 +1,80 @@
+"""Tests for repro.core.parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import RumorModelParameters
+from repro.epidemic.acceptance import LinearAcceptance
+from repro.epidemic.infectivity import ConstantInfectivity, LinearInfectivity
+from repro.exceptions import ParameterError
+from repro.networks.degree import DegreeDistribution
+
+
+@pytest.fixture
+def distribution():
+    return DegreeDistribution(np.array([1.0, 3.0, 9.0]),
+                              np.array([0.5, 0.3, 0.2]))
+
+
+class TestConstruction:
+    def test_derived_arrays(self, distribution):
+        params = RumorModelParameters(
+            distribution, alpha=0.02,
+            acceptance=LinearAcceptance(2.0),
+            infectivity=ConstantInfectivity(1.5),
+        )
+        assert params.n_groups == 3
+        assert params.lambda_k == pytest.approx([2.0, 6.0, 18.0])
+        assert params.omega_k == pytest.approx([1.5, 1.5, 1.5])
+        assert params.phi_k == pytest.approx([0.75, 0.45, 0.3])
+        assert params.mean_degree == pytest.approx(0.5 + 0.9 + 1.8)
+
+    def test_default_paper_rate_functions(self, distribution):
+        params = RumorModelParameters(distribution)
+        assert params.lambda_k == pytest.approx([1.0, 3.0, 9.0])
+        expected_omega = np.sqrt([1.0, 3.0, 9.0]) / (
+            1.0 + np.sqrt([1.0, 3.0, 9.0]))
+        assert params.omega_k == pytest.approx(expected_omega)
+
+    def test_invalid_alpha_raises(self, distribution):
+        with pytest.raises(ParameterError):
+            RumorModelParameters(distribution, alpha=0.0)
+        with pytest.raises(ParameterError):
+            RumorModelParameters(distribution, alpha=float("nan"))
+
+
+class TestTheta:
+    def test_theta_formula(self, distribution):
+        params = RumorModelParameters(
+            distribution, infectivity=LinearInfectivity(1.0))
+        infected = np.array([0.1, 0.2, 0.3])
+        # Θ = Σ k_i P_i I_i / ⟨k⟩ with ω = k.
+        expected = (1 * 0.5 * 0.1 + 3 * 0.3 * 0.2 + 9 * 0.2 * 0.3) / \
+            params.mean_degree
+        assert params.theta(infected) == pytest.approx(expected)
+
+    def test_theta_zero_when_no_infection(self, distribution):
+        params = RumorModelParameters(distribution)
+        assert params.theta(np.zeros(3)) == 0.0
+
+    def test_theta_shape_mismatch_raises(self, distribution):
+        params = RumorModelParameters(distribution)
+        with pytest.raises(ParameterError):
+            params.theta(np.zeros(4))
+
+
+class TestScaling:
+    def test_with_acceptance_scale(self, distribution):
+        params = RumorModelParameters(distribution)
+        doubled = params.with_acceptance_scale(2.0)
+        assert doubled.lambda_k == pytest.approx(2.0 * params.lambda_k)
+        # Other pieces untouched.
+        assert doubled.alpha == params.alpha
+        assert np.array_equal(doubled.phi_k, params.phi_k)
+
+    def test_describe_keys(self, distribution):
+        info = RumorModelParameters(distribution).describe()
+        assert info["n_groups"] == 3
+        assert "acceptance" in info and "infectivity" in info

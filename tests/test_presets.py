@@ -1,0 +1,50 @@
+"""Tests for repro.datasets.presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import RumorModelParameters
+from repro.core.threshold import basic_reproduction_number
+from repro.datasets.presets import OSN_PRESETS, load_preset
+from repro.exceptions import ParameterError
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(OSN_PRESETS))
+    def test_builds_valid_dataset(self, name):
+        dataset = load_preset(name)
+        spec = OSN_PRESETS[name]
+        assert dataset.n_users == spec.n_users
+        assert dataset.source == f"preset:{name}"
+        d = dataset.distribution
+        assert d.min_degree() == spec.k_min
+        assert d.max_degree() == spec.k_max
+        assert abs(d.pmf.sum() - 1.0) < 1e-9
+
+    def test_twitter_heavier_tail_than_facebook(self):
+        twitter = load_preset("twitter_like").distribution
+        facebook = load_preset("facebook_like").distribution
+        assert (twitter.moment(2) / twitter.mean_degree() ** 2
+                > facebook.moment(2) / facebook.mean_degree() ** 2)
+
+    def test_forum_smallest_mean_degree(self):
+        means = {name: load_preset(name).mean_degree()
+                 for name in OSN_PRESETS}
+        assert means["forum_like"] == min(means.values())
+
+    def test_presets_plug_into_the_model(self):
+        params = RumorModelParameters(
+            load_preset("forum_like").distribution, alpha=0.01)
+        r0 = basic_reproduction_number(params, 0.2, 0.05)
+        assert r0 > 0.0
+
+    def test_deterministic(self):
+        a = load_preset("twitter_like").distribution
+        b = load_preset("twitter_like").distribution
+        assert (a.degrees == b.degrees).all()
+        assert (a.pmf == b.pmf).all()
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ParameterError):
+            load_preset("myspace_like")

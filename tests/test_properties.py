@@ -1,0 +1,176 @@
+"""Cross-module property-based tests (hypothesis).
+
+These encode the *theory-level* invariants of the reproduction — things
+that must hold for any parameters, not just the figures' settings:
+
+* Theorem-5 consistency: the r0 verdict always matches the simulated
+  asymptotics;
+* equilibria are fixed points, and E+ only exists above threshold;
+* the cost functional is non-negative and monotone in control effort;
+* mass-conservation laws of every dynamical system in the package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.control.objective import CostParameters, evaluate_cost
+from repro.core.equilibrium import equilibrium_for, positive_equilibrium
+from repro.core.model import HeterogeneousSIRModel
+from repro.core.parameters import RumorModelParameters
+from repro.core.state import SIRState
+from repro.core.threshold import (
+    basic_reproduction_number,
+    calibrate_acceptance_scale,
+    critical_eps2,
+)
+from repro.exceptions import ParameterError
+from repro.networks.degree import power_law_distribution
+
+SLOW = settings(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def make_params(n_groups: int, exponent: float,
+                alpha: float) -> RumorModelParameters:
+    return RumorModelParameters(
+        power_law_distribution(1, n_groups, exponent), alpha=alpha)
+
+
+class TestThresholdTheoremConsistency:
+    @given(st.floats(min_value=0.2, max_value=0.9),
+           st.integers(min_value=3, max_value=15))
+    @SLOW
+    def test_subcritical_calibration_goes_extinct(self, target_r0: float,
+                                                  n_groups: int):
+        """Any r0 < 1 calibration must kill the rumor (Thm 5, case 1)."""
+        params = calibrate_acceptance_scale(
+            make_params(n_groups, 2.0, 0.01), 0.2, 0.05, target_r0)
+        model = HeterogeneousSIRModel(params)
+        traj = model.simulate(SIRState.initial(n_groups, 0.05),
+                              t_final=1200.0, eps1=0.2, eps2=0.05,
+                              n_samples=61)
+        assert traj.population_infected()[-1] < 2e-2
+        # And the trajectory heads to E0, not E+.
+        eq = equilibrium_for(params, 0.2, 0.05)
+        assert eq.kind == "zero"
+
+    @given(st.floats(min_value=1.5, max_value=6.0),
+           st.integers(min_value=3, max_value=15))
+    @SLOW
+    def test_supercritical_calibration_persists(self, target_r0: float,
+                                                n_groups: int):
+        """Any r0 > 1 calibration keeps the rumor endemic (Thm 5, case 2)."""
+        params = calibrate_acceptance_scale(
+            make_params(n_groups, 2.0, 0.01), 0.05, 0.05, target_r0)
+        model = HeterogeneousSIRModel(params)
+        traj = model.simulate(SIRState.initial(n_groups, 0.05),
+                              t_final=1200.0, eps1=0.05, eps2=0.05,
+                              n_samples=61)
+        eq = positive_equilibrium(params, 0.05, 0.05)
+        final = traj.final_state
+        assert traj.population_infected()[-1] > 1e-4
+        assert np.max(np.abs(final.infected - eq.state.infected)) < 5e-2
+
+    @given(st.floats(min_value=0.05, max_value=0.5),
+           st.floats(min_value=1.1, max_value=5.0))
+    @SLOW
+    def test_critical_surface_is_exact(self, eps1: float, target: float):
+        """critical_eps2 puts the system exactly on r0 = 1 for any ε1."""
+        params = calibrate_acceptance_scale(
+            make_params(8, 2.0, 0.01), 0.2, 0.05, target)
+        eps2_star = critical_eps2(params, eps1)
+        assert basic_reproduction_number(params, eps1, eps2_star) == \
+            pytest.approx(1.0, rel=1e-10)
+
+
+class TestEquilibriumProperties:
+    @given(st.floats(min_value=1.2, max_value=8.0),
+           st.integers(min_value=2, max_value=20))
+    @SLOW
+    def test_e_plus_is_always_a_fixed_point(self, target_r0: float,
+                                            n_groups: int):
+        params = calibrate_acceptance_scale(
+            make_params(n_groups, 2.2, 0.01), 0.05, 0.05, target_r0)
+        eq = positive_equilibrium(params, 0.05, 0.05)
+        model = HeterogeneousSIRModel(params)
+        assert model.equilibrium_residual(eq.state, 0.05, 0.05) < 1e-9
+
+    @given(st.floats(min_value=0.1, max_value=1.0))
+    @SLOW
+    def test_no_e_plus_below_threshold(self, target_r0: float):
+        params = calibrate_acceptance_scale(
+            make_params(6, 2.0, 0.01), 0.2, 0.05, target_r0)
+        with pytest.raises(ParameterError):
+            positive_equilibrium(params, 0.2, 0.05)
+
+
+class TestMassConservation:
+    @given(st.floats(min_value=0.001, max_value=0.05),
+           st.floats(min_value=0.0, max_value=0.5),
+           st.floats(min_value=0.0, max_value=0.5))
+    @SLOW
+    def test_alpha_is_the_only_mass_source(self, alpha: float,
+                                           eps1: float, eps2: float):
+        """For any controls, total group mass grows at exactly α."""
+        params = make_params(5, 2.0, alpha)
+        model = HeterogeneousSIRModel(params)
+        traj = model.simulate(SIRState.initial(5, 0.1), t_final=30.0,
+                              eps1=eps1, eps2=eps2, n_samples=16)
+        totals = traj.susceptible + traj.infected + traj.recovered
+        expected = 1.0 + alpha * traj.times
+        for group in range(5):
+            assert totals[:, group] == pytest.approx(expected, abs=1e-6)
+
+
+class TestCostFunctionalProperties:
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @SLOW
+    def test_cost_nonnegative_and_monotone(self, e1: float, e2: float):
+        params = make_params(5, 2.0, 0.01)
+        model = HeterogeneousSIRModel(params)
+        traj = model.simulate(SIRState.initial(5, 0.1), t_final=20.0,
+                              eps1=e1, eps2=e2, n_samples=21)
+        m = traj.times.size
+        costs = CostParameters(5.0, 10.0)
+        base = evaluate_cost(traj, np.full(m, e1), np.full(m, e2), costs)
+        assert base.total >= 0.0
+        assert base.truth >= 0.0 and base.blocking >= 0.0
+        # Doubling a control along the SAME trajectory quadruples its
+        # running-cost component (pure quadratic form check).
+        doubled = evaluate_cost(traj, np.full(m, 2.0 * e1),
+                                np.full(m, e2), costs)
+        assert doubled.truth == pytest.approx(4.0 * base.truth, rel=1e-9)
+
+    @given(st.floats(min_value=0.1, max_value=10.0))
+    @SLOW
+    def test_terminal_weight_scales_terminal_only(self, weight: float):
+        params = make_params(5, 2.0, 0.01)
+        model = HeterogeneousSIRModel(params)
+        traj = model.simulate(SIRState.initial(5, 0.1), t_final=20.0,
+                              eps1=0.1, eps2=0.1, n_samples=21)
+        m = traj.times.size
+        e = np.full(m, 0.1)
+        base = evaluate_cost(traj, e, e, CostParameters(5, 10, 1.0))
+        scaled = evaluate_cost(traj, e, e, CostParameters(5, 10, weight))
+        assert scaled.terminal == pytest.approx(weight * base.terminal)
+        assert scaled.running == pytest.approx(base.running)
+
+
+class TestCorrelatedReducesToBase:
+    @given(st.integers(min_value=2, max_value=12),
+           st.floats(min_value=0.1, max_value=3.0))
+    @SLOW
+    def test_uniform_kernel_threshold_identity(self, n_groups: int,
+                                               scale: float):
+        """ρ(rank-one growth matrix) = the paper's closed form, for any
+        network size and acceptance scale."""
+        from repro.core.correlated import CorrelatedRumorModel, uniform_kernel
+        params = make_params(n_groups, 2.0, 0.01).with_acceptance_scale(scale)
+        model = CorrelatedRumorModel(params, uniform_kernel(params))
+        assert model.basic_reproduction_number(0.2, 0.05) == pytest.approx(
+            basic_reproduction_number(params, 0.2, 0.05), rel=1e-9)

@@ -1,0 +1,119 @@
+"""Tests for repro.numerics.quadrature."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.numerics.quadrature import (
+    adaptive_simpson,
+    cumulative_trapezoid,
+    simpson,
+    trapezoid,
+)
+
+
+class TestTrapezoid:
+    def test_linear_is_exact(self):
+        x = np.linspace(0.0, 4.0, 7)
+        assert trapezoid(2.0 * x + 1.0, x) == pytest.approx(20.0)
+
+    def test_quadratic_converges(self):
+        coarse_x = np.linspace(0.0, 1.0, 11)
+        fine_x = np.linspace(0.0, 1.0, 101)
+        coarse = trapezoid(coarse_x ** 2, coarse_x)
+        fine = trapezoid(fine_x ** 2, fine_x)
+        assert abs(fine - 1.0 / 3.0) < abs(coarse - 1.0 / 3.0)
+        assert fine == pytest.approx(1.0 / 3.0, abs=1e-4)
+
+    def test_nonuniform_grid(self):
+        x = np.array([0.0, 0.1, 0.5, 1.0, 2.0])
+        assert trapezoid(np.ones_like(x), x) == pytest.approx(2.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ParameterError):
+            trapezoid([1.0, 2.0], [0.0, 1.0, 2.0])
+
+    def test_decreasing_x_raises(self):
+        with pytest.raises(ParameterError):
+            trapezoid([1.0, 2.0], [1.0, 0.0])
+
+    def test_single_sample_raises(self):
+        with pytest.raises(ParameterError):
+            trapezoid([1.0], [0.0])
+
+    @given(st.floats(min_value=-10.0, max_value=10.0),
+           st.floats(min_value=-10.0, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_property_linear_exactness(self, slope: float, intercept: float):
+        x = np.linspace(0.0, 3.0, 13)
+        expected = slope * 4.5 + intercept * 3.0
+        assert trapezoid(slope * x + intercept, x) == pytest.approx(
+            expected, abs=1e-9)
+
+
+class TestCumulativeTrapezoid:
+    def test_starts_at_zero(self):
+        x = np.linspace(0.0, 1.0, 5)
+        out = cumulative_trapezoid(x, x)
+        assert out[0] == 0.0
+
+    def test_final_matches_total(self):
+        x = np.linspace(0.0, 2.0, 21)
+        y = np.sin(x)
+        out = cumulative_trapezoid(y, x)
+        assert out[-1] == pytest.approx(trapezoid(y, x))
+
+    def test_monotone_for_positive_integrand(self):
+        x = np.linspace(0.0, 1.0, 11)
+        out = cumulative_trapezoid(np.ones_like(x), x)
+        assert np.all(np.diff(out) > 0)
+
+
+class TestSimpson:
+    def test_cubic_is_exact(self):
+        x = np.linspace(0.0, 2.0, 11)
+        assert simpson(x ** 3, x) == pytest.approx(4.0, abs=1e-12)
+
+    def test_odd_interval_fallback(self):
+        x = np.linspace(0.0, 1.0, 4)  # 3 intervals
+        result = simpson(x ** 2, x)
+        assert result == pytest.approx(1.0 / 3.0, abs=2e-2)
+
+    def test_requires_uniform_grid(self):
+        with pytest.raises(ParameterError):
+            simpson([0.0, 1.0, 4.0], [0.0, 1.0, 3.0])
+
+    def test_more_accurate_than_trapezoid(self):
+        x = np.linspace(0.0, math.pi, 21)
+        y = np.sin(x)
+        assert abs(simpson(y, x) - 2.0) < abs(trapezoid(y, x) - 2.0)
+
+
+class TestAdaptiveSimpson:
+    def test_sine_integral(self):
+        assert adaptive_simpson(math.sin, 0.0, math.pi) == pytest.approx(
+            2.0, abs=1e-9)
+
+    def test_reversed_bounds_negate(self):
+        forward = adaptive_simpson(math.exp, 0.0, 1.0)
+        backward = adaptive_simpson(math.exp, 1.0, 0.0)
+        assert backward == pytest.approx(-forward)
+
+    def test_zero_width(self):
+        assert adaptive_simpson(math.exp, 1.0, 1.0) == 0.0
+
+    def test_sharp_peak(self):
+        # Narrow Gaussian needing local refinement.
+        f = lambda x: math.exp(-((x - 0.5) ** 2) / 1e-4)  # noqa: E731
+        result = adaptive_simpson(f, 0.0, 1.0, tol=1e-12)
+        assert result == pytest.approx(math.sqrt(math.pi * 1e-4), rel=1e-6)
+
+    def test_infinite_bound_raises(self):
+        with pytest.raises(ParameterError):
+            adaptive_simpson(math.exp, 0.0, math.inf)

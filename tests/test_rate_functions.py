@@ -1,0 +1,120 @@
+"""Tests for repro.epidemic.infectivity and repro.epidemic.acceptance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.epidemic.acceptance import (
+    PAPER_ACCEPTANCE,
+    ConstantAcceptance,
+    LinearAcceptance,
+    SaturatingAcceptance,
+)
+from repro.epidemic.infectivity import (
+    PAPER_INFECTIVITY,
+    ConstantInfectivity,
+    LinearInfectivity,
+    SaturatingInfectivity,
+)
+from repro.exceptions import ParameterError
+
+DEGREES = np.array([1.0, 4.0, 25.0, 100.0, 995.0])
+
+
+class TestInfectivityFamilies:
+    def test_constant(self):
+        f = ConstantInfectivity(2.5)
+        assert np.all(f(DEGREES) == 2.5)
+
+    def test_linear(self):
+        f = LinearInfectivity(0.5)
+        assert f(DEGREES) == pytest.approx(0.5 * DEGREES)
+
+    def test_saturating_paper_values(self):
+        f = SaturatingInfectivity(0.5, 0.5)
+        expected = np.sqrt(DEGREES) / (1.0 + np.sqrt(DEGREES))
+        assert f(DEGREES) == pytest.approx(expected)
+
+    def test_saturating_bounded_by_one_when_beta_equals_gamma(self):
+        f = SaturatingInfectivity(0.5, 0.5)
+        assert np.all(f(DEGREES) < 1.0)
+
+    def test_saturating_monotone_in_degree(self):
+        values = SaturatingInfectivity(0.5, 0.5)(DEGREES)
+        assert np.all(np.diff(values) > 0)
+
+    def test_paper_constant_object(self):
+        assert PAPER_INFECTIVITY.beta == 0.5
+        assert PAPER_INFECTIVITY.gamma == 0.5
+
+    def test_negative_constant_raises(self):
+        with pytest.raises(ParameterError):
+            ConstantInfectivity(0.0)
+
+    def test_beta_exceeding_gamma_raises(self):
+        with pytest.raises(ParameterError):
+            SaturatingInfectivity(1.0, 0.5)
+
+    def test_zero_degree_raises(self):
+        with pytest.raises(ParameterError):
+            LinearInfectivity()(np.array([0.0]))
+
+    def test_names_distinct(self):
+        names = {ConstantInfectivity().name, LinearInfectivity().name,
+                 SaturatingInfectivity().name}
+        assert len(names) == 3
+
+
+class TestAcceptanceFamilies:
+    def test_linear_paper_default(self):
+        assert PAPER_ACCEPTANCE(DEGREES) == pytest.approx(DEGREES)
+
+    def test_constant(self):
+        f = ConstantAcceptance(0.3)
+        assert np.all(f(DEGREES) == 0.3)
+
+    def test_saturating_bounded(self):
+        f = SaturatingAcceptance(lambda_max=0.9, k_half=10.0)
+        values = f(DEGREES)
+        assert np.all(values < 0.9)
+        assert values[-1] > 0.85  # nearly saturated at k = 995
+
+    def test_saturating_half_point(self):
+        f = SaturatingAcceptance(lambda_max=0.8, k_half=4.0)
+        assert f(np.array([4.0]))[0] == pytest.approx(0.4)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ParameterError):
+            LinearAcceptance(0.0)
+        with pytest.raises(ParameterError):
+            ConstantAcceptance(-1.0)
+        with pytest.raises(ParameterError):
+            SaturatingAcceptance(lambda_max=0.0)
+        with pytest.raises(ParameterError):
+            SaturatingAcceptance(k_half=0.0)
+
+
+class TestScaled:
+    @pytest.mark.parametrize("factory", [
+        lambda: ConstantAcceptance(0.2),
+        lambda: LinearAcceptance(1.0),
+        lambda: SaturatingAcceptance(0.5, 8.0),
+    ])
+    def test_scaled_multiplies_rates(self, factory):
+        base = factory()
+        doubled = base.scaled(2.0)
+        assert doubled(DEGREES) == pytest.approx(2.0 * base(DEGREES))
+
+    def test_scaled_invalid_factor_raises(self):
+        with pytest.raises(ParameterError):
+            LinearAcceptance(1.0).scaled(0.0)
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_property_scaling_composes(self, factor: float):
+        base = LinearAcceptance(1.0)
+        twice = base.scaled(factor).scaled(1.0 / factor)
+        assert twice(DEGREES) == pytest.approx(base(DEGREES), rel=1e-12)

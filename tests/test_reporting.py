@@ -1,0 +1,77 @@
+"""Tests for repro.analysis.reporting and the report/plan CLI commands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import campaign_report, threshold_report
+from repro.cli import main
+from repro.control import ControlBounds, CostParameters, solve_optimal_control
+from repro.core import SIRState
+
+
+class TestThresholdReport:
+    def test_extinct_verdict(self, subcritical_params):
+        report = threshold_report(subcritical_params, 0.2, 0.05)
+        assert "EXTINCT" in report
+        assert "r0 = 0.7000" in report
+        assert "critical surface" in report
+        assert "elasticity" in report
+
+    def test_persist_verdict(self, supercritical_params):
+        report = threshold_report(supercritical_params, 0.05, 0.05)
+        assert "PERSIST" in report
+
+    def test_mentions_network_shape(self, subcritical_params):
+        report = threshold_report(subcritical_params, 0.2, 0.05)
+        assert "10 degree groups" in report
+
+
+class TestCampaignReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.core.parameters import RumorModelParameters
+        from repro.core.threshold import calibrate_acceptance_scale
+        from repro.networks.degree import power_law_distribution
+        params = calibrate_acceptance_scale(
+            RumorModelParameters(power_law_distribution(1, 6, 2.0),
+                                 alpha=0.01), 0.2, 0.05, 3.0)
+        return solve_optimal_control(
+            params, SIRState.initial(6, 0.05), t_final=30.0,
+            bounds=ControlBounds(1.0, 1.0), costs=CostParameters(5, 10),
+            n_grid=61, max_iterations=60)
+
+    def test_contains_schedule(self, result):
+        report = campaign_report(result)
+        assert "schedule" in report
+        assert "eps1" in report and "eps2" in report
+        assert f"{result.cost.total:.4f}" in report
+
+    def test_phase_structure_line(self, result):
+        report = campaign_report(result)
+        assert "truth-led until" in report
+
+    def test_checkpoint_count(self, result):
+        report = campaign_report(result, checkpoints=3)
+        schedule_lines = [line for line in report.splitlines()
+                          if line.strip().startswith("t =")]
+        assert len(schedule_lines) == 3
+
+
+class TestCliCommands:
+    def test_report_command(self, capsys):
+        assert main(["report", "--preset", "forum_like",
+                     "--eps1", "0.1", "--eps2", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "threshold report" in out
+        assert "150 degree groups" in out
+
+    def test_report_default_digg(self, capsys):
+        assert main(["report"]) == 0
+        assert "848 degree groups" in capsys.readouterr().out
+
+    def test_plan_command(self, capsys):
+        assert main(["plan", "--tf", "20", "--n-groups", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out
+        assert "schedule" in out

@@ -1,0 +1,149 @@
+"""Tests for repro.numerics.rootfind."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import BracketingError, ConvergenceError
+from repro.numerics.rootfind import bisect, brent, expand_bracket, newton
+
+
+class TestBisect:
+    def test_linear_root(self):
+        result = bisect(lambda x: x - 3.0, 0.0, 10.0)
+        assert result.root == pytest.approx(3.0, abs=1e-10)
+
+    def test_cubic_root(self):
+        result = bisect(lambda x: x ** 3 - 2.0, 0.0, 2.0)
+        assert result.root == pytest.approx(2.0 ** (1 / 3), abs=1e-10)
+
+    def test_root_at_left_endpoint(self):
+        result = bisect(lambda x: x, 0.0, 1.0)
+        assert result.root == 0.0
+        assert result.iterations == 0
+
+    def test_root_at_right_endpoint(self):
+        result = bisect(lambda x: x - 1.0, 0.0, 1.0)
+        assert result.root == 1.0
+
+    def test_reversed_bracket(self):
+        result = bisect(lambda x: x - 3.0, 10.0, 0.0)
+        assert result.root == pytest.approx(3.0, abs=1e-10)
+
+    def test_no_sign_change_raises(self):
+        with pytest.raises(BracketingError):
+            bisect(lambda x: x * x + 1.0, -1.0, 1.0)
+
+    def test_degenerate_bracket_raises(self):
+        with pytest.raises(BracketingError):
+            bisect(lambda x: x, 2.0, 2.0)
+
+    def test_non_finite_endpoint_raises(self):
+        with pytest.raises(BracketingError):
+            bisect(lambda x: x, 0.0, math.inf)
+
+    def test_non_finite_value_raises(self):
+        with pytest.raises(BracketingError):
+            bisect(lambda x: math.nan, 0.0, 1.0)
+
+
+class TestBrent:
+    def test_linear_root(self):
+        result = brent(lambda x: 2.0 * x - 1.0, -5.0, 5.0)
+        assert result.root == pytest.approx(0.5, abs=1e-12)
+
+    def test_transcendental_root(self):
+        result = brent(lambda x: math.cos(x) - x, 0.0, 1.0)
+        assert result.root == pytest.approx(0.7390851332151607, abs=1e-10)
+
+    def test_faster_than_bisect(self):
+        f = lambda x: math.exp(x) - 5.0  # noqa: E731
+        brent_result = brent(f, 0.0, 10.0)
+        bisect_result = bisect(f, 0.0, 10.0)
+        assert brent_result.iterations < bisect_result.iterations
+        assert brent_result.root == pytest.approx(math.log(5.0), abs=1e-10)
+
+    def test_flat_then_steep(self):
+        # A function with a nearly flat region stressing interpolation.
+        result = brent(lambda x: x ** 9 - 0.5, 0.0, 1.5)
+        assert result.root == pytest.approx(0.5 ** (1 / 9), abs=1e-9)
+
+    def test_no_sign_change_raises(self):
+        with pytest.raises(BracketingError):
+            brent(lambda x: x * x + 1.0, -1.0, 1.0)
+
+    def test_residual_is_small(self):
+        result = brent(lambda x: x ** 3 - 7.0, 0.0, 3.0)
+        assert abs(result.residual) < 1e-8
+
+    @given(st.floats(min_value=-50.0, max_value=50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_property_recovers_linear_roots(self, target: float):
+        result = brent(lambda x: x - target, -100.0, 100.0)
+        assert result.root == pytest.approx(target, abs=1e-8)
+
+    @given(st.floats(min_value=0.1, max_value=20.0),
+           st.floats(min_value=-5.0, max_value=5.0))
+    @settings(max_examples=50, deadline=None)
+    def test_property_quadratic_roots(self, scale: float, shift: float):
+        # f(x) = scale·(x − shift)·(x − shift − 10) has a root at shift.
+        f = lambda x: scale * (x - shift) * (x - shift - 10.0)  # noqa: E731
+        result = brent(f, shift - 4.0, shift + 4.0)
+        assert result.root == pytest.approx(shift, abs=1e-7)
+
+
+class TestNewton:
+    def test_square_root(self):
+        result = newton(lambda x: x * x - 2.0, lambda x: 2.0 * x, 1.0)
+        assert result.root == pytest.approx(math.sqrt(2.0), abs=1e-12)
+
+    def test_quadratic_convergence_iteration_count(self):
+        result = newton(lambda x: x * x - 2.0, lambda x: 2.0 * x, 1.5)
+        assert result.iterations <= 8
+
+    def test_zero_derivative_raises(self):
+        with pytest.raises(ConvergenceError):
+            newton(lambda x: x * x + 1.0, lambda x: 0.0, 0.5)
+
+    def test_exact_root_start(self):
+        result = newton(lambda x: x - 4.0, lambda x: 1.0, 4.0)
+        assert result.root == 4.0
+
+    def test_divergent_raises(self):
+        # x^(1/3)-style: Newton diverges from x0 away from 0 when the
+        # derivative underestimates curvature; emulate with a cycle.
+        with pytest.raises(ConvergenceError):
+            newton(lambda x: math.atan(x), lambda x: 1.0 / (1.0 + x * x),
+                   5.0, maxiter=30)
+
+
+class TestExpandBracket:
+    def test_expands_right(self):
+        a, b = expand_bracket(lambda x: x - 100.0, 0.0, 1.0)
+        assert (a - 100.0) * (b - 100.0) <= 0.0
+
+    def test_expands_left(self):
+        a, b = expand_bracket(lambda x: x + 100.0, -1.0, 0.0)
+        assert (a + 100.0) * (b + 100.0) <= 0.0
+
+    def test_already_bracketing(self):
+        a, b = expand_bracket(lambda x: x, -1.0, 1.0)
+        assert (a, b) == (-1.0, 1.0)
+
+    def test_failure_raises(self):
+        with pytest.raises(BracketingError):
+            expand_bracket(lambda x: 1.0 + x * x, 0.0, 1.0, maxiter=10)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(BracketingError):
+            expand_bracket(lambda x: x, 1.0, 1.0)
+
+    def test_brent_on_expanded_bracket(self):
+        a, b = expand_bracket(lambda x: math.log(x) - 3.0, 1.0, 2.0)
+        result = brent(lambda x: math.log(x) - 3.0, a, b)
+        assert result.root == pytest.approx(math.exp(3.0), rel=1e-10)

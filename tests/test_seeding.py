@@ -1,0 +1,69 @@
+"""Tests for repro.simulation.seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.networks.graph import Graph
+from repro.simulation.seeding import (
+    seed_degree_proportional,
+    seed_random,
+    seed_top_degree,
+)
+
+
+@pytest.fixture
+def star_graph():
+    """Node 0 is the hub of a 10-leaf star."""
+    return Graph(11, [(0, j) for j in range(1, 11)])
+
+
+class TestSeedRandom:
+    def test_distinct_and_in_range(self, small_graph, rng):
+        seeds = seed_random(small_graph, 20, rng)
+        assert np.unique(seeds).size == 20
+        assert seeds.min() >= 0 and seeds.max() < small_graph.n_nodes
+
+    def test_invalid_count_raises(self, small_graph, rng):
+        with pytest.raises(ParameterError):
+            seed_random(small_graph, 0, rng)
+        with pytest.raises(ParameterError):
+            seed_random(small_graph, small_graph.n_nodes + 1, rng)
+
+    def test_deterministic_under_seed(self, small_graph):
+        a = seed_random(small_graph, 5, np.random.default_rng(3))
+        b = seed_random(small_graph, 5, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestSeedTopDegree:
+    def test_hub_first(self, star_graph):
+        seeds = seed_top_degree(star_graph, 1)
+        assert seeds[0] == 0
+
+    def test_ties_broken_by_id(self, star_graph):
+        seeds = seed_top_degree(star_graph, 3)
+        assert list(seeds) == [0, 1, 2]
+
+    def test_deterministic(self, small_graph):
+        assert np.array_equal(seed_top_degree(small_graph, 7),
+                              seed_top_degree(small_graph, 7))
+
+
+class TestSeedDegreeProportional:
+    def test_hub_heavily_favored(self, star_graph):
+        rng = np.random.default_rng(0)
+        hits = sum(0 in seed_degree_proportional(star_graph, 1, rng)
+                   for _ in range(200))
+        # Hub holds half the total degree; expect ≈ 100 hits.
+        assert hits > 60
+
+    def test_distinct(self, small_graph, rng):
+        seeds = seed_degree_proportional(small_graph, 10, rng)
+        assert np.unique(seeds).size == 10
+
+    def test_edgeless_graph_raises(self, rng):
+        with pytest.raises(ParameterError):
+            seed_degree_proportional(Graph(5), 1, rng)

@@ -1,0 +1,109 @@
+"""Tests for repro.analysis.sensitivity."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    ANALYTIC_ELASTICITIES,
+    numeric_elasticity,
+    r0_elasticities,
+    tornado_table,
+)
+from repro.core.parameters import RumorModelParameters
+from repro.epidemic.infectivity import ConstantInfectivity, SaturatingInfectivity
+from repro.exceptions import ParameterError
+from repro.networks.degree import power_law_distribution
+
+
+class TestNumericElasticity:
+    def test_power_law_exact(self):
+        # f(p) = p³ has constant elasticity 3.
+        assert numeric_elasticity(lambda p: p ** 3, 2.0) == pytest.approx(
+            3.0, abs=1e-6)
+
+    def test_inverse_power(self):
+        assert numeric_elasticity(lambda p: 1.0 / p, 5.0) == pytest.approx(
+            -1.0, abs=1e-6)
+
+    def test_constant_function_zero(self):
+        assert numeric_elasticity(lambda p: 7.0, 1.0) == pytest.approx(0.0)
+
+    def test_one_sided_variants(self):
+        lower = numeric_elasticity(lambda p: p ** 2, 3.0, side="lower")
+        upper = numeric_elasticity(lambda p: p ** 2, 3.0, side="upper")
+        assert lower == pytest.approx(2.0, abs=1e-3)
+        assert upper == pytest.approx(2.0, abs=1e-3)
+
+    def test_zero_point_raises(self):
+        with pytest.raises(ParameterError):
+            numeric_elasticity(lambda p: p, 0.0)
+
+    def test_nonpositive_f_raises(self):
+        with pytest.raises(ParameterError):
+            numeric_elasticity(lambda p: p - 10.0, 1.0)
+
+    def test_unknown_side_raises(self):
+        with pytest.raises(ParameterError):
+            numeric_elasticity(lambda p: p, 1.0, side="sideways")
+
+
+class TestR0Elasticities:
+    def test_numeric_matches_analytic(self, subcritical_params):
+        """The closed-form r0 elasticities are recovered numerically —
+        a built-in validation of Thm 5's functional form."""
+        elasticities = r0_elasticities(subcritical_params, 0.2, 0.05)
+        for name, expected in ANALYTIC_ELASTICITIES.items():
+            assert elasticities[name] == pytest.approx(expected, abs=1e-6), \
+                name
+
+    def test_saturating_shape_exponents_present(self, subcritical_params):
+        assert isinstance(subcritical_params.infectivity,
+                          SaturatingInfectivity)
+        elasticities = r0_elasticities(subcritical_params, 0.2, 0.05)
+        assert "omega_beta" in elasticities
+        assert "omega_gamma" in elasticities
+        # More contagious shape (larger β) raises r0; heavier damping
+        # (larger γ) lowers it.
+        assert elasticities["omega_beta"] > 0.0
+        assert elasticities["omega_gamma"] < 0.0
+
+    def test_non_saturating_skips_shape_exponents(self):
+        params = RumorModelParameters(power_law_distribution(1, 10, 2.0),
+                                      infectivity=ConstantInfectivity(1.0))
+        elasticities = r0_elasticities(params, 0.2, 0.05)
+        assert "omega_beta" not in elasticities
+
+
+class TestTornado:
+    def test_rows_ranked_by_swing(self, subcritical_params):
+        rows = tornado_table(subcritical_params, 0.2, 0.05)
+        swings = [row.swing for row in rows]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_rate_levers_all_present(self, subcritical_params):
+        rows = tornado_table(subcritical_params, 0.2, 0.05)
+        assert {row.parameter for row in rows} == {
+            "alpha", "lambda_scale", "eps1", "eps2"}
+
+    def test_countermeasures_swing_hardest(self, subcritical_params):
+        """With elasticity −1, a ±25% swing of ε moves r0 more than the
+        same swing of α (elasticity +1): 1/(1−s) − 1/(1+s) > 2s."""
+        rows = {row.parameter: row for row in
+                tornado_table(subcritical_params, 0.2, 0.05)}
+        assert rows["eps1"].swing > rows["alpha"].swing
+
+    def test_directionality(self, subcritical_params):
+        rows = {row.parameter: row for row in
+                tornado_table(subcritical_params, 0.2, 0.05)}
+        # r0 falls when countermeasures rise …
+        assert rows["eps2"].r0_high < rows["eps2"].r0_low
+        # … and rises with the entering rate.
+        assert rows["alpha"].r0_high > rows["alpha"].r0_low
+
+    def test_invalid_swing_raises(self, subcritical_params):
+        with pytest.raises(ParameterError):
+            tornado_table(subcritical_params, 0.2, 0.05, swing=1.5)

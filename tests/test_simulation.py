@@ -1,0 +1,236 @@
+"""Tests for the stochastic simulators (agent-based + Gillespie) and
+their comparison metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.epidemic.acceptance import ConstantAcceptance, SaturatingAcceptance
+from repro.epidemic.infectivity import ConstantInfectivity, SaturatingInfectivity
+from repro.exceptions import ParameterError
+from repro.networks.generators import erdos_renyi
+from repro.networks.graph import Graph
+from repro.simulation.agent_based import (
+    AgentBasedConfig,
+    simulate_agent_based,
+)
+from repro.simulation.gillespie import GillespieConfig, simulate_gillespie
+from repro.simulation.metrics import (
+    ensemble_average,
+    step_interpolate,
+    trajectory_rmse,
+)
+from repro.simulation.seeding import seed_random
+
+
+def _config(**overrides):
+    defaults = dict(
+        acceptance=SaturatingAcceptance(lambda_max=0.8, k_half=5.0),
+        infectivity=SaturatingInfectivity(0.5, 0.5),
+        eps1=0.01, eps2=0.05, dt=0.25, t_final=30.0,
+    )
+    defaults.update(overrides)
+    return AgentBasedConfig(**defaults)
+
+
+class TestAgentBased:
+    def test_densities_sum_to_one(self, small_graph, rng):
+        seeds = seed_random(small_graph, 5, rng)
+        result = simulate_agent_based(small_graph, seeds, _config(), rng=rng)
+        totals = result.susceptible + result.infected + result.recovered
+        assert np.allclose(totals, 1.0, atol=1e-12)
+
+    def test_initial_infected_fraction(self, small_graph, rng):
+        seeds = seed_random(small_graph, 10, rng)
+        result = simulate_agent_based(small_graph, seeds, _config(), rng=rng)
+        assert result.infected[0] == pytest.approx(10 / small_graph.n_nodes)
+
+    def test_epidemic_spreads_without_countermeasures(self, small_graph, rng):
+        seeds = seed_random(small_graph, 3, rng)
+        config = _config(eps1=0.0, eps2=0.0, t_final=40.0)
+        result = simulate_agent_based(small_graph, seeds, config, rng=rng)
+        assert result.peak_infected > result.infected[0]
+
+    def test_blocking_produces_recovered(self, small_graph, rng):
+        seeds = seed_random(small_graph, 5, rng)
+        result = simulate_agent_based(small_graph, seeds,
+                                      _config(eps2=0.3), rng=rng)
+        assert result.final_recovered > 0.0
+
+    def test_no_spread_on_edgeless_graph(self, rng):
+        graph = Graph(50)
+        result = simulate_agent_based(
+            graph, np.array([0]), _config(eps1=0.0, eps2=0.0), rng=rng)
+        assert result.infected[-1] == pytest.approx(1 / 50)
+
+    def test_group_series_shapes(self, small_graph, rng):
+        seeds = seed_random(small_graph, 5, rng)
+        result = simulate_agent_based(small_graph, seeds, _config(), rng=rng)
+        assert result.group_infected.shape == (
+            result.times.size, result.group_degrees.size)
+        assert np.all(result.group_infected >= 0.0)
+        assert np.all(result.group_infected <= 1.0)
+
+    def test_time_varying_control(self, small_graph, rng):
+        seeds = seed_random(small_graph, 5, rng)
+        config = _config(eps1=0.0,
+                         eps2=lambda t: 0.5 if t > 10.0 else 0.0)
+        result = simulate_agent_based(small_graph, seeds, config, rng=rng)
+        # No recoveries can happen before the blocking switches on.
+        before = result.times <= 10.0
+        assert np.all(result.recovered[before] == 0.0)
+
+    def test_duplicate_seeds_raise(self, small_graph, rng):
+        with pytest.raises(ParameterError):
+            simulate_agent_based(small_graph, np.array([1, 1]), _config(),
+                                 rng=rng)
+
+    def test_out_of_range_seed_raises(self, small_graph, rng):
+        with pytest.raises(ParameterError):
+            simulate_agent_based(small_graph,
+                                 np.array([small_graph.n_nodes]),
+                                 _config(), rng=rng)
+
+    def test_invalid_dt_raises(self):
+        with pytest.raises(ParameterError):
+            _config(dt=0.0)
+
+
+class TestGillespie:
+    def _gconfig(self, **overrides):
+        defaults = dict(
+            acceptance=SaturatingAcceptance(lambda_max=0.8, k_half=5.0),
+            infectivity=SaturatingInfectivity(0.5, 0.5),
+            eps1=0.0, eps2=0.1, t_final=40.0,
+        )
+        defaults.update(overrides)
+        return GillespieConfig(**defaults)
+
+    def test_densities_sum_to_one(self, small_graph, rng):
+        seeds = seed_random(small_graph, 5, rng)
+        result = simulate_gillespie(small_graph, seeds, self._gconfig(),
+                                    rng=rng)
+        totals = result.susceptible + result.infected + result.recovered
+        assert np.allclose(totals, 1.0, atol=1e-12)
+
+    def test_event_times_increase(self, small_graph, rng):
+        seeds = seed_random(small_graph, 5, rng)
+        result = simulate_gillespie(small_graph, seeds, self._gconfig(),
+                                    rng=rng)
+        assert np.all(np.diff(result.times) >= 0.0)
+
+    def test_terminates_without_rates(self, small_graph, rng):
+        """eps = 0 and no infected neighbors ⇒ no events fire."""
+        graph = Graph(20)  # edgeless
+        config = self._gconfig(eps1=0.0, eps2=0.0)
+        result = simulate_gillespie(graph, np.array([0]), config, rng=rng)
+        assert result.n_events <= 1
+        assert result.infected[-1] == pytest.approx(1 / 20)
+
+    def test_density_at_lookup(self, small_graph, rng):
+        seeds = seed_random(small_graph, 5, rng)
+        result = simulate_gillespie(small_graph, seeds, self._gconfig(),
+                                    rng=rng)
+        s, i, r = result.density_at(0.0)
+        assert i == pytest.approx(5 / small_graph.n_nodes)
+        assert s + i + r == pytest.approx(1.0)
+
+    def test_blocking_eventually_extinguishes(self, small_graph, rng):
+        config = self._gconfig(eps2=1.0, t_final=200.0,
+                               acceptance=ConstantAcceptance(0.01))
+        seeds = seed_random(small_graph, 3, rng)
+        result = simulate_gillespie(small_graph, seeds, config, rng=rng)
+        assert result.infected[-1] < 0.05
+
+    def test_invalid_rates_raise(self):
+        with pytest.raises(ParameterError):
+            self._gconfig(eps1=-0.1)
+
+
+class TestMetrics:
+    def test_step_interpolate(self):
+        times = np.array([0.0, 1.0, 3.0])
+        values = np.array([10.0, 20.0, 30.0])
+        grid = np.array([0.0, 0.5, 1.0, 2.0, 5.0])
+        out = step_interpolate(times, values, grid)
+        assert list(out) == [10.0, 10.0, 20.0, 20.0, 30.0]
+
+    def test_step_interpolate_validation(self):
+        with pytest.raises(ParameterError):
+            step_interpolate(np.array([0.0]), np.array([1.0, 2.0]),
+                             np.array([0.0]))
+
+    def test_ensemble_average_agreement(self, small_graph, rng):
+        seeds = seed_random(small_graph, 5, rng)
+        runs = [simulate_agent_based(small_graph, seeds, _config(),
+                                     rng=np.random.default_rng(s))
+                for s in range(4)]
+        grid = np.linspace(0.0, 30.0, 31)
+        summary = ensemble_average(runs, grid)
+        assert summary.n_runs == 4
+        totals = (summary.mean_susceptible + summary.mean_infected
+                  + summary.mean_recovered)
+        assert np.allclose(totals, 1.0, atol=1e-9)
+        assert np.all(summary.std_infected >= 0.0)
+
+    def test_ensemble_average_empty_raises(self):
+        with pytest.raises(ParameterError):
+            ensemble_average([], np.linspace(0, 1, 5))
+
+    def test_trajectory_rmse(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, 2.0, 5.0])
+        assert trajectory_rmse(a, b) == pytest.approx(np.sqrt(4.0 / 3.0))
+
+    def test_trajectory_rmse_shape_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            trajectory_rmse(np.zeros(3), np.zeros(4))
+
+
+class TestMeanFieldAgreement:
+    def test_agent_based_tracks_ode_shape(self, rng):
+        """Stochastic ensemble and mean-field ODE agree on the epidemic
+        shape for a dense homogeneous network (the regime where the
+        mean-field approximation is best)."""
+        from repro.core.model import HeterogeneousSIRModel
+        from repro.core.parameters import RumorModelParameters
+        from repro.core.state import SIRState
+        from repro.networks.degree import DegreeDistribution
+
+        from repro.epidemic.acceptance import LinearAcceptance
+
+        graph = erdos_renyi(800, 0.02, rng=np.random.default_rng(0))
+        acceptance = LinearAcceptance(0.5)
+        infectivity = ConstantInfectivity(1.0)
+        eps2 = 0.1
+        config = AgentBasedConfig(
+            acceptance=acceptance, infectivity=infectivity,
+            eps1=0.0, eps2=eps2, dt=0.1, t_final=40.0,
+        )
+        seeds = seed_random(graph, 40, rng)
+        runs = [simulate_agent_based(graph, seeds, config,
+                                     rng=np.random.default_rng(s))
+                for s in range(5)]
+        grid = np.linspace(0.0, 40.0, 81)
+        summary = ensemble_average(runs, grid)
+
+        distribution = DegreeDistribution.from_graph(graph)
+        # alpha must be positive in the paper's model; use a negligible
+        # inflow so the comparison is apples-to-apples.
+        params = RumorModelParameters(distribution, alpha=1e-9,
+                                      acceptance=acceptance,
+                                      infectivity=infectivity)
+        model = HeterogeneousSIRModel(params)
+        initial = SIRState.initial(params.n_groups, 40 / 800)
+        traj = model.simulate(initial, t_final=40.0, eps1=0.0, eps2=eps2,
+                              t_eval=grid)
+        ode_infected = traj.population_infected()
+        rmse = trajectory_rmse(ode_infected, summary.mean_infected)
+        assert rmse < 0.08, (
+            f"mean-field deviates from agent-based ensemble (rmse={rmse:.3f})"
+        )
+        # Peak times within a few steps of each other.
+        peak_ode = grid[np.argmax(ode_infected)]
+        peak_abm = grid[np.argmax(summary.mean_infected)]
+        assert abs(peak_ode - peak_abm) < 10.0

@@ -1,0 +1,104 @@
+"""Tests for repro.epidemic.heterogeneous_sirs — the forgetting extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state import SIRState
+from repro.epidemic.heterogeneous_sirs import HeterogeneousSIRS
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def sirs(supercritical_params):
+    return HeterogeneousSIRS(supercritical_params, delta=0.02)
+
+
+class TestConstruction:
+    def test_invalid_delta_raises(self, supercritical_params):
+        with pytest.raises(ParameterError):
+            HeterogeneousSIRS(supercritical_params, delta=0.0)
+        with pytest.raises(ParameterError):
+            HeterogeneousSIRS(supercritical_params, delta=-0.1)
+
+
+class TestTheory:
+    def test_rumor_free_susceptible_formula(self, sirs):
+        assert sirs.rumor_free_susceptible(0.05) == pytest.approx(
+            0.02 / 0.07)
+        assert sirs.rumor_free_susceptible(0.0) == 1.0
+
+    def test_r0_decreases_with_eps1(self, sirs):
+        assert sirs.basic_reproduction_number(0.1, 0.05) < \
+            sirs.basic_reproduction_number(0.01, 0.05)
+
+    def test_fast_forgetting_neutralizes_immunization(self,
+                                                      supercritical_params):
+        """δ → ∞: S⁰ → 1 regardless of ε1 — truth campaigns stop working."""
+        slow = HeterogeneousSIRS(supercritical_params, delta=0.001)
+        fast = HeterogeneousSIRS(supercritical_params, delta=100.0)
+        assert fast.rumor_free_susceptible(0.2) > 0.99
+        assert slow.rumor_free_susceptible(0.2) < 0.01
+        assert fast.basic_reproduction_number(0.2, 0.05) > \
+            slow.basic_reproduction_number(0.2, 0.05)
+
+    def test_endemic_theta_zero_below_threshold(self, supercritical_params):
+        sirs = HeterogeneousSIRS(supercritical_params, delta=0.001)
+        # Tiny δ makes S⁰ tiny, pushing r0 below 1 at strong ε1.
+        assert sirs.basic_reproduction_number(0.5, 0.2) < 1.0
+        assert sirs.endemic_theta(0.5, 0.2) == 0.0
+
+    def test_endemic_state_is_on_simplex(self, sirs):
+        state = sirs.endemic_state(0.05, 0.05)
+        assert state.in_simplex()
+        assert np.all(state.infected >= 0.0)
+
+
+class TestDynamics:
+    def test_simplex_preserved(self, sirs):
+        """Closed population: S + I + R = 1 for all time, per group."""
+        trajectory = sirs.simulate(SIRState.initial(10, 0.1),
+                                   t_final=100.0, eps1=0.05, eps2=0.05)
+        totals = (trajectory.susceptible + trajectory.infected
+                  + trajectory.recovered)
+        assert np.allclose(totals, 1.0, atol=1e-8)
+
+    def test_converges_to_endemic_state(self, sirs):
+        r0 = sirs.basic_reproduction_number(0.05, 0.05)
+        assert r0 > 1.0
+        target = sirs.endemic_state(0.05, 0.05)
+        trajectory = sirs.simulate(SIRState.initial(10, 0.1),
+                                   t_final=2000.0, eps1=0.05, eps2=0.05)
+        final = trajectory.final_state
+        assert np.max(np.abs(final.infected - target.infected)) < 1e-4
+        assert np.max(np.abs(final.susceptible - target.susceptible)) < 1e-4
+
+    def test_extinction_below_threshold(self, supercritical_params):
+        sirs = HeterogeneousSIRS(supercritical_params, delta=0.001)
+        assert sirs.basic_reproduction_number(0.5, 0.2) < 1.0
+        trajectory = sirs.simulate(SIRState.initial(10, 0.1),
+                                   t_final=500.0, eps1=0.5, eps2=0.2)
+        assert trajectory.population_infected()[-1] < 1e-4
+
+    def test_forgetting_sustains_higher_infection_than_sir(
+            self, supercritical_params):
+        """Compared at identical rates, recirculating susceptibles keep
+        the endemic level at least as high as fresh-supply SIR's."""
+        fast = HeterogeneousSIRS(supercritical_params, delta=0.5)
+        slow = HeterogeneousSIRS(supercritical_params, delta=0.01)
+        y0 = SIRState.initial(10, 0.1)
+        t_fast = fast.simulate(y0, t_final=1000.0, eps1=0.05, eps2=0.05)
+        t_slow = slow.simulate(y0, t_final=1000.0, eps1=0.05, eps2=0.05)
+        assert t_fast.population_infected()[-1] > \
+            t_slow.population_infected()[-1]
+
+    def test_group_count_mismatch_raises(self, sirs):
+        with pytest.raises(ParameterError):
+            sirs.simulate(SIRState.initial(3, 0.1), t_final=10.0,
+                          eps1=0.05, eps2=0.05)
+
+    def test_invalid_horizon_raises(self, sirs):
+        with pytest.raises(ParameterError):
+            sirs.simulate(SIRState.initial(10, 0.1), t_final=0.0,
+                          eps1=0.05, eps2=0.05)

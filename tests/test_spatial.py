@@ -1,0 +1,137 @@
+"""Tests for repro.epidemic.spatial — the reaction–diffusion extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.epidemic.spatial import SpatialRumorModel
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture(scope="module")
+def front_run():
+    model = SpatialRumorModel(length=100.0, n_cells=200, lam=1.0,
+                              eps1=0.0, eps2=0.1, diffusion_i=1.0)
+    return model, model.simulate(t_final=30.0)
+
+
+class TestConstruction:
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ParameterError):
+            SpatialRumorModel(length=0.0)
+        with pytest.raises(ParameterError):
+            SpatialRumorModel(n_cells=2)
+        with pytest.raises(ParameterError):
+            SpatialRumorModel(lam=0.0)
+        with pytest.raises(ParameterError):
+            SpatialRumorModel(diffusion_i=-1.0)
+
+    def test_grid_geometry(self):
+        model = SpatialRumorModel(length=10.0, n_cells=5)
+        assert model.dx == 2.0
+        assert model.x == pytest.approx([1.0, 3.0, 5.0, 7.0, 9.0])
+
+
+class TestConservation:
+    def test_mass_conserved_without_countermeasures(self):
+        """With ε1 = ε2 = 0 and equal diffusivities, S + I + R is
+        conserved cell-wise up to diffusion flux, and exactly in total."""
+        model = SpatialRumorModel(length=50.0, n_cells=100, lam=1.0,
+                                  eps1=0.0, eps2=0.0,
+                                  diffusion_i=0.5, diffusion_s=0.5)
+        result = model.simulate(t_final=10.0)
+        total = (result.susceptible + result.infected
+                 + result.recovered).mean(axis=1)
+        assert total == pytest.approx(np.full_like(total, total[0]),
+                                      abs=1e-6)
+
+    def test_fields_stay_nonnegative(self, front_run):
+        _, result = front_run
+        assert np.all(result.susceptible >= -1e-8)
+        assert np.all(result.infected >= -1e-8)
+        assert np.all(result.recovered >= -1e-8)
+
+    def test_zero_flux_boundaries(self):
+        """Pure diffusion flattens any profile to its mean (no leakage)."""
+        model = SpatialRumorModel(length=20.0, n_cells=50, lam=1e-9,
+                                  eps1=0.0, eps2=0.0, diffusion_i=2.0)
+        result = model.simulate(t_final=200.0, seed_center=10.0,
+                                seed_width=2.0, seed_level=1.0)
+        final = result.infected[-1]
+        assert final.std() < 1e-3
+        assert final.mean() == pytest.approx(result.infected[0].mean(),
+                                             abs=1e-6)
+
+
+class TestTravelingFront:
+    def test_front_advances(self, front_run):
+        _, result = front_run
+        positions = result.front_position()
+        valid = ~np.isnan(positions)
+        assert positions[valid][-1] > positions[valid][0]
+
+    def test_front_speed_near_fisher_bound(self, front_run):
+        model, result = front_run
+        speed = result.front_speed()
+        bound = model.fisher_speed()
+        assert speed == pytest.approx(bound, rel=0.15)
+        assert speed <= bound * 1.05  # KPP fronts do not exceed c*
+
+    def test_stronger_blocking_slows_the_front(self):
+        fast = SpatialRumorModel(length=100.0, n_cells=200, lam=1.0,
+                                 eps2=0.05, diffusion_i=1.0)
+        slow = SpatialRumorModel(length=100.0, n_cells=200, lam=1.0,
+                                 eps2=0.5, diffusion_i=1.0)
+        assert slow.fisher_speed() < fast.fisher_speed()
+        speed_fast = fast.simulate(t_final=30.0).front_speed()
+        speed_slow = slow.simulate(t_final=30.0).front_speed()
+        assert speed_slow < speed_fast
+
+    def test_supercritical_blocking_kills_the_front(self):
+        model = SpatialRumorModel(length=100.0, n_cells=150, lam=0.5,
+                                  eps2=1.0, diffusion_i=1.0)
+        assert model.fisher_speed() == 0.0
+        result = model.simulate(t_final=30.0)
+        assert result.total_infected()[-1] < 1e-3
+
+    def test_immunization_consumes_the_fuel(self):
+        """ε1 > 0 depletes susceptibles ahead of the front, so the rumor
+        reaches a smaller total than without immunization."""
+        base = SpatialRumorModel(length=100.0, n_cells=150, lam=1.0,
+                                 eps1=0.0, eps2=0.1, diffusion_i=1.0)
+        immunized = SpatialRumorModel(length=100.0, n_cells=150, lam=1.0,
+                                      eps1=0.1, eps2=0.1, diffusion_i=1.0)
+        r_base = base.simulate(t_final=40.0)
+        r_imm = immunized.simulate(t_final=40.0)
+        ever_base = 1.0 - r_base.susceptible[-1].mean()
+        # Exclude the ε1-immunized from "ever infected": track I + what ε2
+        # removed — here the simple comparison of remaining infection.
+        assert (r_imm.total_infected()[-1] < r_base.total_infected()[-1])
+        assert ever_base > 0.3
+
+
+class TestFrontDiagnostics:
+    def test_front_position_nan_when_extinct(self):
+        model = SpatialRumorModel(length=50.0, n_cells=100, lam=0.1,
+                                  eps2=2.0, diffusion_i=0.5)
+        result = model.simulate(t_final=20.0)
+        positions = result.front_position(level=0.5)
+        assert np.isnan(positions[-1])
+
+    def test_invalid_level_raises(self, front_run):
+        _, result = front_run
+        with pytest.raises(ParameterError):
+            result.front_position(level=0.0)
+
+    def test_untrackable_front_raises(self):
+        model = SpatialRumorModel(length=50.0, n_cells=100, lam=0.1,
+                                  eps2=2.0, diffusion_i=0.5)
+        result = model.simulate(t_final=20.0)
+        with pytest.raises(ParameterError):
+            result.front_speed(level=0.5)
+
+    def test_invalid_fit_window_raises(self, front_run):
+        _, result = front_run
+        with pytest.raises(ParameterError):
+            result.front_speed(fit_fraction=(0.9, 0.3))

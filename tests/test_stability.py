@@ -1,0 +1,103 @@
+"""Tests for repro.core.stability — Theorems 2–4."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import positive_equilibrium, zero_equilibrium
+from repro.core.stability import (
+    classify_equilibrium,
+    reduced_jacobian,
+    verify_global_stability,
+)
+from repro.exceptions import ParameterError
+
+
+class TestJacobian:
+    def test_shape(self, subcritical_params):
+        eq = zero_equilibrium(subcritical_params, 0.2, 0.05)
+        jac = reduced_jacobian(subcritical_params, eq.state, 0.2, 0.05)
+        n = subcritical_params.n_groups
+        assert jac.shape == (2 * n, 2 * n)
+
+    def test_matches_finite_differences(self, supercritical_params):
+        """Analytic Jacobian equals a numerical one at a generic point."""
+        from repro.core.model import HeterogeneousSIRModel, as_control
+        from repro.core.state import SIRState
+
+        params = supercritical_params
+        n = params.n_groups
+        model = HeterogeneousSIRModel(params)
+        state = SIRState.initial(n, 0.1)
+        eps1, eps2 = 0.07, 0.03
+        jac = reduced_jacobian(params, state, eps1, eps2)
+
+        y0 = state.pack()[: 2 * n]
+
+        def reduced_rhs(si: np.ndarray) -> np.ndarray:
+            full = np.concatenate([si, np.zeros(n)])
+            d = model.rhs(0.0, full, as_control(eps1, "e1"),
+                          as_control(eps2, "e2"))
+            return d[: 2 * n]
+
+        h = 1e-7
+        numeric = np.empty_like(jac)
+        base = reduced_rhs(y0)
+        for j in range(2 * n):
+            perturbed = y0.copy()
+            perturbed[j] += h
+            numeric[:, j] = (reduced_rhs(perturbed) - base) / h
+        assert np.max(np.abs(jac - numeric)) < 1e-4
+
+    def test_negative_rates_raise(self, subcritical_params):
+        eq = zero_equilibrium(subcritical_params, 0.2, 0.05)
+        with pytest.raises(ParameterError):
+            reduced_jacobian(subcritical_params, eq.state, -0.1, 0.05)
+
+
+class TestTheorem2LocalStability:
+    def test_e0_stable_when_subcritical(self, subcritical_params):
+        eq = zero_equilibrium(subcritical_params, 0.2, 0.05)
+        report = classify_equilibrium(subcritical_params, eq, 0.2, 0.05)
+        assert report.locally_stable
+        assert report.max_real_eigenvalue < 0.0
+
+    def test_e0_unstable_when_supercritical(self, supercritical_params):
+        eq = zero_equilibrium(supercritical_params, 0.05, 0.05)
+        report = classify_equilibrium(supercritical_params, eq, 0.05, 0.05)
+        assert not report.locally_stable
+        assert report.max_real_eigenvalue > 0.0
+
+    def test_e_plus_stable_when_supercritical(self, supercritical_params):
+        eq = positive_equilibrium(supercritical_params, 0.05, 0.05)
+        report = classify_equilibrium(supercritical_params, eq, 0.05, 0.05)
+        assert report.locally_stable
+
+
+class TestGlobalStability:
+    def test_theorem3_e0_attracts_everything(self, subcritical_params):
+        converged, distances = verify_global_stability(
+            subcritical_params, 0.2, 0.05, n_initial_conditions=5,
+            t_final=800.0, tolerance=5e-3, rng=np.random.default_rng(0))
+        assert converged, f"final distances: {distances}"
+
+    def test_theorem4_e_plus_attracts_everything(self, supercritical_params):
+        converged, distances = verify_global_stability(
+            supercritical_params, 0.05, 0.05, n_initial_conditions=5,
+            t_final=800.0, tolerance=5e-3, rng=np.random.default_rng(1))
+        assert converged, f"final distances: {distances}"
+
+    def test_distances_shrink_with_longer_horizon(self, subcritical_params):
+        _, short = verify_global_stability(
+            subcritical_params, 0.2, 0.05, n_initial_conditions=3,
+            t_final=50.0, rng=np.random.default_rng(2))
+        _, long = verify_global_stability(
+            subcritical_params, 0.2, 0.05, n_initial_conditions=3,
+            t_final=500.0, rng=np.random.default_rng(2))
+        assert np.all(long < short)
+
+    def test_invalid_count_raises(self, subcritical_params):
+        with pytest.raises(ParameterError):
+            verify_global_stability(subcritical_params, 0.2, 0.05,
+                                    n_initial_conditions=0)

@@ -1,0 +1,133 @@
+"""Tests for repro.core.state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import RumorModelParameters
+from repro.core.state import RumorTrajectory, SIRState
+from repro.exceptions import ParameterError
+from repro.networks.degree import power_law_distribution
+
+
+class TestSIRState:
+    def test_pack_unpack_roundtrip(self):
+        state = SIRState(np.array([0.5, 0.6]), np.array([0.3, 0.2]),
+                         np.array([0.2, 0.2]))
+        rebuilt = SIRState.unpack(state.pack())
+        assert np.array_equal(rebuilt.susceptible, state.susceptible)
+        assert np.array_equal(rebuilt.infected, state.infected)
+        assert np.array_equal(rebuilt.recovered, state.recovered)
+
+    def test_in_simplex(self):
+        state = SIRState(np.array([0.5]), np.array([0.3]), np.array([0.2]))
+        assert state.in_simplex()
+
+    def test_not_in_simplex(self):
+        state = SIRState(np.array([0.5]), np.array([0.3]), np.array([0.5]))
+        assert not state.in_simplex()
+
+    def test_negative_density_raises(self):
+        with pytest.raises(ParameterError):
+            SIRState(np.array([-0.1]), np.array([0.5]), np.array([0.6]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ParameterError):
+            SIRState(np.array([0.5, 0.5]), np.array([0.5]), np.array([0.5]))
+
+    def test_unpack_bad_length_raises(self):
+        with pytest.raises(ParameterError):
+            SIRState.unpack(np.zeros(7))
+
+    def test_initial_paper_condition(self):
+        state = SIRState.initial(4, 0.02)
+        assert state.infected == pytest.approx([0.02] * 4)
+        assert state.susceptible == pytest.approx([0.98] * 4)
+        assert np.all(state.recovered == 0.0)
+        assert state.in_simplex()
+
+    def test_initial_per_group_array(self):
+        state = SIRState.initial(2, np.array([0.1, 0.2]))
+        assert state.infected == pytest.approx([0.1, 0.2])
+
+    def test_initial_invalid_fraction_raises(self):
+        with pytest.raises(ParameterError):
+            SIRState.initial(3, 0.0)
+        with pytest.raises(ParameterError):
+            SIRState.initial(3, 1.0)
+
+    def test_random_initial_in_simplex(self):
+        rng = np.random.default_rng(0)
+        state = SIRState.random_initial(10, rng)
+        assert state.in_simplex()
+        assert np.all(state.recovered == 0.0)
+        assert np.all(state.infected > 0.0)
+
+    def test_random_initial_respects_max(self):
+        rng = np.random.default_rng(1)
+        state = SIRState.random_initial(50, rng, max_infected=0.1)
+        assert np.all(state.infected <= 0.1)
+
+    @given(st.integers(min_value=1, max_value=30),
+           st.floats(min_value=1e-4, max_value=0.99))
+    @settings(max_examples=30, deadline=None)
+    def test_property_initial_always_simplex(self, n: int, frac: float):
+        state = SIRState.initial(n, frac)
+        assert state.in_simplex()
+
+
+class TestRumorTrajectory:
+    @pytest.fixture
+    def trajectory(self):
+        params = RumorModelParameters(power_law_distribution(1, 3, 2.0))
+        times = np.linspace(0.0, 1.0, 5)
+        n = params.n_groups
+        flat = np.tile(
+            np.concatenate([np.full(n, 0.7), np.full(n, 0.2),
+                            np.full(n, 0.1)]), (5, 1))
+        flat[:, n] = np.linspace(0.2, 0.0, 5)  # group-0 infection decays
+        return params, RumorTrajectory(params, times, flat)
+
+    def test_compartment_shapes(self, trajectory):
+        params, traj = trajectory
+        n = params.n_groups
+        assert traj.susceptible.shape == (5, n)
+        assert traj.infected.shape == (5, n)
+        assert traj.recovered.shape == (5, n)
+        assert len(traj) == 5
+
+    def test_population_aggregates_use_pmf(self, trajectory):
+        params, traj = trajectory
+        expected = traj.infected[0] @ params.pmf
+        assert traj.population_infected()[0] == pytest.approx(expected)
+
+    def test_theta_series_matches_pointwise(self, trajectory):
+        params, traj = trajectory
+        series = traj.theta_series()
+        for j in range(5):
+            assert series[j] == pytest.approx(params.theta(traj.infected[j]))
+
+    def test_group_series(self, trajectory):
+        _, traj = trajectory
+        series = traj.group_series(0)
+        assert set(series) == {"S", "I", "R"}
+        assert series["I"][0] == pytest.approx(0.2)
+        assert series["I"][-1] == pytest.approx(0.0)
+
+    def test_group_series_out_of_range_raises(self, trajectory):
+        _, traj = trajectory
+        with pytest.raises(ParameterError):
+            traj.group_series(99)
+
+    def test_state_at_and_final(self, trajectory):
+        _, traj = trajectory
+        assert traj.state_at(0).infected[0] == pytest.approx(0.2)
+        assert traj.final_state.infected[0] == pytest.approx(0.0)
+
+    def test_shape_mismatch_raises(self, trajectory):
+        params, _ = trajectory
+        with pytest.raises(ParameterError):
+            RumorTrajectory(params, np.array([0.0, 1.0]), np.zeros((2, 5)))

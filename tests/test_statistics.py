@@ -1,0 +1,112 @@
+"""Tests for repro.networks.statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.networks.degree import DegreeDistribution, power_law_distribution
+from repro.networks.graph import Graph
+from repro.networks.statistics import (
+    degree_assortativity,
+    summarize_distribution,
+    summarize_graph,
+)
+
+
+class TestSummarizeGraph:
+    def test_star_graph(self):
+        g = Graph(5, [(0, j) for j in range(1, 5)])
+        summary = summarize_graph(g)
+        assert summary.n_nodes == 5
+        assert summary.n_edges == 4
+        assert summary.n_groups == 2  # degrees 1 and 4
+        assert summary.min_degree == 1.0
+        assert summary.max_degree == 4.0
+        assert summary.mean_degree == pytest.approx(8.0 / 5.0)
+
+    def test_heterogeneity_ratio(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])  # 2-regular cycle
+        summary = summarize_graph(g)
+        assert summary.heterogeneity_ratio == pytest.approx(2.0)
+
+    def test_as_dict_keys(self):
+        g = Graph(3, [(0, 1)])
+        d = summarize_graph(g).as_dict()
+        assert set(d) == {
+            "n_nodes", "n_edges", "n_groups", "min_degree", "max_degree",
+            "mean_degree", "second_moment", "heterogeneity_ratio",
+        }
+
+
+class TestSummarizeDistribution:
+    def test_edge_count_from_mean(self):
+        d = DegreeDistribution(np.array([2.0]), np.array([1.0]))
+        summary = summarize_distribution(d, n_nodes=100)
+        assert summary.n_edges == 100  # 100·2/2
+
+    def test_without_node_count(self):
+        d = power_law_distribution(1, 10, 2.0)
+        summary = summarize_distribution(d)
+        assert summary.n_nodes is None
+        assert summary.n_edges is None
+        assert summary.n_groups == 10
+
+
+class TestAssortativity:
+    def test_empty_graph_zero(self):
+        assert degree_assortativity(Graph(3)) == 0.0
+
+    def test_regular_graph_zero(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert degree_assortativity(g) == 0.0
+
+    def test_star_is_disassortative(self):
+        g = Graph(6, [(0, j) for j in range(1, 6)])
+        assert degree_assortativity(g) < 0.0
+
+    def test_matches_networkx(self):
+        rng = np.random.default_rng(0)
+        from repro.networks.generators import barabasi_albert
+        g = barabasi_albert(150, 2, rng=rng)
+        import networkx as nx
+        expected = nx.degree_assortativity_coefficient(g.to_networkx())
+        assert degree_assortativity(g) == pytest.approx(expected, abs=1e-8)
+
+
+class TestClustering:
+    def test_triangle_fully_clustered(self):
+        from repro.networks.statistics import average_clustering, local_clustering
+        g = Graph(3, [(0, 1), (1, 2), (2, 0)])
+        assert local_clustering(g, 0) == 1.0
+        assert average_clustering(g) == 1.0
+
+    def test_star_has_zero_clustering(self):
+        from repro.networks.statistics import average_clustering
+        g = Graph(5, [(0, j) for j in range(1, 5)])
+        assert average_clustering(g) == 0.0
+
+    def test_low_degree_nodes_zero(self):
+        from repro.networks.statistics import local_clustering
+        g = Graph(3, [(0, 1)])
+        assert local_clustering(g, 0) == 0.0
+        assert local_clustering(g, 2) == 0.0
+
+    def test_partial_triangle(self):
+        from repro.networks.statistics import local_clustering
+        # Node 0 has 3 neighbors with exactly one closed pair.
+        g = Graph(4, [(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert local_clustering(g, 0) == pytest.approx(1.0 / 3.0)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+        from repro.networks.generators import erdos_renyi
+        from repro.networks.statistics import average_clustering
+        g = erdos_renyi(120, 0.08, rng=np.random.default_rng(9))
+        ours = average_clustering(g)
+        theirs = nx.average_clustering(g.to_networkx())
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+    def test_empty_graph(self):
+        from repro.networks.statistics import average_clustering
+        assert average_clustering(Graph(0)) == 0.0

@@ -1,0 +1,142 @@
+"""Tests for repro.core.threshold — r0 and the critical conditions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import RumorModelParameters
+from repro.core.threshold import (
+    basic_reproduction_number,
+    calibrate_acceptance_scale,
+    critical_eps1,
+    critical_eps2,
+    critical_product,
+    r0_time_series,
+    spreading_strength,
+)
+from repro.exceptions import ParameterError
+from repro.networks.degree import DegreeDistribution, power_law_distribution
+
+
+@pytest.fixture
+def params():
+    return RumorModelParameters(power_law_distribution(1, 20, 2.0),
+                                alpha=0.01)
+
+
+class TestR0Formula:
+    def test_hand_computed_single_group(self):
+        # One group, k = 2: r0 = α λ(2) ω(2) P(2) / (ε1 ε2 ⟨k⟩).
+        d = DegreeDistribution(np.array([2.0]), np.array([1.0]))
+        params = RumorModelParameters(d, alpha=0.1)
+        lam = params.lambda_k[0]
+        omega = params.omega_k[0]
+        expected = 0.1 * lam * omega / (0.2 * 0.1 * 2.0)
+        assert basic_reproduction_number(params, 0.2, 0.1) == pytest.approx(
+            expected)
+
+    def test_r0_scales_inversely_with_controls(self, params):
+        r0_base = basic_reproduction_number(params, 0.1, 0.1)
+        assert basic_reproduction_number(params, 0.2, 0.1) == pytest.approx(
+            r0_base / 2.0)
+        assert basic_reproduction_number(params, 0.1, 0.2) == pytest.approx(
+            r0_base / 2.0)
+
+    def test_r0_linear_in_alpha(self):
+        d = power_law_distribution(1, 10, 2.0)
+        r1 = basic_reproduction_number(
+            RumorModelParameters(d, alpha=0.01), 0.1, 0.1)
+        r2 = basic_reproduction_number(
+            RumorModelParameters(d, alpha=0.02), 0.1, 0.1)
+        assert r2 == pytest.approx(2.0 * r1)
+
+    def test_nonpositive_controls_raise(self, params):
+        with pytest.raises(ParameterError):
+            basic_reproduction_number(params, 0.0, 0.1)
+        with pytest.raises(ParameterError):
+            basic_reproduction_number(params, 0.1, -0.1)
+
+    @given(st.floats(min_value=0.01, max_value=1.0),
+           st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_property_r0_product_invariance(self, e1: float, e2: float):
+        """r0 depends on the controls only through the product ε1·ε2."""
+        d = power_law_distribution(1, 10, 2.0)
+        params = RumorModelParameters(d, alpha=0.01)
+        r_a = basic_reproduction_number(params, e1, e2)
+        r_b = basic_reproduction_number(params, e2, e1)
+        assert r_a == pytest.approx(r_b, rel=1e-12)
+
+
+class TestCriticalSurfaces:
+    def test_critical_product_puts_r0_at_one(self, params):
+        product = critical_product(params)
+        e1 = 0.3
+        assert basic_reproduction_number(params, e1, product / e1) == \
+            pytest.approx(1.0)
+
+    def test_critical_eps2(self, params):
+        e2 = critical_eps2(params, 0.25)
+        assert basic_reproduction_number(params, 0.25, e2) == pytest.approx(1.0)
+
+    def test_critical_eps1(self, params):
+        e1 = critical_eps1(params, 0.04)
+        assert basic_reproduction_number(params, e1, 0.04) == pytest.approx(1.0)
+
+    def test_invalid_given_rate_raises(self, params):
+        with pytest.raises(ParameterError):
+            critical_eps2(params, 0.0)
+        with pytest.raises(ParameterError):
+            critical_eps1(params, -1.0)
+
+    def test_spreading_strength_consistency(self, params):
+        assert basic_reproduction_number(params, 0.2, 0.05) == pytest.approx(
+            spreading_strength(params) / 0.01)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("target", [0.5, 0.7220, 1.0, 2.1661, 10.0])
+    def test_hits_target_exactly(self, params, target):
+        calibrated = calibrate_acceptance_scale(params, 0.2, 0.05, target)
+        assert basic_reproduction_number(calibrated, 0.2, 0.05) == \
+            pytest.approx(target, rel=1e-12)
+
+    def test_preserves_everything_else(self, params):
+        calibrated = calibrate_acceptance_scale(params, 0.2, 0.05, 2.0)
+        assert calibrated.alpha == params.alpha
+        assert np.array_equal(calibrated.phi_k, params.phi_k)
+        assert np.array_equal(calibrated.degrees, params.degrees)
+
+    def test_invalid_target_raises(self, params):
+        with pytest.raises(ParameterError):
+            calibrate_acceptance_scale(params, 0.2, 0.05, 0.0)
+
+
+class TestR0TimeSeries:
+    def test_matches_scalar_formula(self, params):
+        times = np.linspace(0.0, 10.0, 5)
+        e1 = np.full(5, 0.2)
+        e2 = np.full(5, 0.05)
+        series = r0_time_series(params, times, e1, e2)
+        expected = basic_reproduction_number(params, 0.2, 0.05)
+        assert series == pytest.approx([expected] * 5)
+
+    def test_floor_prevents_division_blowup(self, params):
+        times = np.array([0.0, 1.0])
+        series = r0_time_series(params, times, np.zeros(2), np.zeros(2),
+                                floor=1e-3)
+        assert np.all(np.isfinite(series))
+
+    def test_shape_mismatch_raises(self, params):
+        with pytest.raises(ParameterError):
+            r0_time_series(params, np.zeros(3), np.zeros(2), np.zeros(3))
+
+    def test_decreasing_controls_increase_r0(self, params):
+        times = np.linspace(0.0, 1.0, 11)
+        e1 = np.linspace(0.5, 0.05, 11)
+        e2 = np.full(11, 0.1)
+        series = r0_time_series(params, times, e1, e2)
+        assert np.all(np.diff(series) > 0)

@@ -1,0 +1,119 @@
+"""Tests for repro.control.twophase."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control.admissible import ControlBounds
+from repro.control.objective import CostParameters
+from repro.control.twophase import (
+    TwoPhasePolicy,
+    optimize_two_phase,
+    run_two_phase,
+)
+from repro.core.state import SIRState
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def costs():
+    return CostParameters(5.0, 10.0)
+
+
+class TestPolicy:
+    def test_phase_switching(self):
+        policy = TwoPhasePolicy(switch_time=10.0, level1=0.4, level2=0.6)
+        assert policy.eps1(5.0) == 0.4
+        assert policy.eps2(5.0) == 0.0
+        assert policy.eps1(10.0) == 0.0
+        assert policy.eps2(10.0) == 0.6
+
+    def test_sample_vectorized(self):
+        policy = TwoPhasePolicy(switch_time=1.0, level1=0.3, level2=0.7)
+        times = np.array([0.0, 0.5, 1.0, 2.0])
+        e1, e2 = policy.sample(times)
+        assert list(e1) == [0.3, 0.3, 0.0, 0.0]
+        assert list(e2) == [0.0, 0.0, 0.7, 0.7]
+
+    def test_negative_parameters_raise(self):
+        with pytest.raises(ParameterError):
+            TwoPhasePolicy(-1.0, 0.1, 0.1)
+        with pytest.raises(ParameterError):
+            TwoPhasePolicy(1.0, -0.1, 0.1)
+
+
+class TestRunTwoPhase:
+    def test_switch_time_in_grid(self, supercritical_params, costs):
+        policy = TwoPhasePolicy(switch_time=7.3, level1=0.4, level2=0.4)
+        run = run_two_phase(supercritical_params,
+                            SIRState.initial(10, 0.05), policy,
+                            t_final=30.0, costs=costs, n_grid=31)
+        assert np.any(np.isclose(run.times if hasattr(run, "times")
+                                 else run.trajectory.times, 7.3))
+
+    def test_truth_phase_has_no_blocking_cost(self, supercritical_params,
+                                              costs):
+        policy = TwoPhasePolicy(switch_time=31.0, level1=0.3, level2=0.5)
+        run = run_two_phase(supercritical_params,
+                            SIRState.initial(10, 0.05), policy,
+                            t_final=30.0, costs=costs)
+        # Blocking never activates when τ > tf.
+        assert run.cost.blocking == pytest.approx(0.0)
+        assert run.cost.truth > 0.0
+
+    def test_zero_policy_is_free(self, supercritical_params, costs):
+        policy = TwoPhasePolicy(switch_time=10.0, level1=0.0, level2=0.0)
+        run = run_two_phase(supercritical_params,
+                            SIRState.initial(10, 0.05), policy,
+                            t_final=30.0, costs=costs)
+        assert run.cost.running == 0.0
+
+    def test_invalid_horizon_raises(self, supercritical_params, costs):
+        policy = TwoPhasePolicy(1.0, 0.1, 0.1)
+        with pytest.raises(ParameterError):
+            run_two_phase(supercritical_params, SIRState.initial(10, 0.05),
+                          policy, t_final=0.0, costs=costs)
+
+
+class TestOptimizeTwoPhase:
+    @pytest.fixture(scope="class")
+    def optimized(self, request):
+        from repro.core.parameters import RumorModelParameters
+        from repro.core.threshold import calibrate_acceptance_scale
+        from repro.networks.degree import power_law_distribution
+        base = RumorModelParameters(power_law_distribution(1, 8, 2.0),
+                                    alpha=0.01)
+        params = calibrate_acceptance_scale(base, 0.2, 0.05, 3.0)
+        initial = SIRState.initial(8, 0.05)
+        bounds = ControlBounds(1.0, 1.0)
+        costs = CostParameters(5.0, 10.0)
+        run = optimize_two_phase(params, initial, t_final=40.0,
+                                 bounds=bounds, costs=costs,
+                                 n_grid=81, max_sweeps=12)
+        return params, initial, bounds, costs, run
+
+    def test_beats_naive_policies(self, optimized):
+        params, initial, _, costs, run = optimized
+        for policy in (TwoPhasePolicy(20.0, 1.0, 1.0),
+                       TwoPhasePolicy(5.0, 0.2, 0.9),
+                       TwoPhasePolicy(35.0, 0.9, 0.2)):
+            naive = run_two_phase(params, initial, policy, t_final=40.0,
+                                  costs=costs, n_grid=81)
+            assert run.cost.total <= naive.cost.total * 1.001
+
+    def test_policy_within_bounds(self, optimized):
+        _, _, bounds, _, run = optimized
+        assert 0.0 <= run.policy.level1 <= bounds.eps1_max
+        assert 0.0 <= run.policy.level2 <= bounds.eps2_max
+        assert 0.0 <= run.policy.switch_time <= 40.0
+
+    def test_pontryagin_at_least_as_good(self, optimized):
+        """FBSM optimizes over a superset of policies, so it must not
+        lose to the best two-phase policy (up to solver slack)."""
+        from repro.control.pontryagin import solve_optimal_control
+        params, initial, bounds, costs, run = optimized
+        fbsm = solve_optimal_control(params, initial, t_final=40.0,
+                                     bounds=bounds, costs=costs,
+                                     n_grid=81, max_iterations=100)
+        assert fbsm.cost.total <= run.cost.total * 1.05

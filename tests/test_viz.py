@@ -1,0 +1,114 @@
+"""Tests for repro.viz (ASCII charts and CSV export)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.viz.ascii import line_chart, multi_line_chart
+from repro.viz.export import read_series_csv, write_series_csv
+
+
+class TestAsciiCharts:
+    def test_contains_title_and_legend(self):
+        x = np.linspace(0, 10, 50)
+        chart = multi_line_chart(x, {"up": x, "down": 10 - x},
+                                 title="Test Chart")
+        assert "Test Chart" in chart
+        assert "*=up" in chart
+        assert "o=down" in chart
+
+    def test_y_range_labels(self):
+        x = np.linspace(0, 1, 20)
+        chart = line_chart(x, 5.0 * x, name="y")
+        assert "5" in chart
+        assert "0" in chart
+
+    def test_marker_placement_single_series(self):
+        x = np.array([0.0, 1.0])
+        chart = line_chart(x, np.array([0.0, 1.0]), width=20, height=5)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        # Rising line: top row has the right-most marker, bottom the left.
+        assert lines[0].rstrip().endswith("*")
+        assert lines[-1].split("|")[1].startswith("*")
+
+    def test_constant_series_does_not_crash(self):
+        x = np.linspace(0, 1, 10)
+        chart = line_chart(x, np.ones(10))
+        assert "*" in chart
+
+    def test_mismatched_series_raises(self):
+        with pytest.raises(ParameterError):
+            multi_line_chart(np.linspace(0, 1, 5), {"a": np.zeros(4)})
+
+    def test_empty_series_mapping_raises(self):
+        with pytest.raises(ParameterError):
+            multi_line_chart(np.linspace(0, 1, 5), {})
+
+    def test_too_many_series_raises(self):
+        x = np.linspace(0, 1, 5)
+        series = {f"s{j}": x for j in range(20)}
+        with pytest.raises(ParameterError):
+            multi_line_chart(x, series)
+
+    def test_tiny_canvas_raises(self):
+        x = np.linspace(0, 1, 5)
+        with pytest.raises(ParameterError):
+            line_chart(x, x, width=5, height=2)
+
+    def test_all_nan_raises(self):
+        x = np.linspace(0, 1, 5)
+        with pytest.raises(ParameterError):
+            line_chart(x, np.full(5, np.nan))
+
+
+class TestCsvExport:
+    def test_roundtrip(self, tmp_path: Path):
+        path = tmp_path / "series.csv"
+        t = np.linspace(0, 1, 11)
+        rows = write_series_csv(path, {"t": t, "y": t ** 2})
+        assert rows == 11
+        loaded = read_series_csv(path)
+        assert set(loaded) == {"t", "y"}
+        assert loaded["t"] == pytest.approx(t)
+        assert loaded["y"] == pytest.approx(t ** 2)
+
+    def test_column_order_preserved(self, tmp_path: Path):
+        path = tmp_path / "series.csv"
+        write_series_csv(path, {"b": [1.0], "a": [2.0]})
+        header = path.read_text().splitlines()[0]
+        assert header == "b,a"
+
+    def test_creates_parent_dirs(self, tmp_path: Path):
+        path = tmp_path / "deep" / "nested" / "series.csv"
+        write_series_csv(path, {"x": [1.0]})
+        assert path.exists()
+
+    def test_unequal_lengths_raise(self, tmp_path: Path):
+        with pytest.raises(ParameterError):
+            write_series_csv(tmp_path / "bad.csv",
+                             {"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_empty_columns_raise(self, tmp_path: Path):
+        with pytest.raises(ParameterError):
+            write_series_csv(tmp_path / "bad.csv", {})
+
+    def test_read_missing_raises(self, tmp_path: Path):
+        with pytest.raises(ParameterError):
+            read_series_csv(tmp_path / "nope.csv")
+
+    def test_read_empty_raises(self, tmp_path: Path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ParameterError):
+            read_series_csv(path)
+
+    def test_precision_survives_roundtrip(self, tmp_path: Path):
+        path = tmp_path / "prec.csv"
+        values = np.array([1.2345678901e-8, 9.876543210e7])
+        write_series_csv(path, {"v": values})
+        loaded = read_series_csv(path)
+        assert loaded["v"] == pytest.approx(values, rel=1e-9)
