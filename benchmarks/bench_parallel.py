@@ -1,0 +1,159 @@
+"""Serial-vs-parallel sweep benchmark → ``BENCH_parallel.json``.
+
+Times the same eps1 × eps2 threshold sweep (r0 + a full ODE integration
+per point, the workload of a threshold-sensitivity study) under every
+:mod:`repro.parallel` backend, verifies the parallel results are
+**bitwise identical** to the serial reference, and writes the
+measurements to ``BENCH_parallel.json`` at the repository root so the
+repo accumulates a perf trajectory across PRs.
+
+Usage::
+
+    python benchmarks/bench_parallel.py                  # 64-point grid
+    python benchmarks/bench_parallel.py --smoke          # seconds, CI
+    python benchmarks/bench_parallel.py --workers 4 --points 144
+
+Also collectable by pytest (``test_bench_parallel_smoke``) so the
+benchmark suite exercises the harness end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if "repro" not in sys.modules:  # allow `python benchmarks/bench_parallel.py`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.sweep import SweepResult, sweep_grid  # noqa: E402
+from repro.bench.timing import (  # noqa: E402
+    BenchRecord,
+    time_call,
+    write_bench_json,
+)
+from repro.bench.workloads import (  # noqa: E402
+    digg_threshold_point,
+    severity_axes,
+    smoke_threshold_point,
+)
+from repro.parallel.executor import available_cpus, resolve_executor  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_parallel.json"
+
+
+def _grid_shape(points: int) -> tuple[int, int]:
+    """Nearest n1 × n2 factorization of the requested point count."""
+    n1 = max(2, int(round(points ** 0.5)))
+    n2 = max(2, -(-points // n1))
+    return n1, n2
+
+
+def run_benchmark(*, points: int = 64, workers: int | None = None,
+                  backends: Sequence[str] = ("serial", "thread", "process"),
+                  smoke: bool = False,
+                  out: str | Path | None = DEFAULT_OUT) -> dict[str, object]:
+    """Time the sweep under each backend; return the written payload."""
+    workers = workers if workers is not None else min(4, available_cpus())
+    point_fn: Callable[..., dict[str, float]] = (
+        smoke_threshold_point if smoke else digg_threshold_point)
+    if smoke:
+        points = min(points, 4)
+    n1, n2 = _grid_shape(points)
+    axes = severity_axes(n1, n2)
+    workload = {
+        "name": "smoke_threshold_sweep" if smoke else "digg_threshold_sweep",
+        "points": n1 * n2,
+        "axes": {"eps1": n1, "eps2": n2},
+        "workers": workers,
+    }
+
+    records: list[BenchRecord] = []
+    reference: SweepResult | None = None
+    serial_seconds: float | None = None
+    identical: dict[str, bool] = {}
+    for backend in backends:
+        executor = (resolve_executor("serial") if backend == "serial"
+                    else resolve_executor(backend, workers))
+        result, seconds = time_call(
+            lambda: sweep_grid(axes, point_fn, executor=executor))
+        assert isinstance(result, SweepResult)
+        if backend == "serial":
+            reference, serial_seconds = result, seconds
+        elif reference is not None:
+            identical[backend] = reference.bitwise_equal(result)
+        meta = {
+            "backend": backend,
+            "workers": 1 if backend == "serial" else workers,
+            "points": len(result),
+            "points_per_second": len(result) / seconds,
+        }
+        if backend != "serial" and serial_seconds is not None:
+            meta["speedup_vs_serial"] = serial_seconds / seconds
+        records.append(BenchRecord(f"sweep_grid/{backend}", seconds, meta))
+
+    parallel_speedups = {
+        record.meta["backend"]: record.meta["speedup_vs_serial"]
+        for record in records if "speedup_vs_serial" in record.meta
+    }
+    best_backend = (max(parallel_speedups, key=parallel_speedups.get)
+                    if parallel_speedups else None)
+    derived = {
+        "bitwise_identical_to_serial": identical,
+        "best_parallel_backend": best_backend,
+        "best_speedup_vs_serial": (parallel_speedups[best_backend]
+                                   if best_backend else None),
+        "note": ("speedup is bounded by the machine's cpu_count; see "
+                 "machine.cpu_count for this run's budget"),
+    }
+    if out is not None:
+        path = write_bench_json(out, records, workload=workload,
+                                derived=derived)
+        print(f"wrote {path}")
+    for record in records:
+        extra = (f"  speedup {record.meta['speedup_vs_serial']:.2f}x"
+                 if "speedup_vs_serial" in record.meta else "")
+        print(f"{record.name:24s} {record.wall_seconds:8.3f}s"
+              f"  ({record.meta['points_per_second']:.1f} pts/s){extra}")
+    failed = [backend for backend, same in identical.items() if not same]
+    if failed:
+        raise SystemExit(f"parallel backends diverged from serial: {failed}")
+    return {"workload": workload,
+            "records": [record.as_dict() for record in records],
+            "derived": derived}
+
+
+def test_bench_parallel_smoke(tmp_path) -> None:
+    """Pytest hook: the harness runs end to end and backends agree."""
+    payload = run_benchmark(smoke=True, workers=2,
+                            out=tmp_path / "BENCH_parallel.json")
+    assert all(payload["derived"]["bitwise_identical_to_serial"].values())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serial vs parallel sweep benchmark "
+                    "(writes BENCH_parallel.json)")
+    parser.add_argument("--points", type=int, default=64,
+                        help="sweep grid size (default 64 = 8x8)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel worker count "
+                             "(default min(4, cpu_count))")
+    parser.add_argument("--backends", nargs="+",
+                        default=["serial", "thread", "process"],
+                        choices=["serial", "thread", "process"],
+                        help="backends to time (serial is the reference)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI (seconds, not minutes)")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+    run_benchmark(points=args.points, workers=args.workers,
+                  backends=args.backends, smoke=args.smoke, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

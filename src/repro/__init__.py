@@ -14,7 +14,10 @@ The package is organized as:
 * :mod:`repro.numerics` — from-scratch ODE solvers, root finding,
   quadrature;
 * :mod:`repro.experiments` — one runner per paper figure;
-* :mod:`repro.analysis`, :mod:`repro.viz` — metrics and text plotting.
+* :mod:`repro.analysis`, :mod:`repro.viz` — metrics and text plotting;
+* :mod:`repro.parallel` — serial/thread/process sweep execution with
+  deterministic ordering, per-task seeding, and worker-side caches;
+* :mod:`repro.bench` — timing harness behind ``BENCH_parallel.json``.
 
 Quickstart::
 

@@ -15,7 +15,7 @@ from repro.analysis.sensitivity import (
     tornado_table,
 )
 from repro.analysis.reporting import campaign_report, threshold_report
-from repro.analysis.sweep import SweepResult, sweep_1d, sweep_grid
+from repro.analysis.sweep import SweepResult, grid_points, sweep_1d, sweep_grid
 from repro.analysis.timeseries import (
     convergence_time,
     extinction_time,
@@ -35,6 +35,7 @@ __all__ = [
     "peak",
     "is_monotone_decreasing",
     "SweepResult",
+    "grid_points",
     "sweep_1d",
     "sweep_grid",
     "ANALYTIC_ELASTICITIES",

@@ -1,0 +1,147 @@
+"""Minimal timing harness behind the repo's ``BENCH_*.json`` trajectory.
+
+The repo records wall-clock measurements of its hot paths in JSON files
+at the repository root so successive PRs can compare performance.  This
+module owns the measurement and the file format (documented in
+``docs/PARALLEL.md``):
+
+* :func:`time_call` — wall-clock one callable (best-of-``repeat``);
+* :class:`BenchRecord` — one named measurement plus free-form metadata;
+* :func:`write_bench_json` / :func:`read_bench_json` — the on-disk
+  schema, versioned via the ``schema`` field;
+* :func:`machine_info` — CPU count / Python / platform context, without
+  which cross-machine numbers are meaningless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchRecord",
+    "time_call",
+    "machine_info",
+    "write_bench_json",
+    "read_bench_json",
+]
+
+#: Schema identifier written into every bench JSON file.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One named wall-clock measurement.
+
+    Attributes
+    ----------
+    name:
+        Unique measurement name within the file
+        (e.g. ``"sweep_grid/process"``).
+    wall_seconds:
+        Best observed wall-clock time.
+    meta:
+        Free-form context (backend, workers, points, speedup, ...).
+    """
+
+    name: str
+    wall_seconds: float
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation."""
+        return {"name": self.name,
+                "wall_seconds": float(self.wall_seconds),
+                "meta": dict(self.meta)}
+
+
+def time_call(fn: Callable[[], object], *,
+              repeat: int = 1) -> tuple[object, float]:
+    """Run ``fn`` ``repeat`` times; return (last result, best seconds).
+
+    Best-of-``repeat`` suppresses scheduler noise without averaging away
+    a cold-cache first run's information — the standard benchmarking
+    convention (cf. ``timeit``).
+    """
+    if repeat < 1:
+        raise ParameterError(f"repeat must be >= 1, got {repeat}")
+    best = float("inf")
+    result: object = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return result, best
+
+
+def machine_info() -> dict[str, object]:
+    """Hardware/runtime context recorded next to every measurement."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def write_bench_json(path: str | Path, records: Sequence[BenchRecord], *,
+                     workload: Mapping[str, object] | None = None,
+                     derived: Mapping[str, object] | None = None) -> Path:
+    """Write measurements to ``path`` in the ``repro-bench/1`` schema.
+
+    Layout::
+
+        {
+          "schema": "repro-bench/1",
+          "created_utc": "<ISO-8601>",
+          "machine": {"cpu_count": ..., "python": ..., ...},
+          "workload": {...},              # what was measured (optional)
+          "records": [{"name", "wall_seconds", "meta"}, ...],
+          "derived": {...}                # cross-record conclusions
+        }
+    """
+    if not records:
+        raise ParameterError("need at least one bench record")
+    names = [record.name for record in records]
+    if len(set(names)) != len(names):
+        raise ParameterError(f"duplicate record names: {names}")
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "created_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "machine": machine_info(),
+        "workload": dict(workload) if workload else {},
+        "records": [record.as_dict() for record in records],
+        "derived": dict(derived) if derived else {},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def read_bench_json(path: str | Path) -> dict[str, object]:
+    """Load and validate a bench JSON file written by this module."""
+    path = Path(path)
+    if not path.exists():
+        raise ParameterError(f"bench file not found: {path}")
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ParameterError(
+            f"unsupported bench schema {payload.get('schema')!r} in {path}"
+        )
+    return payload

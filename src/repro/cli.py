@@ -33,6 +33,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment to run")
     exp.add_argument("--out", default="results",
                      help="output directory (default: results)")
+    exp.add_argument("--workers", type=int, default=None,
+                     help="worker count for 'all' (default: serial; "
+                          "N > 1 runs the figures concurrently)")
+    exp.add_argument("--backend", default=None,
+                     choices=["serial", "thread", "process"],
+                     help="parallel backend for 'all' (default: serial, "
+                          "or process when --workers > 1)")
 
     thr = sub.add_parser("threshold",
                          help="compute r0 and critical countermeasures")
@@ -75,9 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all, run_experiment
+    from repro.parallel import resolve_executor
 
     if args.id == "all":
-        reports = run_all(args.out)
+        executor = resolve_executor(args.backend, args.workers)
+        reports = run_all(args.out, executor=executor)
     else:
         reports = [run_experiment(args.id, args.out)]
     for report in reports:

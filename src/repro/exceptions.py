@@ -17,6 +17,7 @@ __all__ = [
     "IntegrationError",
     "DatasetError",
     "GraphError",
+    "SweepError",
 ]
 
 
@@ -60,3 +61,35 @@ class DatasetError(ReproError, RuntimeError):
 
 class GraphError(ReproError, ValueError):
     """A graph construction or query is invalid."""
+
+
+class SweepError(ReproError, RuntimeError):
+    """A task of a parallel sweep/experiment failed.
+
+    Raised by the :mod:`repro.parallel` engine in the *parent* process so
+    callers never see a bare pickled worker traceback.  The failing
+    parameter point travels with the exception.
+
+    Attributes
+    ----------
+    point:
+        The parameter point (or task payload description) that failed,
+        or ``None`` when unknown.
+    task_index:
+        Position of the failing task in the sweep's deterministic order.
+    error_type:
+        Class name of the underlying exception inside the worker.
+    worker_traceback:
+        Formatted traceback captured worker-side (may be ``None`` for
+        failures that never reached a worker, e.g. unpicklable tasks).
+    """
+
+    def __init__(self, message: str, *, point: object = None,
+                 task_index: int | None = None,
+                 error_type: str | None = None,
+                 worker_traceback: str | None = None) -> None:
+        super().__init__(message)
+        self.point = point
+        self.task_index = task_index
+        self.error_type = error_type
+        self.worker_traceback = worker_traceback

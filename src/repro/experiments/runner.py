@@ -2,8 +2,10 @@
 
 ``run_experiment("fig2")`` (or ``fig3`` / ``fig4ab`` / ``fig4c``) runs a
 figure's pipeline and writes its CSV/ASCII artifacts; ``run_all``
-executes every registered experiment.  The CLI is a thin wrapper over
-this module.
+executes every registered experiment — optionally concurrently, since
+the four figures are independent (``run_all(executor="process")`` runs
+them on separate cores; each writes a disjoint artifact set).  The CLI
+is a thin wrapper over this module.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ from repro.exceptions import ParameterError
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4ab, run_fig4c
+from repro.parallel.executor import ParallelExecutor, resolve_executor
 
 __all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment", "run_all"]
 
@@ -102,6 +105,26 @@ def run_experiment(experiment_id: str,
     return runner(Path(out_dir))
 
 
-def run_all(out_dir: str | Path = "results") -> list[ExperimentReport]:
-    """Run every registered experiment in registry order."""
-    return [run_experiment(key, out_dir) for key in EXPERIMENTS]
+def _run_experiment_task(task: tuple[str, str]) -> ExperimentReport:
+    """Module-level task wrapper so the process backend can pickle it."""
+    experiment_id, out_dir = task
+    return run_experiment(experiment_id, out_dir)
+
+
+def run_all(out_dir: str | Path = "results", *,
+            executor: ParallelExecutor | str | int | None = None,
+            ) -> list[ExperimentReport]:
+    """Run every registered experiment; reports stay in registry order.
+
+    ``executor`` selects the :mod:`repro.parallel` backend.  The default
+    stays serial; thread/process backends run the four figure pipelines
+    concurrently (they share no state and write disjoint artifacts).
+    Worker failures surface as :class:`~repro.exceptions.SweepError`
+    carrying the experiment id.
+    """
+    resolved = resolve_executor(executor)
+    tasks = [(key, str(out_dir)) for key in EXPERIMENTS]
+    return resolved.map_tasks(
+        _run_experiment_task, tasks, chunk_size=1,
+        describe=lambda _index, task: {"experiment": task[0]},
+    )

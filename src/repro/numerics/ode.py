@@ -77,10 +77,13 @@ class OdeSolution:
         """Linearly interpolate the trajectory at ``times``.
 
         Times outside the integration span raise
-        :class:`~repro.exceptions.ParameterError`.
+        :class:`~repro.exceptions.ParameterError`; an empty ``times``
+        sequence returns an empty ``(0, n)`` array.
         """
         times = np.asarray(times, dtype=float)
-        if times.size and (times.min() < self.t[0] - 1e-12 or times.max() > self.t[-1] + 1e-12):
+        if times.size == 0:
+            return np.empty((0, self.y.shape[1]))
+        if times.min() < self.t[0] - 1e-12 or times.max() > self.t[-1] + 1e-12:
             raise ParameterError(
                 f"requested times outside span [{self.t[0]}, {self.t[-1]}]"
             )

@@ -1,0 +1,142 @@
+"""Worker-side caching of expensive sweep invariants.
+
+A parameter sweep evaluates hundreds of points that share structural
+state: the degree distribution, its moments, the φ(k) = ω(k)P(k)
+coupling table, a calibrated :class:`RumorModelParameters`.  Rebuilding
+these per point dominates small-point sweeps; shipping them inside every
+task payload dominates IPC for process workers.  Instead, each *worker*
+builds them once on first use and reuses them for every task it runs:
+
+* serial/thread backends share this module's single in-process cache;
+* each process-backend worker gets its own copy of the module globals
+  (fork or re-import), so the builder runs once per worker process.
+
+Keys must be hashable and stable across processes (strings/tuples —
+never ``id()``-derived values).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Callable, Hashable, TypeVar
+
+import numpy as np
+
+from repro.core.parameters import RumorModelParameters
+
+__all__ = [
+    "worker_cached",
+    "clear_worker_cache",
+    "worker_cache_info",
+    "ModelInvariants",
+    "model_invariants",
+    "parameters_fingerprint",
+]
+
+T = TypeVar("T")
+
+_CACHE: dict[Hashable, object] = {}
+# Re-entrant: builders may themselves call worker_cached (e.g. a model
+# builder warming model_invariants).
+_LOCK = threading.RLock()
+_HITS = 0
+_BUILDS = 0
+
+
+def worker_cached(key: Hashable, builder: Callable[[], T]) -> T:
+    """Return the cached value for ``key``, building it on first use.
+
+    Thread-safe and re-entrant; the builder runs at most once per worker
+    for a given key (double-checked under the lock for the thread
+    backend).
+    """
+    global _HITS, _BUILDS
+    try:
+        value = _CACHE[key]
+    except KeyError:
+        pass
+    else:
+        with _LOCK:
+            _HITS += 1
+        return value  # type: ignore[return-value]
+    with _LOCK:
+        if key not in _CACHE:
+            _CACHE[key] = builder()
+            _BUILDS += 1
+        else:
+            _HITS += 1
+        return _CACHE[key]  # type: ignore[return-value]
+
+
+def clear_worker_cache() -> None:
+    """Drop every cached invariant (tests / memory pressure)."""
+    global _HITS, _BUILDS
+    with _LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _BUILDS = 0
+
+
+def worker_cache_info() -> dict[str, int]:
+    """Cache counters for this worker: entries, hits, builds."""
+    with _LOCK:
+        return {"entries": len(_CACHE), "hits": _HITS, "builds": _BUILDS}
+
+
+@dataclass(frozen=True)
+class ModelInvariants:
+    """Degree-distribution moments and coupling tables of one model.
+
+    Everything a sweep point's right-hand side or threshold formula
+    needs that does not depend on the swept rates.
+    """
+
+    degrees: np.ndarray
+    pmf: np.ndarray
+    lambda_k: np.ndarray
+    omega_k: np.ndarray
+    #: φ(k_i) = ω(k_i) P(k_i) — the paper's coupling weights
+    phi_k: np.ndarray
+    mean_degree: float
+    #: ⟨k²⟩, the heterogeneity moment driving threshold sensitivity
+    second_moment: float
+    #: Σ_i λ(k_i) φ(k_i) — numerator of r0 up to the rate factors
+    coupling_strength: float
+
+
+def parameters_fingerprint(params: RumorModelParameters) -> str:
+    """Stable content hash of a parameter set (valid across processes)."""
+    digest = hashlib.sha256()
+    for array in (params.degrees, params.pmf, params.lambda_k,
+                  params.omega_k):
+        digest.update(np.ascontiguousarray(array, dtype=float).tobytes())
+    digest.update(repr(params.alpha).encode())
+    return digest.hexdigest()
+
+
+def model_invariants(params: RumorModelParameters) -> ModelInvariants:
+    """Worker-cached invariant tables for ``params``.
+
+    The first call in a worker computes the moments and φ(k) table;
+    subsequent calls (any task, same worker) are dictionary lookups
+    keyed by the parameter content fingerprint.
+    """
+    key = ("model-invariants", parameters_fingerprint(params))
+
+    def build() -> ModelInvariants:
+        degrees = params.degrees
+        pmf = params.pmf
+        return ModelInvariants(
+            degrees=degrees,
+            pmf=pmf,
+            lambda_k=params.lambda_k,
+            omega_k=params.omega_k,
+            phi_k=params.phi_k,
+            mean_degree=params.mean_degree,
+            second_moment=float(np.dot(pmf, degrees ** 2)),
+            coupling_strength=float(np.dot(params.lambda_k, params.phi_k)),
+        )
+
+    return worker_cached(key, build)

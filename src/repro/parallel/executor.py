@@ -1,0 +1,274 @@
+"""Pluggable task executors: serial, thread pool, process pool.
+
+The parameter sweeps behind the threshold studies (Fig. 4(c), the
+eps1 × eps2 severity maps, stochastic ensembles) are embarrassingly
+parallel: hundreds of independent ``run(point)`` calls with no shared
+state.  This module provides one abstraction — :class:`ParallelExecutor`
+— with three interchangeable backends:
+
+* :class:`SerialExecutor` — plain loop, zero overhead, the reference;
+* :class:`ThreadExecutor` — ``ThreadPoolExecutor``; helps when the
+  workload releases the GIL (numpy-heavy right-hand sides) or blocks on
+  I/O;
+* :class:`ProcessExecutor` — ``ProcessPoolExecutor``; true multi-core
+  scaling for the CPU-bound sweeps (callables and tasks must pickle).
+
+All backends share the exact same semantics:
+
+* **deterministic ordering** — results come back in task-submission
+  order regardless of which worker finished first;
+* **chunked dispatch** — tasks are grouped into contiguous chunks so
+  per-task IPC overhead amortizes (chunk size is tunable);
+* **structured failures** — a worker exception is captured worker-side
+  (type, message, formatted traceback) and re-raised in the parent as
+  :class:`~repro.exceptions.SweepError` carrying the failing task's
+  parameter point, never as a bare pickled traceback.
+
+Because every backend runs the same per-task code on the same inputs in
+the same order, a sweep produces **bitwise-identical** results under any
+backend and any worker count.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import traceback
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.exceptions import ParameterError, SweepError
+
+__all__ = [
+    "ParallelExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "available_cpus",
+    "BACKENDS",
+]
+
+#: Outcome tags used by the worker-side chunk runner.
+_OK, _ERR = "ok", "err"
+
+
+def available_cpus() -> int:
+    """Usable CPU count (>= 1) for default worker counts."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _run_chunk(fn: Callable[[object], object],
+               chunk: Sequence[object]) -> list[tuple]:
+    """Run one chunk of tasks, capturing per-task failures structurally.
+
+    Runs inside the worker (thread, process, or the caller for the
+    serial backend).  Never raises: every outcome is either
+    ``("ok", value)`` or ``("err", type_name, message, traceback)`` so
+    process workers ship failures back as plain strings instead of
+    pickled exception objects.
+    """
+    outcomes: list[tuple] = []
+    for task in chunk:
+        try:
+            outcomes.append((_OK, fn(task)))
+        except BaseException as exc:  # noqa: BLE001 - reported structurally
+            outcomes.append((_ERR, type(exc).__name__, str(exc),
+                             traceback.format_exc()))
+    return outcomes
+
+
+def _make_chunks(n_tasks: int, n_chunks: int) -> list[range]:
+    """Split ``range(n_tasks)`` into at most ``n_chunks`` contiguous runs."""
+    n_chunks = max(1, min(n_chunks, n_tasks))
+    base, extra = divmod(n_tasks, n_chunks)
+    chunks, start = [], 0
+    for j in range(n_chunks):
+        size = base + (1 if j < extra else 0)
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
+class ParallelExecutor(ABC):
+    """Maps a callable over tasks with deterministic result ordering."""
+
+    #: backend name used by the CLI/config selector
+    backend: str = "abstract"
+
+    def __init__(self, workers: int = 1) -> None:
+        workers = int(workers)
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+    # -- public API --------------------------------------------------------
+    def map_tasks(self, fn: Callable[[object], object],
+                  tasks: Sequence[object], *,
+                  chunk_size: int | None = None,
+                  describe: Callable[[int, object], object] | None = None,
+                  ) -> list[object]:
+        """Apply ``fn`` to every task; results in task order.
+
+        Parameters
+        ----------
+        fn:
+            Single-task callable (must be picklable for the process
+            backend — module-level functions, not lambdas).
+        tasks:
+            Task payloads, one per call.
+        chunk_size:
+            Tasks per dispatched chunk; default splits the task list
+            into ~4 chunks per worker so stragglers balance.
+        describe:
+            Maps ``(task_index, task)`` to the parameter point reported
+            on failure; defaults to the task payload itself.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if chunk_size is not None and chunk_size < 1:
+            raise ParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+        if chunk_size is None:
+            n_chunks = min(len(tasks), self.workers * 4)
+        else:
+            n_chunks = math.ceil(len(tasks) / chunk_size)
+        chunks = _make_chunks(len(tasks), n_chunks)
+        outcome_chunks = self._execute(
+            fn, [[tasks[i] for i in chunk] for chunk in chunks])
+
+        results: list[object] = [None] * len(tasks)
+        for chunk, outcomes in zip(chunks, outcome_chunks):
+            for index, outcome in zip(chunk, outcomes):
+                if outcome[0] == _OK:
+                    results[index] = outcome[1]
+                    continue
+                _tag, error_type, message, worker_tb = outcome
+                point = describe(index, tasks[index]) if describe else tasks[index]
+                raise SweepError(
+                    f"sweep task {index} failed at point {point!r}: "
+                    f"{error_type}: {message}",
+                    point=point, task_index=index, error_type=error_type,
+                    worker_traceback=worker_tb,
+                )
+        return results
+
+    # -- backend hook ------------------------------------------------------
+    @abstractmethod
+    def _execute(self, fn: Callable[[object], object],
+                 chunks: list[list[object]]) -> list[list[tuple]]:
+        """Run every chunk, returning outcome lists aligned with ``chunks``."""
+
+
+class SerialExecutor(ParallelExecutor):
+    """In-process loop — the reference backend every other one must match."""
+
+    backend = "serial"
+
+    def __init__(self, workers: int = 1) -> None:
+        super().__init__(1)
+
+    def _execute(self, fn, chunks):
+        return [_run_chunk(fn, chunk) for chunk in chunks]
+
+
+class ThreadExecutor(ParallelExecutor):
+    """Thread-pool backend (shared memory; best for GIL-releasing work)."""
+
+    backend = "thread"
+
+    def _execute(self, fn, chunks):
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            return [future.result() for future in futures]
+
+
+class ProcessExecutor(ParallelExecutor):
+    """Process-pool backend (true multi-core; tasks must pickle)."""
+
+    backend = "process"
+
+    def _execute(self, fn, chunks):
+        try:
+            pickle.dumps(fn)
+        except Exception as exc:
+            raise SweepError(
+                "process backend requires a picklable task callable "
+                f"(module-level function, not a lambda/closure): {exc}",
+                error_type=type(exc).__name__,
+            ) from None
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            outcome_chunks = []
+            for chunk_index, future in enumerate(futures):
+                try:
+                    outcome_chunks.append(future.result())
+                except SweepError:
+                    raise
+                except BaseException as exc:
+                    # Pool-level failure (unpicklable task payload, dead
+                    # worker, ...) — still surface it structurally.
+                    hint = ""
+                    if "pickle" in f"{type(exc).__name__} {exc}".lower():
+                        hint = (" — the process backend requires picklable "
+                                "task payloads (module-level callables, no "
+                                "lambdas/closures); use the thread or "
+                                "serial backend otherwise")
+                    raise SweepError(
+                        f"process pool failed on chunk {chunk_index}: "
+                        f"{type(exc).__name__}: {exc}{hint}",
+                        error_type=type(exc).__name__,
+                    ) from None
+            return outcome_chunks
+
+
+BACKENDS: dict[str, type[ParallelExecutor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def resolve_executor(backend: str | int | ParallelExecutor | None = None,
+                     workers: int | None = None) -> ParallelExecutor:
+    """Build an executor from a config/CLI-style specification.
+
+    ``backend`` may be an executor instance (returned as-is), a backend
+    name from :data:`BACKENDS`, a bare worker count, or ``None``.  With
+    ``backend=None`` the worker count decides: ``workers`` in
+    ``{None, 1}`` gives the serial backend, anything larger the process
+    backend — so ``--workers N`` alone enables multi-core execution.
+    """
+    if isinstance(backend, ParallelExecutor):
+        if workers is not None and workers != backend.workers:
+            raise ParameterError(
+                f"workers={workers} conflicts with executor {backend!r}")
+        return backend
+    if isinstance(backend, bool):
+        raise ParameterError(f"invalid backend specification {backend!r}")
+    if isinstance(backend, int):
+        if workers is not None and workers != backend:
+            raise ParameterError(
+                f"workers={workers} conflicts with backend={backend}")
+        backend, workers = None, backend
+    if workers is not None and workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers}")
+    if backend is None:
+        if workers is None or workers == 1:
+            return SerialExecutor()
+        return ProcessExecutor(workers)
+    try:
+        cls = BACKENDS[str(backend).lower()]
+    except KeyError:
+        raise ParameterError(
+            f"unknown parallel backend {backend!r}; choose from "
+            f"{sorted(BACKENDS)}"
+        ) from None
+    if cls is SerialExecutor:
+        return SerialExecutor()
+    return cls(workers if workers is not None else available_cpus())

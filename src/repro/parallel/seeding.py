@@ -1,0 +1,36 @@
+"""Deterministic per-task seeding for parallel sweeps and ensembles.
+
+Stochastic sweep points must be reproducible regardless of backend and
+worker count.  The scheme: spawn one :class:`numpy.random.SeedSequence`
+child per task *in the parent*, indexed by the task's position in the
+deterministic sweep order.  Child spawning is a pure function of the
+base seed and the index, so
+
+    same base seed + same task list  =>  same per-task streams,
+
+no matter how tasks are later distributed over workers.  SeedSequences
+pickle cheaply, so they ride along inside process-backend task payloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+
+__all__ = ["spawn_seeds", "task_rng"]
+
+
+def spawn_seeds(base_seed: int | np.random.SeedSequence,
+                n_tasks: int) -> tuple[np.random.SeedSequence, ...]:
+    """``n_tasks`` independent child seeds of ``base_seed``, in task order."""
+    if n_tasks < 0:
+        raise ParameterError(f"n_tasks must be >= 0, got {n_tasks}")
+    root = (base_seed if isinstance(base_seed, np.random.SeedSequence)
+            else np.random.SeedSequence(base_seed))
+    return tuple(root.spawn(n_tasks))
+
+
+def task_rng(seed: np.random.SeedSequence) -> np.random.Generator:
+    """Fresh generator for one task (call worker-side, once per task)."""
+    return np.random.default_rng(seed)

@@ -14,6 +14,7 @@ from repro.simulation.blocking import (
     run_with_blockers,
     select_blockers,
 )
+from repro.simulation.ensemble import ensemble_summary, run_ensemble
 from repro.simulation.gillespie import (
     GillespieConfig,
     GillespieResult,
@@ -46,6 +47,8 @@ __all__ = [
     "simulate_gillespie",
     "EnsembleSummary",
     "ensemble_average",
+    "run_ensemble",
+    "ensemble_summary",
     "step_interpolate",
     "trajectory_rmse",
     "seed_random",

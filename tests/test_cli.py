@@ -26,6 +26,22 @@ class TestParser:
         args = build_parser().parse_args(["dataset"])
         assert args.friends_csv is None
 
+    def test_experiment_parallel_flags(self):
+        args = build_parser().parse_args(
+            ["experiment", "all", "--workers", "4", "--backend", "process"])
+        assert args.workers == 4
+        assert args.backend == "process"
+
+    def test_experiment_parallel_defaults(self):
+        args = build_parser().parse_args(["experiment", "all"])
+        assert args.workers is None
+        assert args.backend is None
+
+    def test_experiment_invalid_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "all", "--backend", "gpu"])
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])

@@ -182,6 +182,12 @@ class TestValidationAndSolution:
         with pytest.raises(ParameterError):
             sol.interpolate([5.0])
 
+    def test_solution_interpolation_empty_times(self):
+        sol = rk4(exponential_decay, [1.0, 2.0], GRID)
+        empty = sol.interpolate([])
+        assert empty.shape == (0, 2)
+        assert empty.dtype == sol.y.dtype
+
     def test_inconsistent_solution_shape_raises(self):
         with pytest.raises(ParameterError):
             OdeSolution(np.array([0.0, 1.0]), np.zeros((3, 2)), 0, "x")
