@@ -1,0 +1,206 @@
+"""Serial-vs-batched (vectorized) sweep benchmark → ``BENCH_batched.json``.
+
+Times the same eps1 × eps2 threshold sweep under the serial point loop
+and under the :class:`~repro.parallel.VectorizedExecutor`, which stacks
+each chunk of parameter points into one ``(B, 3n)`` ODE system and
+integrates the whole batch with matrix operations
+(:mod:`repro.numerics.ode_batched`).  Verifies the batched metrics
+agree with the serial reference within ``rtol = 1e-8`` and writes the
+measurements to ``BENCH_batched.json`` at the repository root.
+
+Two workloads are recorded:
+
+* ``digg_threshold_sweep`` — the full 848-group Digg2009-compatible
+  network (state dimension 2544).  Per batched step this streams
+  ~hundreds of state-sized arrays through memory, so on
+  memory-bandwidth-bound machines the speedup saturates near the
+  DRAM-streaming limit rather than the batch width.
+* ``cache_resident_sweep`` — a 30-group network whose whole batch fits
+  in cache; here Python/solver overhead dominates the serial loop and
+  batching shows the engine's full headroom (order-of-magnitude).
+
+Usage::
+
+    python benchmarks/bench_batched.py              # both workloads, 8x8
+    python benchmarks/bench_batched.py --smoke      # seconds, CI
+    python benchmarks/bench_batched.py --chunk 32 --points 64
+
+Also collectable by pytest (``test_bench_batched_smoke``) so the
+benchmark suite exercises the harness end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if "repro" not in sys.modules:  # allow `python benchmarks/bench_batched.py`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.sweep import SweepResult, sweep_grid  # noqa: E402
+from repro.bench.timing import (  # noqa: E402
+    BenchRecord,
+    time_call,
+    write_bench_json,
+)
+from repro.bench.workloads import (  # noqa: E402
+    digg_threshold_point,
+    severity_axes,
+    smoke_threshold_point,
+)
+from repro.parallel.executor import VectorizedExecutor  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_batched.json"
+
+#: Batched results must match the serial reference this tightly.
+ACCURACY_RTOL = 1e-8
+
+WORKLOADS: dict[str, Callable[..., dict[str, float]]] = {
+    "digg_threshold_sweep": digg_threshold_point,
+    "cache_resident_sweep": smoke_threshold_point,
+}
+
+
+def _grid_shape(points: int) -> tuple[int, int]:
+    """Nearest n1 × n2 factorization of the requested point count."""
+    n1 = max(2, int(round(points ** 0.5)))
+    n2 = max(2, -(-points // n1))
+    return n1, n2
+
+
+def _max_rel_diff(reference: SweepResult, other: SweepResult) -> float:
+    """Largest relative metric deviation between two sweep results."""
+    worst = 0.0
+    for name in sorted(reference.rows[0]):
+        ref = np.asarray(reference.column(name), dtype=float)
+        got = np.asarray(other.column(name), dtype=float)
+        denom = np.maximum(np.abs(ref), 1e-30)
+        worst = max(worst, float(np.max(np.abs(got - ref) / denom)))
+    return worst
+
+
+def _bench_workload(name: str, axes: dict, chunk_size: int | None,
+                    records: list[BenchRecord],
+                    derived: dict[str, object]) -> None:
+    """Time one workload serially and batched; append records in place."""
+    point_fn = WORKLOADS[name]
+    executor = VectorizedExecutor(chunk_size=chunk_size)
+    n_points = len(axes["eps1"]) * len(axes["eps2"])
+    chunk = executor.batch_chunk_size(n_points)
+
+    serial, serial_seconds = time_call(
+        lambda: sweep_grid(axes, point_fn, executor="serial"))
+    batched, batched_seconds = time_call(
+        lambda: sweep_grid(axes, point_fn, executor=executor))
+    assert isinstance(serial, SweepResult)
+    assert isinstance(batched, SweepResult)
+
+    rel = _max_rel_diff(serial, batched)
+    speedup = serial_seconds / batched_seconds
+    records.append(BenchRecord(f"{name}/serial", serial_seconds, {
+        "backend": "serial", "workers": 1, "points": len(serial),
+        "points_per_second": len(serial) / serial_seconds,
+    }))
+    records.append(BenchRecord(f"{name}/vectorized", batched_seconds, {
+        "backend": "vectorized", "workers": 1, "points": len(batched),
+        "chunk_size": chunk,
+        "points_per_second": len(batched) / batched_seconds,
+        "speedup_vs_serial": speedup,
+        "max_rel_diff_vs_serial": rel,
+    }))
+    derived.setdefault("speedup_vs_serial", {})[name] = speedup
+    derived.setdefault("max_rel_diff_vs_serial", {})[name] = rel
+
+
+def run_benchmark(*, points: int = 64, chunk_size: int | None = None,
+                  workloads: Sequence[str] = tuple(WORKLOADS),
+                  smoke: bool = False,
+                  out: str | Path | None = DEFAULT_OUT) -> dict[str, object]:
+    """Time each workload serial vs batched; return the written payload."""
+    if smoke:
+        points = min(points, 4)
+        workloads = ["cache_resident_sweep"]
+    n1, n2 = _grid_shape(points)
+    axes = severity_axes(n1, n2)
+    workload_meta = {
+        "name": "+".join(workloads),
+        "points": n1 * n2,
+        "axes": {"eps1": n1, "eps2": n2},
+        "accuracy_rtol": ACCURACY_RTOL,
+    }
+
+    records: list[BenchRecord] = []
+    derived: dict[str, object] = {}
+    for name in workloads:
+        _bench_workload(name, axes, chunk_size, records, derived)
+    derived["note"] = (
+        "batched dopri45 step-locks to the serial solver, so metrics "
+        "agree to ~1e-13; the digg workload streams the full 2544-wide "
+        "state through memory every stage and its speedup saturates at "
+        "the machine's DRAM bandwidth, while the cache-resident "
+        "workload shows the engine's overhead-free headroom"
+    )
+
+    if out is not None:
+        path = write_bench_json(out, records, workload=workload_meta,
+                                derived=derived)
+        print(f"wrote {path}")
+    for record in records:
+        extra = (f"  speedup {record.meta['speedup_vs_serial']:.2f}x"
+                 if "speedup_vs_serial" in record.meta else "")
+        print(f"{record.name:32s} {record.wall_seconds:8.3f}s"
+              f"  ({record.meta['points_per_second']:.1f} pts/s){extra}")
+
+    diverged = {name: rel
+                for name, rel in derived["max_rel_diff_vs_serial"].items()
+                if rel > ACCURACY_RTOL}
+    if diverged:
+        raise SystemExit(
+            f"batched sweeps diverged from serial beyond "
+            f"rtol={ACCURACY_RTOL}: {diverged}")
+    return {"workload": workload_meta,
+            "records": [record.as_dict() for record in records],
+            "derived": derived}
+
+
+def test_bench_batched_smoke(tmp_path) -> None:
+    """Pytest hook: harness runs end to end and batched matches serial."""
+    from repro.bench.timing import read_bench_json
+
+    out = tmp_path / "BENCH_batched.json"
+    payload = run_benchmark(smoke=True, out=out)
+    assert all(rel <= ACCURACY_RTOL for rel in
+               payload["derived"]["max_rel_diff_vs_serial"].values())
+    on_disk = read_bench_json(out)  # validates the repro-bench/1 schema
+    assert on_disk["records"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serial vs batched-vectorized sweep benchmark "
+                    "(writes BENCH_batched.json)")
+    parser.add_argument("--points", type=int, default=64,
+                        help="sweep grid size (default 64 = 8x8)")
+    parser.add_argument("--chunk", type=int, default=None,
+                        help="batch chunk size (default "
+                             f"{VectorizedExecutor.DEFAULT_CHUNK})")
+    parser.add_argument("--workloads", nargs="+",
+                        default=list(WORKLOADS), choices=list(WORKLOADS),
+                        help="workloads to time (default: both)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny cache-resident workload for CI")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+    run_benchmark(points=args.points, chunk_size=args.chunk,
+                  workloads=args.workloads, smoke=args.smoke, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,6 +31,7 @@ if "repro" not in sys.modules:  # allow `python benchmarks/bench_parallel.py`
 from repro.analysis.sweep import SweepResult, sweep_grid  # noqa: E402
 from repro.bench.timing import (  # noqa: E402
     BenchRecord,
+    single_core_warnings,
     time_call,
     write_bench_json,
 )
@@ -117,6 +118,8 @@ def run_benchmark(*, points: int = 64, workers: int | None = None,
                  if "speedup_vs_serial" in record.meta else "")
         print(f"{record.name:24s} {record.wall_seconds:8.3f}s"
               f"  ({record.meta['points_per_second']:.1f} pts/s){extra}")
+    for warning in single_core_warnings(records):
+        print(warning)
     failed = [backend for backend, same in identical.items() if not same]
     if failed:
         raise SystemExit(f"parallel backends diverged from serial: {failed}")

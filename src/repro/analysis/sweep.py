@@ -15,6 +15,22 @@ receives an independent ``rng`` spawned from the base seed by point
 index (again independent of the backend).  A failing point surfaces as
 :class:`~repro.exceptions.SweepError` carrying the point, not as a bare
 worker traceback.
+
+Vectorized sweeps
+-----------------
+The ``vectorized`` backend replaces task dispatch with *stacked
+evaluation*: when the point callable carries a ``batch`` attribute —
+``run.batch(points) -> sequence of row mappings``, one mapping per point
+in order — the sweep driver calls it on contiguous chunks of the point
+list instead of calling ``run`` once per point.  The batched threshold
+workloads (:mod:`repro.bench.workloads`) implement the protocol with
+:class:`~repro.core.batched.BatchedHeterogeneousSIR`, which integrates a
+whole chunk of (ε1, ε2) points as one stacked ODE system.  Ordering,
+row layout (axis values merged into each row), and structured
+:class:`~repro.exceptions.SweepError` failures are identical to the
+per-point path.  Callables without ``batch`` — and seeded sweeps, whose
+per-point ``rng`` cannot be stacked — silently fall back to the serial
+loop, so ``executor="vectorized"`` is always safe to request.
 """
 
 from __future__ import annotations
@@ -22,8 +38,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
-from repro.exceptions import ParameterError
-from repro.parallel.executor import ParallelExecutor, resolve_executor
+from repro.exceptions import ParameterError, SweepError
+from repro.parallel.executor import (
+    ParallelExecutor,
+    VectorizedExecutor,
+    resolve_executor,
+)
 from repro.parallel.seeding import spawn_seeds, task_rng
 
 __all__ = ["SweepResult", "sweep_1d", "sweep_grid", "grid_points"]
@@ -112,12 +132,62 @@ def _run_1d_task(task: tuple) -> dict[str, object]:
     return result
 
 
+def _run_batched(executor: VectorizedExecutor,
+                 run: Callable[..., Mapping[str, object]],
+                 points: list[dict[str, object]],
+                 chunk_size: int | None) -> list[dict[str, object]]:
+    """Stacked evaluation of a sweep through ``run.batch`` (vectorized
+    backend fast path); falls back on the caller for non-batchable runs.
+
+    Chunks are contiguous slices of the deterministic point order, so
+    rows come back in exactly the per-point order.  A failing chunk is
+    reported as a :class:`SweepError` carrying the chunk's first point.
+    """
+    batch_fn = run.batch
+    chunk = (chunk_size if chunk_size is not None
+             else executor.batch_chunk_size(len(points)))
+    if chunk < 1:
+        raise ParameterError(f"chunk_size must be >= 1, got {chunk}")
+    rows: list[dict[str, object]] = []
+    for start in range(0, len(points), chunk):
+        part = points[start:start + chunk]
+        try:
+            part_rows = list(batch_fn(part))
+        except SweepError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - reported structurally
+            raise SweepError(
+                f"vectorized sweep chunk starting at task {start} failed "
+                f"at point {part[0]!r}: {type(exc).__name__}: {exc}",
+                point=dict(part[0]), task_index=start,
+                error_type=type(exc).__name__,
+            ) from exc
+        if len(part_rows) != len(part):
+            raise SweepError(
+                f"batched run returned {len(part_rows)} rows for "
+                f"{len(part)} points (chunk starting at task {start})",
+                point=dict(part[0]), task_index=start,
+                error_type="ValueError",
+            )
+        for point, row in zip(part, part_rows):
+            merged = dict(row)
+            merged.update(point)
+            rows.append(merged)
+    return rows
+
+
 def _dispatch(executor: ParallelExecutor | str | int | None,
               task_fn: Callable[[tuple], dict[str, object]],
               tasks: list[tuple],
               points: list[Mapping[str, object]],
-              chunk_size: int | None) -> list[dict[str, object]]:
+              chunk_size: int | None,
+              run: Callable[..., Mapping[str, object]] | None = None,
+              seeded: bool = False) -> list[dict[str, object]]:
     resolved = resolve_executor(executor)
+    if (isinstance(resolved, VectorizedExecutor) and run is not None
+            and not seeded and callable(getattr(run, "batch", None))):
+        return _run_batched(resolved, run, [dict(p) for p in points],
+                            chunk_size)
     return resolved.map_tasks(
         task_fn, tasks, chunk_size=chunk_size,
         describe=lambda index, _task: dict(points[index]),
@@ -135,7 +205,10 @@ def sweep_1d(name: str, values: Sequence[object],
     With ``seed`` set, ``run`` is called as ``run(value, rng=...)`` with
     an independent per-point generator.  ``executor`` selects the
     backend (``None`` → serial); the process backend needs ``run`` to be
-    a module-level (picklable) callable.
+    a module-level (picklable) callable.  Under the ``vectorized``
+    backend an unseeded ``run`` with a ``batch`` attribute is evaluated
+    in stacked chunks (see the module docstring); ``chunk_size`` then
+    bounds the rows per stacked integration.
     """
     if not values:
         raise ParameterError("sweep values must be non-empty")
@@ -145,7 +218,8 @@ def sweep_1d(name: str, values: Sequence[object],
     tasks = [(run, name, value, task_seed)
              for value, task_seed in zip(values, seeds)]
     points = [{name: value} for value in values]
-    rows = _dispatch(executor, _run_1d_task, tasks, points, chunk_size)
+    rows = _dispatch(executor, _run_1d_task, tasks, points, chunk_size,
+                     run=run, seeded=seed is not None)
     return SweepResult((name,), tuple(rows))
 
 
@@ -157,13 +231,15 @@ def sweep_grid(axes: Mapping[str, Sequence[object]],
     """Full Cartesian sweep; ``run`` is called with one kwarg per axis.
 
     Same parallel semantics as :func:`sweep_1d`: rows keep the
-    deterministic row-major grid order under every backend, and ``seed``
-    adds a per-point ``rng`` kwarg.
+    deterministic row-major grid order under every backend, ``seed``
+    adds a per-point ``rng`` kwarg, and the ``vectorized`` backend
+    stacks chunks of grid points through ``run.batch`` when available.
     """
     points = grid_points(axes)
     seeds: Sequence[object] = (spawn_seeds(seed, len(points))
                                if seed is not None else [None] * len(points))
     tasks = [(run, point, task_seed)
              for point, task_seed in zip(points, seeds)]
-    rows = _dispatch(executor, _run_point_task, tasks, points, chunk_size)
+    rows = _dispatch(executor, _run_point_task, tasks, points, chunk_size,
+                     run=run, seeded=seed is not None)
     return SweepResult(tuple(axes), tuple(rows))

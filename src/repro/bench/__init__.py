@@ -1,7 +1,9 @@
 """Benchmark harness: wall-clock timing and the ``BENCH_*.json`` format.
 
 See ``benchmarks/bench_parallel.py`` for the serial-vs-parallel sweep
-benchmark that feeds ``BENCH_parallel.json`` at the repository root.
+benchmark that feeds ``BENCH_parallel.json`` at the repository root, and
+``benchmarks/bench_batched.py`` for the serial-vs-vectorized comparison
+behind ``BENCH_batched.json``.
 """
 
 from repro.bench.timing import (
@@ -9,12 +11,15 @@ from repro.bench.timing import (
     BenchRecord,
     machine_info,
     read_bench_json,
+    single_core_warnings,
     time_call,
     write_bench_json,
 )
 from repro.bench.workloads import (
+    digg_threshold_batch,
     digg_threshold_point,
     severity_axes,
+    smoke_threshold_batch,
     smoke_threshold_point,
 )
 
@@ -25,7 +30,10 @@ __all__ = [
     "machine_info",
     "write_bench_json",
     "read_bench_json",
+    "single_core_warnings",
     "digg_threshold_point",
+    "digg_threshold_batch",
     "smoke_threshold_point",
+    "smoke_threshold_batch",
     "severity_axes",
 ]

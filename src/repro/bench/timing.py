@@ -34,6 +34,7 @@ __all__ = [
     "machine_info",
     "write_bench_json",
     "read_bench_json",
+    "single_core_warnings",
 ]
 
 #: Schema identifier written into every bench JSON file.
@@ -97,10 +98,39 @@ def machine_info() -> dict[str, object]:
     }
 
 
+def single_core_warnings(records: Sequence[BenchRecord], *,
+                         cpu_count: int | None = None) -> list[str]:
+    """Flag multi-worker measurements taken on a single-core machine.
+
+    A thread/process record with ``meta["workers"] > 1`` measured where
+    only one CPU is usable cannot show a real speedup — its
+    ``speedup_vs_serial`` is scheduler noise.  Returns one warning
+    string per affected record (empty on multi-core machines) so bench
+    reports can print them next to the numbers.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if cpus > 1:
+        return []
+    warnings = []
+    for record in records:
+        workers = record.meta.get("workers")
+        if isinstance(workers, int) and workers > 1:
+            warnings.append(
+                f"WARNING: {record.name} ran {workers} workers on a "
+                f"single-core machine — its timing reflects scheduling "
+                f"overhead, not parallel speedup")
+    return warnings
+
+
 def write_bench_json(path: str | Path, records: Sequence[BenchRecord], *,
                      workload: Mapping[str, object] | None = None,
                      derived: Mapping[str, object] | None = None) -> Path:
     """Write measurements to ``path`` in the ``repro-bench/1`` schema.
+
+    Every record's ``meta`` gains a ``cpu_count`` key (the machine's
+    usable CPU count at write time) unless the caller already set one,
+    so individual measurements stay interpretable when records are
+    compared across files or machines.
 
     Layout::
 
@@ -118,13 +148,19 @@ def write_bench_json(path: str | Path, records: Sequence[BenchRecord], *,
     names = [record.name for record in records]
     if len(set(names)) != len(names):
         raise ParameterError(f"duplicate record names: {names}")
+    machine = machine_info()
+    record_dicts = []
+    for record in records:
+        as_dict = record.as_dict()
+        as_dict["meta"].setdefault("cpu_count", machine["cpu_count"])
+        record_dicts.append(as_dict)
     payload = {
         "schema": BENCH_SCHEMA,
         "created_utc": datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
-        "machine": machine_info(),
+        "machine": machine,
         "workload": dict(workload) if workload else {},
-        "records": [record.as_dict() for record in records],
+        "records": record_dicts,
         "derived": dict(derived) if derived else {},
     }
     path = Path(path)

@@ -37,9 +37,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker count for 'all' (default: serial; "
                           "N > 1 runs the figures concurrently)")
     exp.add_argument("--backend", default=None,
-                     choices=["serial", "thread", "process"],
+                     choices=["serial", "thread", "process", "vectorized"],
                      help="parallel backend for 'all' (default: serial, "
-                          "or process when --workers > 1)")
+                          "or process when --workers > 1; 'vectorized' "
+                          "stacks batch-capable sweeps into one ODE "
+                          "system per chunk)")
 
     thr = sub.add_parser("threshold",
                          help="compute r0 and critical countermeasures")

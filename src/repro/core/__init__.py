@@ -26,6 +26,7 @@ from repro.core.lyapunov import (
     lyapunov_v_plus_series,
     theorem3_region_entry,
 )
+from repro.core.batched import BatchedHeterogeneousSIR
 from repro.core.model import HeterogeneousSIRModel, as_control
 from repro.core.parameters import RumorModelParameters
 from repro.core.stability import (
@@ -48,6 +49,7 @@ from repro.core.threshold import (
 __all__ = [
     "RumorModelParameters",
     "HeterogeneousSIRModel",
+    "BatchedHeterogeneousSIR",
     "as_control",
     "SIRState",
     "RumorTrajectory",

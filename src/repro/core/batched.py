@@ -1,0 +1,362 @@
+"""Batched form of paper System (1): B parameter points as one system.
+
+A threshold/countermeasure sweep integrates the same heterogeneous SIR
+model at many ``(ε1, ε2)`` (and possibly α or λ-scale) points.  Instead
+of B independent integrations, :class:`BatchedHeterogeneousSIR` stacks
+the points into a ``(B, 3n)`` state matrix and evaluates the whole
+batch's right-hand side with one set of matrix operations:
+
+* the coupling ``Θ_b = (1/⟨k⟩) Σ_i φ(k_i) I_{b,i}`` for all rows at once
+  via one elementwise product and a row-wise pairwise sum (chosen over a
+  BLAS matvec because the pairwise reduction is bitwise identical to the
+  scalar path's, see :meth:`HeterogeneousSIRModel._rhs_into`);
+* ``λ(k_i) S_{b,i} Θ_b`` and the control terms as broadcasted products
+  over the per-point ``(alpha, lambda_k, eps1, eps2)`` arrays.
+
+The batch integrates through :mod:`repro.numerics.ode_batched`: a
+fixed-grid ``rk4`` run is bitwise identical to B scalar simulations and
+the adaptive ``dopri45`` run matches within the solver tolerance.
+Controls must be constant per point — time-varying controls stay on the
+scalar :class:`~repro.core.model.HeterogeneousSIRModel` path.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.parameters import RumorModelParameters
+from repro.core.state import RumorTrajectory, SIRState
+from repro.exceptions import ParameterError
+from repro.numerics.ode_batched import BatchedOdeSolution, integrate_batched
+
+__all__ = ["BatchedHeterogeneousSIR"]
+
+
+def _per_point(name: str, values: object, batch: int | None) -> np.ndarray:
+    """Validate a per-point rate array (non-negative, finite, 1-D)."""
+    array = np.atleast_1d(np.asarray(values, dtype=float))
+    if array.ndim != 1:
+        raise ParameterError(f"{name} must be scalar or 1-D, got shape "
+                             f"{array.shape}")
+    if batch is not None and array.size == 1:
+        array = np.broadcast_to(array, (batch,)).copy()
+    if not np.all(np.isfinite(array)) or np.any(array < 0):
+        raise ParameterError(f"{name} must be non-negative finite rates")
+    return array
+
+
+class BatchedHeterogeneousSIR:
+    """B stacked copies of System (1) with per-point rates.
+
+    Parameters
+    ----------
+    params:
+        Shared structural parameters (degree groups, φ(k), ⟨k⟩).  The
+        per-point overrides below default to this object's values.
+    eps1, eps2:
+        Per-point control rates, scalars or shape-``(B,)`` arrays
+        (broadcast against each other).
+    alpha:
+        Optional per-point entering rate; defaults to ``params.alpha``
+        for every row.
+    lambda_k:
+        Optional acceptance-rate override, shape ``(n,)`` (shared) or
+        ``(B, n)`` (per point); defaults to ``params.lambda_k``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import RumorModelParameters, SIRState
+    >>> from repro.core.batched import BatchedHeterogeneousSIR
+    >>> from repro.networks.degree import power_law_distribution
+    >>> params = RumorModelParameters(power_law_distribution(1, 10, 2.0))
+    >>> batch = BatchedHeterogeneousSIR(params, eps1=[0.1, 0.2, 0.3],
+    ...                                 eps2=0.05)
+    >>> solution = batch.simulate(SIRState.initial(10, 0.05), t_final=5.0,
+    ...                           n_samples=11)
+    >>> solution.y.shape
+    (11, 3, 30)
+    """
+
+    def __init__(self, params: RumorModelParameters,
+                 eps1: float | Sequence[float] | np.ndarray,
+                 eps2: float | Sequence[float] | np.ndarray, *,
+                 alpha: float | Sequence[float] | np.ndarray | None = None,
+                 lambda_k: np.ndarray | None = None) -> None:
+        self.params = params
+        e1 = _per_point("eps1", eps1, None)
+        e2 = _per_point("eps2", eps2, None)
+        try:
+            e1, e2 = np.broadcast_arrays(e1, e2)
+        except ValueError:
+            raise ParameterError(
+                f"eps1 (size {e1.size}) and eps2 (size {e2.size}) do not "
+                f"broadcast to one batch") from None
+        batch = e1.size
+        self.eps1 = np.ascontiguousarray(e1, dtype=float)
+        self.eps2 = np.ascontiguousarray(e2, dtype=float)
+        if alpha is None:
+            self.alpha: float | np.ndarray = float(params.alpha)
+        else:
+            self.alpha = _per_point("alpha", alpha, batch)
+            if self.alpha.size != batch:
+                raise ParameterError(
+                    f"alpha has {self.alpha.size} points, batch has {batch}")
+            if np.any(self.alpha <= 0):
+                raise ParameterError("alpha must be positive in every row")
+        if lambda_k is None:
+            self.lambda_k = params.lambda_k
+        else:
+            lam = np.asarray(lambda_k, dtype=float)
+            n = params.n_groups
+            if lam.shape not in ((n,), (batch, n)):
+                raise ParameterError(
+                    f"lambda_k shape {lam.shape} must be ({n},) or "
+                    f"({batch}, {n})")
+            if not np.all(np.isfinite(lam)) or np.any(lam <= 0):
+                raise ParameterError("lambda_k must be positive and finite")
+            self.lambda_k = lam
+
+    @property
+    def batch_size(self) -> int:
+        """Number of stacked parameter points B."""
+        return int(self.eps1.size)
+
+    @property
+    def n_groups(self) -> int:
+        """Degree groups n of the shared network."""
+        return self.params.n_groups
+
+    # -- dynamics -------------------------------------------------------------
+    def rhs(self, t: np.ndarray, y: np.ndarray,
+            rows: np.ndarray | None = None,
+            out: np.ndarray | None = None, *,
+            exact_theta: bool = True) -> np.ndarray:
+        """Batched System (1) right-hand side on ``(L, 3n)`` states.
+
+        ``rows`` selects which batch rows ``y`` holds (the batched
+        solvers compact finished rows); ``None`` means all B rows in
+        order.  ``out`` is an optional preallocated ``(L, 3n)`` result
+        buffer (the batched solvers pass their stage workspace).  Row
+        ``b``'s arithmetic is element-for-element the scalar
+        :meth:`HeterogeneousSIRModel._rhs_into` sequence — every
+        operation below is the in-place form of the scalar expression in
+        the same order — so fixed-grid integrations are bitwise
+        identical to B scalar runs.
+
+        ``exact_theta=True`` (the default, and what the bitwise rk4
+        contract requires) computes Θ with the scalar path's pairwise
+        reduction; ``False`` uses one BLAS matvec instead, which changes
+        Θ by a few ulps but evaluates measurably faster — the adaptive
+        dopri45 path opts in via :meth:`simulate`.
+        """
+        p = self.params
+        n = p.n_groups
+        idx = slice(None) if rows is None else rows
+        s = y[:, :n]
+        i = y[:, n:2 * n]
+        lam = self.lambda_k if self.lambda_k.ndim == 1 else self.lambda_k[idx]
+        e1 = self.eps1[idx][:, None]
+        e2 = self.eps2[idx][:, None]
+        alpha = (self.alpha if isinstance(self.alpha, float)
+                 else self.alpha[idx][:, None])
+        if out is None:
+            out = np.empty_like(y)
+        o_s = out[:, :n]
+        o_i = out[:, n:2 * n]
+        o_r = out[:, 2 * n:]
+        if exact_theta:
+            # Θ via elementwise product + pairwise row sum (not a BLAS
+            # dot): the pairwise reduction is bitwise-reproducible row
+            # by row, so it matches the scalar path exactly.  o_r
+            # doubles as scratch.
+            np.multiply(i, p.phi_k, out=o_r)
+            theta = o_r.sum(axis=1)
+        else:
+            # One BLAS matvec per evaluation — Θ for every row at once.
+            # Differs from the scalar reduction only in summation order
+            # (ulp-level), which the adaptive path tolerates.
+            theta = i @ p.phi_k
+        theta /= p.mean_degree
+        np.multiply(lam, s, out=o_i)
+        o_i *= theta[:, None]                 # infection = (λ·S)·Θ
+        np.subtract(alpha, o_i, out=o_s)      # α − infection
+        np.multiply(e1, s, out=o_r)           # ε1·S
+        o_s -= o_r                            # (α − infection) − ε1·S
+        e2i = e2 * i
+        o_r += e2i                            # ε1·S + ε2·I
+        o_i -= e2i                            # infection − ε2·I
+        return out
+
+    def rhs_reduced(self, t: np.ndarray, y: np.ndarray,
+                    rows: np.ndarray | None = None,
+                    out: np.ndarray | None = None, *,
+                    exact_theta: bool = True) -> np.ndarray:
+        """Batched right-hand side on the reduced ``(L, 2n)`` (S, I) state.
+
+        System (1) conserves ``S_i + I_i + R_i − α·t`` group by group
+        (the three derivatives sum to α), and R feeds back into neither
+        dS nor dI.  A solver can therefore carry only (S, I) and
+        reconstruct R from the conservation law afterwards
+        (:meth:`simulate` with ``reduce_state=True``).
+
+        Caveat — and the reason this is *not* the default: dropping R
+        from the state also drops it from the adaptive error norm, so
+        the dopri45 step sequence decorrelates from the scalar path's.
+        Two tolerance-``rtol`` runs with different step sequences agree
+        only to the method's true local error (measured ~1e-6 relative
+        on the digg2009 sweep), not to ``rtol``-level.  Use this path
+        when raw throughput matters more than reproducing the scalar
+        sweep digit-for-digit.
+        """
+        p = self.params
+        n = p.n_groups
+        idx = slice(None) if rows is None else rows
+        s = y[:, :n]
+        i = y[:, n:]
+        lam = self.lambda_k if self.lambda_k.ndim == 1 else self.lambda_k[idx]
+        e1 = self.eps1[idx][:, None]
+        e2 = self.eps2[idx][:, None]
+        alpha = (self.alpha if isinstance(self.alpha, float)
+                 else self.alpha[idx][:, None])
+        if out is None:
+            out = np.empty_like(y)
+        o_s = out[:, :n]
+        o_i = out[:, n:]
+        if exact_theta:
+            np.multiply(i, p.phi_k, out=o_s)  # o_s doubles as scratch
+            theta = o_s.sum(axis=1)
+        else:
+            theta = i @ p.phi_k
+        theta /= p.mean_degree
+        np.multiply(lam, s, out=o_i)
+        o_i *= theta[:, None]                 # infection = (λ·S)·Θ
+        np.subtract(alpha, o_i, out=o_s)      # α − infection
+        e1s = e1 * s
+        o_s -= e1s                            # (α − infection) − ε1·S
+        o_i -= e2 * i                         # infection − ε2·I
+        return out
+
+    # -- simulation ------------------------------------------------------------
+    def simulate(self, initial: SIRState | np.ndarray, *,
+                 t_final: float | None = None,
+                 n_samples: int = 201,
+                 t_eval: Sequence[float] | np.ndarray | None = None,
+                 method: str = "dopri45",
+                 reduce_state: bool | None = None,
+                 **solver_options: object) -> BatchedOdeSolution:
+        """Integrate every stacked point over ``(0, t_final]`` at once.
+
+        ``initial`` is either one :class:`SIRState` shared by every row,
+        a flat ``(3n,)`` vector, or a per-row ``(B, 3n)`` matrix.
+        ``method`` is ``"dopri45"`` (default) or ``"rk4"``; the grid
+        arguments mirror :meth:`HeterogeneousSIRModel.simulate`.
+
+        ``reduce_state=True`` makes the solver carry only the (S, I)
+        block and reconstruct R from the conservation law
+        ``S + I + R = S0 + I0 + R0 + α·t`` (see :meth:`rhs_reduced`).
+        It is opt-in extra throughput: the changed error norm shifts
+        the adaptive step sequence, so results match scalar runs only
+        to the method's true error (~1e-6) instead of the default
+        path's ~1e-11.  The default (False) keeps the error norm — and
+        therefore the step sequence and results — locked to the scalar
+        path.
+        """
+        n = self.n_groups
+        if isinstance(initial, SIRState):
+            if initial.n_groups != n:
+                raise ParameterError(
+                    f"initial state has {initial.n_groups} groups, model "
+                    f"has {n}")
+            flat = initial.pack()
+        else:
+            flat = np.asarray(initial, dtype=float)
+        if flat.ndim == 1:
+            if flat.size != 3 * n:
+                raise ParameterError(
+                    f"flat initial state has {flat.size} entries, expected "
+                    f"{3 * n}")
+            y0 = np.broadcast_to(flat, (self.batch_size, 3 * n)).copy()
+        elif flat.shape == (self.batch_size, 3 * n):
+            y0 = flat.copy()
+        else:
+            raise ParameterError(
+                f"initial shape {flat.shape} must be ({3 * n},) or "
+                f"({self.batch_size}, {3 * n})")
+        if t_eval is None:
+            if t_final is None or t_final <= 0:
+                raise ParameterError(
+                    f"t_final must be positive, got {t_final}")
+            if n_samples < 2:
+                raise ParameterError("n_samples must be >= 2")
+            grid = np.linspace(0.0, float(t_final), int(n_samples))
+        else:
+            grid = np.asarray(t_eval, dtype=float)
+        if reduce_state is None:
+            reduce_state = False
+        # The adaptive path tolerates ulp-level Θ differences, so it
+        # takes the BLAS matvec; rk4's bitwise contract needs the exact
+        # pairwise reduction.
+        exact = method == "rk4"
+        if not reduce_state:
+            f = functools.partial(self.rhs, exact_theta=exact)
+            return integrate_batched(f, y0, grid, method=method,
+                                     **solver_options)
+        f = functools.partial(self.rhs_reduced, exact_theta=exact)
+        reduced = integrate_batched(f, y0[:, :2 * n], grid,
+                                    method=method, **solver_options)
+        return self._reconstruct_full(reduced, y0)
+
+    def _reconstruct_full(self, reduced: BatchedOdeSolution,
+                          y0: np.ndarray) -> BatchedOdeSolution:
+        """Rebuild the full (S, I, R) solution from a reduced (S, I) run.
+
+        Uses the per-group conservation law of System (1): the three
+        derivatives sum to α, so ``R(t) = (S0 + I0 + R0) + α·t − S − I``
+        exactly (up to round-off) for every row and group.
+        """
+        n = self.n_groups
+        m = reduced.t.size
+        batch = reduced.batch_size
+        full = np.empty((m, batch, 3 * n))
+        full[:, :, :2 * n] = reduced.y
+        # total0[b, i] = S0 + I0 + R0 for row b, group i.
+        total0 = y0[:, :n] + y0[:, n:2 * n] + y0[:, 2 * n:]
+        r = full[:, :, 2 * n:]
+        r[:] = total0
+        if isinstance(self.alpha, float):
+            r += (self.alpha * reduced.t)[:, None, None]
+        else:
+            r += (reduced.t[:, None] * self.alpha)[:, :, None]
+        r -= reduced.y[:, :, :n]
+        r -= reduced.y[:, :, n:]
+        return BatchedOdeSolution(reduced.t, full, reduced.nfev_rows,
+                                  reduced.solver)
+
+    # -- analysis accessors ----------------------------------------------------
+    def trajectory(self, solution: BatchedOdeSolution,
+                   row: int) -> RumorTrajectory:
+        """Row ``row``'s trajectory as a :class:`RumorTrajectory`.
+
+        The trajectory carries the *shared* ``params`` object; per-row
+        α/λ overrides do not affect its accessors (they only weight the
+        compartment matrices by φ(k) and P(k)).
+        """
+        scalar = solution.solution(row)
+        return RumorTrajectory(self.params, scalar.t, scalar.y)
+
+    def population_infected(self, solution: BatchedOdeSolution) -> np.ndarray:
+        """Population infected density Σ_i P(k_i) I_{b,i}(t), shape ``(m, B)``."""
+        n = self.n_groups
+        return solution.y[:, :, n:2 * n] @ self.params.pmf
+
+    def population_susceptible(self, solution: BatchedOdeSolution) -> np.ndarray:
+        """Population susceptible density per row, shape ``(m, B)``."""
+        return solution.y[:, :, :self.n_groups] @ self.params.pmf
+
+    def population_recovered(self, solution: BatchedOdeSolution) -> np.ndarray:
+        """Population recovered density per row, shape ``(m, B)``."""
+        return solution.y[:, :, 2 * self.n_groups:] @ self.params.pmf

@@ -73,47 +73,51 @@ class HeterogeneousSIRModel:
         self.params = params
 
     # -- dynamics -------------------------------------------------------------
-    def rhs(self, t: float, y: np.ndarray,
-            eps1: Callable[[float], float],
-            eps2: Callable[[float], float]) -> np.ndarray:
-        """Right-hand side of System (1) on the flat state layout."""
+    def _rhs_into(self, y: np.ndarray, e1: float, e2: float,
+                  out: np.ndarray) -> np.ndarray:
+        """Shared System (1) right-hand side, written into ``out``.
+
+        Both `rhs` and `rhs_constant` evaluate through here, so the
+        generic and fast paths cannot drift apart.  Θ uses an
+        elementwise product followed by numpy's pairwise summation
+        (not a BLAS dot) because that reduction is bitwise-reproducible
+        row by row — the batched engine
+        (:mod:`repro.numerics.ode_batched`) relies on it to match this
+        scalar path exactly.
+        """
         p = self.params
         n = p.n_groups
         s = y[:n]
         i = y[n:2 * n]
+        theta = float((p.phi_k * i).sum() / p.mean_degree)
+        infection = p.lambda_k * s * theta
+        out[:n] = p.alpha - infection - e1 * s
+        out[n:2 * n] = infection - e2 * i
+        out[2 * n:] = e1 * s + e2 * i
+        return out
+
+    def rhs(self, t: float, y: np.ndarray,
+            eps1: Callable[[float], float],
+            eps2: Callable[[float], float]) -> np.ndarray:
+        """Right-hand side of System (1) on the flat state layout."""
         e1 = float(eps1(t))
         e2 = float(eps2(t))
         if e1 < 0 or e2 < 0:
             raise ParameterError(
                 f"controls must be non-negative, got eps1={e1}, eps2={e2} at t={t}"
             )
-        theta = float(np.dot(p.phi_k, i) / p.mean_degree)
-        infection = p.lambda_k * s * theta
-        ds = p.alpha - infection - e1 * s
-        di = infection - e2 * i
-        dr = e1 * s + e2 * i
-        return np.concatenate([ds, di, dr])
+        return self._rhs_into(y, e1, e2, np.empty_like(y))
 
     def rhs_constant(self, eps1: float, eps2: float) -> Callable[[float, np.ndarray], np.ndarray]:
         """Closed-over RHS with constant controls (fast path for solvers)."""
-        p = self.params
-        n = p.n_groups
-        alpha, lam, phi, mean_k = p.alpha, p.lambda_k, p.phi_k, p.mean_degree
         e1 = float(eps1)
         e2 = float(eps2)
         if e1 < 0 or e2 < 0:
             raise ParameterError("controls must be non-negative")
+        rhs_into = self._rhs_into
 
         def f(_t: float, y: np.ndarray) -> np.ndarray:
-            s = y[:n]
-            i = y[n:2 * n]
-            theta = float(np.dot(phi, i) / mean_k)
-            infection = lam * s * theta
-            out = np.empty_like(y)
-            out[:n] = alpha - infection - e1 * s
-            out[n:2 * n] = infection - e2 * i
-            out[2 * n:] = e1 * s + e2 * i
-            return out
+            return rhs_into(y, e1, e2, np.empty_like(y))
 
         return f
 

@@ -17,6 +17,13 @@ from repro.numerics.ode import (
     rk4,
     solve_ivp_scipy,
 )
+from repro.numerics.ode_batched import (
+    BATCHED_SOLVERS,
+    BatchedOdeSolution,
+    dopri45_batched,
+    integrate_batched,
+    rk4_batched,
+)
 from repro.numerics.quadrature import (
     adaptive_simpson,
     cumulative_trapezoid,
@@ -36,6 +43,11 @@ __all__ = [
     "dopri45",
     "solve_ivp_scipy",
     "integrate",
+    "BatchedOdeSolution",
+    "BATCHED_SOLVERS",
+    "rk4_batched",
+    "dopri45_batched",
+    "integrate_batched",
     "trapezoid",
     "cumulative_trapezoid",
     "simpson",

@@ -1,6 +1,6 @@
 """Parallel execution engine for sweeps, experiments, and ensembles.
 
-Backends (serial / thread / process) behind one
+Backends (serial / thread / process / vectorized) behind one
 :class:`~repro.parallel.executor.ParallelExecutor` interface, with
 deterministic result ordering, chunked dispatch, per-task seeding, and
 worker-side invariant caching.  See ``docs/PARALLEL.md``.
@@ -20,6 +20,7 @@ from repro.parallel.executor import (
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    VectorizedExecutor,
     available_cpus,
     resolve_executor,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "VectorizedExecutor",
     "resolve_executor",
     "available_cpus",
     "BACKENDS",

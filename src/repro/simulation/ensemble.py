@@ -14,6 +14,11 @@ through the :mod:`repro.parallel` engine:
 
 Graphs, configs, and seed arrays all pickle, so the process backend
 works out of the box for CPU-bound ensembles.
+
+Stochastic realizations consume independent random streams, so they
+cannot be stacked into one vectorized system the way deterministic
+ODE sweeps can; requesting ``executor="vectorized"`` here is accepted
+but falls back to the serial loop (same results, no speedup).
 """
 
 from __future__ import annotations

@@ -1,0 +1,92 @@
+"""Tests for repro.bench.timing — records, schema, machine context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.timing import (
+    BENCH_SCHEMA,
+    BenchRecord,
+    machine_info,
+    read_bench_json,
+    single_core_warnings,
+    time_call,
+    write_bench_json,
+)
+from repro.exceptions import ParameterError
+
+
+class TestTimeCall:
+    def test_returns_result_and_positive_time(self):
+        result, seconds = time_call(lambda: 41 + 1)
+        assert result == 42
+        assert seconds > 0
+
+    def test_repeat_validation(self):
+        with pytest.raises(ParameterError):
+            time_call(lambda: None, repeat=0)
+
+
+class TestBenchJson:
+    RECORDS = [
+        BenchRecord("sweep/serial", 1.5, {"workers": 1}),
+        BenchRecord("sweep/process", 0.5, {"workers": 4}),
+    ]
+
+    def test_round_trip_and_schema(self, tmp_path):
+        path = write_bench_json(tmp_path / "bench.json", self.RECORDS,
+                                workload={"points": 64})
+        payload = read_bench_json(path)
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["workload"] == {"points": 64}
+        assert [r["name"] for r in payload["records"]] == \
+            ["sweep/serial", "sweep/process"]
+
+    def test_every_record_meta_gains_cpu_count(self, tmp_path):
+        path = write_bench_json(tmp_path / "bench.json", self.RECORDS)
+        payload = read_bench_json(path)
+        cpus = machine_info()["cpu_count"]
+        for record in payload["records"]:
+            assert record["meta"]["cpu_count"] == cpus
+
+    def test_caller_supplied_cpu_count_wins(self, tmp_path):
+        records = [BenchRecord("x", 1.0, {"cpu_count": 128})]
+        path = write_bench_json(tmp_path / "bench.json", records)
+        payload = read_bench_json(path)
+        assert payload["records"][0]["meta"]["cpu_count"] == 128
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            write_bench_json(tmp_path / "bench.json",
+                             [BenchRecord("a", 1.0), BenchRecord("a", 2.0)])
+
+    def test_empty_records_rejected(self, tmp_path):
+        with pytest.raises(ParameterError):
+            write_bench_json(tmp_path / "bench.json", [])
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/9", "records": []}')
+        with pytest.raises(ParameterError):
+            read_bench_json(path)
+
+
+class TestSingleCoreWarnings:
+    RECORDS = [
+        BenchRecord("sweep/serial", 1.5, {"workers": 1}),
+        BenchRecord("sweep/thread", 1.4, {"workers": 4}),
+        BenchRecord("sweep/vectorized", 0.4, {"workers": 1}),
+    ]
+
+    def test_flags_multi_worker_records_on_one_cpu(self):
+        warnings = single_core_warnings(self.RECORDS, cpu_count=1)
+        assert len(warnings) == 1
+        assert "sweep/thread" in warnings[0]
+        assert "4 workers" in warnings[0]
+
+    def test_silent_on_multi_core_machines(self):
+        assert single_core_warnings(self.RECORDS, cpu_count=8) == []
+
+    def test_ignores_records_without_worker_meta(self):
+        records = [BenchRecord("x", 1.0)]
+        assert single_core_warnings(records, cpu_count=1) == []

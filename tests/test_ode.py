@@ -191,3 +191,64 @@ class TestValidationAndSolution:
     def test_inconsistent_solution_shape_raises(self):
         with pytest.raises(ParameterError):
             OdeSolution(np.array([0.0, 1.0]), np.zeros((3, 2)), 0, "x")
+
+
+class TestInterpolateVectorized:
+    """The searchsorted gather reproduces np.interp bit for bit.
+
+    ``OdeSolution.interpolate`` used to loop ``np.interp`` over every
+    state column; the vectorized replacement must match that output
+    exactly — including knot values, which ``np.interp`` returns
+    without round-tripping through the slope formula, and the ±1e-12
+    out-of-span tolerance, which it clamps to the endpoints.
+    """
+
+    @staticmethod
+    def reference(sol: OdeSolution, times: np.ndarray) -> np.ndarray:
+        out = np.empty((times.size, sol.y.shape[1]))
+        for column in range(sol.y.shape[1]):
+            out[:, column] = np.interp(times, sol.t, sol.y[:, column])
+        return out
+
+    def make_solution(self, n_columns: int = 17, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        t = np.sort(rng.uniform(0.0, 10.0, 40))
+        t[0], t[-1] = 0.0, 10.0
+        y = rng.normal(size=(t.size, n_columns))
+        return OdeSolution(t, y, 0, "test")
+
+    def test_matches_per_column_interp_exactly(self):
+        sol = self.make_solution()
+        rng = np.random.default_rng(1)
+        times = np.sort(rng.uniform(sol.t[0], sol.t[-1], 300))
+        assert np.array_equal(sol.interpolate(times),
+                              self.reference(sol, times))
+
+    def test_knot_values_exact(self):
+        sol = self.make_solution()
+        out = sol.interpolate(sol.t)
+        assert np.array_equal(out, sol.y)
+
+    def test_tolerated_overshoot_clamps_like_interp(self):
+        sol = self.make_solution()
+        times = np.array([sol.t[0] - 5e-13, sol.t[-1] + 5e-13])
+        out = sol.interpolate(times)
+        assert np.array_equal(out, self.reference(sol, times))
+        assert np.array_equal(out[0], sol.y[0])
+        assert np.array_equal(out[1], sol.y[-1])
+
+    def test_unsorted_query_times_allowed(self):
+        sol = self.make_solution()
+        times = np.array([7.3, 0.1, 9.9, 4.2])
+        assert np.array_equal(sol.interpolate(times),
+                              self.reference(sol, times))
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_exact_match(self, seed):
+        sol = self.make_solution(n_columns=5, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        times = rng.uniform(sol.t[0], sol.t[-1], 50)
+        times = np.concatenate([times, sol.t[:5]])
+        assert np.array_equal(sol.interpolate(times),
+                              self.reference(sol, times))

@@ -131,7 +131,7 @@ class TestResolveExecutor:
         assert isinstance(resolve_executor(1), SerialExecutor)
 
     def test_names(self):
-        assert set(BACKENDS) == {"serial", "thread", "process"}
+        assert set(BACKENDS) == {"serial", "thread", "process", "vectorized"}
         assert isinstance(resolve_executor("serial"), SerialExecutor)
         assert isinstance(resolve_executor("THREAD", 2), ThreadExecutor)
         assert isinstance(resolve_executor("process", 2), ProcessExecutor)

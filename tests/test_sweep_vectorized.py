@@ -1,0 +1,157 @@
+"""Tests for the vectorized sweep backend and its batch protocol.
+
+``executor="vectorized"`` evaluates a sweep through the point
+callable's ``batch`` attribute on contiguous chunks; callables without
+``batch`` and seeded sweeps silently fall back to the serial loop, and
+malformed batch results surface as structured :class:`SweepError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import sweep_1d, sweep_grid
+from repro.exceptions import ParameterError, SweepError
+from repro.parallel import VectorizedExecutor, resolve_executor
+
+
+# -- module-level batchable callables ---------------------------------------
+
+def product_point(a, b):
+    return {"y": a * b, "z": a + b}
+
+
+def product_batch(points):
+    return [{"y": p["a"] * p["b"], "z": p["a"] + p["b"]} for p in points]
+
+
+product_point.batch = product_batch
+
+
+def plain_point(a, b):
+    return {"y": a * b, "z": a + b}
+
+
+def seeded_point(a, b, rng):
+    return {"draw": float(rng.random())}
+
+
+seeded_point.batch = product_batch  # must never be called for seeded sweeps
+
+
+def short_batch(points):
+    return product_batch(points)[:-1]
+
+
+def exploding_batch(points):
+    raise RuntimeError("stacked integration blew up")
+
+
+AXES = {"a": [1.0, 2.0, 3.0, 4.0], "b": [10.0, 20.0]}
+
+
+class TestVectorizedExecutor:
+    def test_resolves_by_name(self):
+        executor = resolve_executor("vectorized")
+        assert isinstance(executor, VectorizedExecutor)
+        assert executor.backend == "vectorized"
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ParameterError):
+            VectorizedExecutor(chunk_size=0)
+
+    def test_batch_chunk_size_bounds(self):
+        assert VectorizedExecutor().batch_chunk_size(100) == \
+            VectorizedExecutor.DEFAULT_CHUNK
+        assert VectorizedExecutor().batch_chunk_size(5) == 5
+        assert VectorizedExecutor(chunk_size=7).batch_chunk_size(100) == 7
+        assert VectorizedExecutor(chunk_size=7).batch_chunk_size(3) == 3
+
+    def test_generic_map_tasks_degrades_to_serial(self):
+        executor = VectorizedExecutor()
+        out = executor.map_tasks(lambda x: x * x, [1, 2, 3])
+        assert out == [1, 4, 9]
+
+
+class TestVectorizedSweep:
+    def test_grid_matches_serial_bitwise(self):
+        serial = sweep_grid(AXES, product_point)
+        vectorized = sweep_grid(AXES, product_point, executor="vectorized")
+        assert serial.bitwise_equal(vectorized)
+        assert serial.rows == vectorized.rows
+
+    def test_chunking_does_not_change_rows(self):
+        reference = sweep_grid(AXES, product_point, executor="vectorized")
+        for chunk_size in (1, 3, 8, 100):
+            repeat = sweep_grid(AXES, product_point,
+                                executor=VectorizedExecutor(),
+                                chunk_size=chunk_size)
+            assert reference.bitwise_equal(repeat)
+
+    def test_sweep_1d_batched(self):
+        def line(x):
+            return {"y": 2.0 * x}
+
+        line.batch = lambda points: [{"y": 2.0 * p["x"]} for p in points]
+        serial = sweep_1d("x", [1.0, 2.0, 3.0], line)
+        vectorized = sweep_1d("x", [1.0, 2.0, 3.0], line,
+                              executor="vectorized")
+        assert serial.bitwise_equal(vectorized)
+
+    def test_axis_values_merged_into_rows(self):
+        result = sweep_grid(AXES, product_point, executor="vectorized")
+        assert result.rows[0] == {"a": 1.0, "b": 10.0, "y": 10.0, "z": 11.0}
+
+    def test_non_batchable_falls_back_to_serial(self):
+        serial = sweep_grid(AXES, plain_point)
+        fallback = sweep_grid(AXES, plain_point, executor="vectorized")
+        assert serial.bitwise_equal(fallback)
+
+    def test_seeded_sweep_falls_back_and_matches_serial(self):
+        serial = sweep_grid(AXES, seeded_point, seed=99)
+        fallback = sweep_grid(AXES, seeded_point, seed=99,
+                              executor="vectorized")
+        assert serial.bitwise_equal(fallback)
+
+    def test_wrong_row_count_is_sweep_error(self):
+        bad = lambda a, b: {"y": 0.0}  # noqa: E731
+        bad.batch = short_batch
+        with pytest.raises(SweepError, match="rows for"):
+            sweep_grid(AXES, bad, executor="vectorized")
+
+    def test_failing_batch_reports_first_point(self):
+        bad = lambda a, b: {"y": 0.0}  # noqa: E731
+        bad.batch = exploding_batch
+        with pytest.raises(SweepError) as excinfo:
+            sweep_grid(AXES, bad, executor="vectorized")
+        assert excinfo.value.point == {"a": 1.0, "b": 10.0}
+        assert excinfo.value.error_type == "RuntimeError"
+
+
+class TestVectorizedModelWorkload:
+    """The real threshold workload under the vectorized backend."""
+
+    def test_smoke_threshold_sweep_matches_serial(self):
+        from repro.bench.workloads import severity_axes, smoke_threshold_point
+
+        axes = severity_axes(3, 3)
+        serial = sweep_grid(axes, smoke_threshold_point, executor="serial")
+        vectorized = sweep_grid(axes, smoke_threshold_point,
+                                executor="vectorized")
+        assert len(serial) == len(vectorized) == 9
+        for name in sorted(serial.rows[0]):
+            ref = np.asarray(serial.column(name), dtype=float)
+            got = np.asarray(vectorized.column(name), dtype=float)
+            assert np.allclose(got, ref, rtol=1e-8, atol=1e-12), name
+
+    def test_batch_attribute_registered(self):
+        from repro.bench.workloads import (
+            digg_threshold_batch,
+            digg_threshold_point,
+            smoke_threshold_batch,
+            smoke_threshold_point,
+        )
+
+        assert digg_threshold_point.batch is digg_threshold_batch
+        assert smoke_threshold_point.batch is smoke_threshold_batch
