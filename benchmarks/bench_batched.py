@@ -53,6 +53,7 @@ from repro.bench.workloads import (  # noqa: E402
     severity_axes,
     smoke_threshold_point,
 )
+from repro.obs.trace import observing  # noqa: E402
 from repro.parallel.executor import VectorizedExecutor  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_batched.json"
@@ -136,8 +137,13 @@ def run_benchmark(*, points: int = 64, chunk_size: int | None = None,
 
     records: list[BenchRecord] = []
     derived: dict[str, object] = {}
-    for name in workloads:
-        _bench_workload(name, axes, chunk_size, records, derived)
+    # Run under an observer so solver/sweep counters accumulate and
+    # write_bench_json stamps a populated metrics snapshot into the
+    # payload (the BENCH_batched.json CI check requires the block).
+    with observing(run={"bench": "batched", "points": n1 * n2}) as observer:
+        for name in workloads:
+            _bench_workload(name, axes, chunk_size, records, derived)
+        metrics_snapshot = observer.metrics.snapshot()
     derived["note"] = (
         "batched dopri45 step-locks to the serial solver, so metrics "
         "agree to ~1e-13; the digg workload streams the full 2544-wide "
@@ -148,7 +154,7 @@ def run_benchmark(*, points: int = 64, chunk_size: int | None = None,
 
     if out is not None:
         path = write_bench_json(out, records, workload=workload_meta,
-                                derived=derived)
+                                derived=derived, metrics=metrics_snapshot)
         print(f"wrote {path}")
     for record in records:
         extra = (f"  speedup {record.meta['speedup_vs_serial']:.2f}x"
@@ -165,7 +171,8 @@ def run_benchmark(*, points: int = 64, chunk_size: int | None = None,
             f"rtol={ACCURACY_RTOL}: {diverged}")
     return {"workload": workload_meta,
             "records": [record.as_dict() for record in records],
-            "derived": derived}
+            "derived": derived,
+            "metrics": metrics_snapshot}
 
 
 def test_bench_batched_smoke(tmp_path) -> None:
@@ -178,6 +185,10 @@ def test_bench_batched_smoke(tmp_path) -> None:
                payload["derived"]["max_rel_diff_vs_serial"].values())
     on_disk = read_bench_json(out)  # validates the repro-bench/1 schema
     assert on_disk["records"]
+    # Metrics snapshot block: required and populated (the bench runs
+    # under an observer, so solver counters must have accumulated).
+    assert set(on_disk["metrics"]) == {"counters", "gauges", "histograms"}
+    assert on_disk["metrics"]["counters"].get("solver.runs", 0) > 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:

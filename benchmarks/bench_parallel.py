@@ -40,6 +40,7 @@ from repro.bench.workloads import (  # noqa: E402
     severity_axes,
     smoke_threshold_point,
 )
+from repro.obs.trace import observing  # noqa: E402
 from repro.parallel.executor import available_cpus, resolve_executor  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_parallel.json"
@@ -95,6 +96,28 @@ def run_benchmark(*, points: int = 64, workers: int | None = None,
             meta["speedup_vs_serial"] = serial_seconds / seconds
         records.append(BenchRecord(f"sweep_grid/{backend}", seconds, meta))
 
+    # Observability-overhead measurement (serial reference re-run with a
+    # full observer installed): results must stay bitwise identical, and
+    # the on/off wall-clock ratio is recorded so regressions in the
+    # instrumented path show up in the bench trajectory.
+    obs_overhead_ratio = None
+    obs_metrics = None
+    if reference is not None and serial_seconds is not None:
+        serial_executor = resolve_executor("serial")
+        with observing(run={"bench": "obs_overhead"}) as observer:
+            obs_result, obs_seconds = time_call(
+                lambda: sweep_grid(axes, point_fn, executor=serial_executor))
+            obs_metrics = observer.metrics.snapshot()
+        assert isinstance(obs_result, SweepResult)
+        identical["serial+obs"] = reference.bitwise_equal(obs_result)
+        obs_overhead_ratio = obs_seconds / serial_seconds
+        records.append(BenchRecord("sweep_grid/serial+obs", obs_seconds, {
+            "backend": "serial", "workers": 1, "points": len(obs_result),
+            "points_per_second": len(obs_result) / obs_seconds,
+            "observer": True,
+            "overhead_vs_serial": obs_overhead_ratio,
+        }))
+
     parallel_speedups = {
         record.meta["backend"]: record.meta["speedup_vs_serial"]
         for record in records if "speedup_vs_serial" in record.meta
@@ -106,12 +129,15 @@ def run_benchmark(*, points: int = 64, workers: int | None = None,
         "best_parallel_backend": best_backend,
         "best_speedup_vs_serial": (parallel_speedups[best_backend]
                                    if best_backend else None),
+        "obs_overhead_ratio": obs_overhead_ratio,
         "note": ("speedup is bounded by the machine's cpu_count; see "
-                 "machine.cpu_count for this run's budget"),
+                 "machine.cpu_count for this run's budget; "
+                 "obs_overhead_ratio is instrumented/plain serial wall "
+                 "time and should sit within run-to-run noise of 1.0"),
     }
     if out is not None:
         path = write_bench_json(out, records, workload=workload,
-                                derived=derived)
+                                derived=derived, metrics=obs_metrics)
         print(f"wrote {path}")
     for record in records:
         extra = (f"  speedup {record.meta['speedup_vs_serial']:.2f}x"
@@ -133,6 +159,9 @@ def test_bench_parallel_smoke(tmp_path) -> None:
     payload = run_benchmark(smoke=True, workers=2,
                             out=tmp_path / "BENCH_parallel.json")
     assert all(payload["derived"]["bitwise_identical_to_serial"].values())
+    # The observability overhead run is part of the bitwise map too.
+    assert "serial+obs" in payload["derived"]["bitwise_identical_to_serial"]
+    assert payload["derived"]["obs_overhead_ratio"] is not None
 
 
 def main(argv: Sequence[str] | None = None) -> int:

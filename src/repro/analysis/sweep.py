@@ -39,6 +39,8 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.exceptions import ParameterError, SweepError
+from repro.obs.log import warning as obs_warning
+from repro.obs.trace import get_observer
 from repro.parallel.executor import (
     ParallelExecutor,
     VectorizedExecutor,
@@ -148,11 +150,19 @@ def _run_batched(executor: VectorizedExecutor,
              else executor.batch_chunk_size(len(points)))
     if chunk < 1:
         raise ParameterError(f"chunk_size must be >= 1, got {chunk}")
+    observer = get_observer()
     rows: list[dict[str, object]] = []
     for start in range(0, len(points), chunk):
         part = points[start:start + chunk]
         try:
-            part_rows = list(batch_fn(part))
+            if observer is not None:
+                with observer.span("sweep.batched_chunk",
+                                   start=start, size=len(part)):
+                    part_rows = list(batch_fn(part))
+                observer.metrics.inc("sweep.batched_chunks")
+                observer.metrics.inc("sweep.batched_points", len(part))
+            else:
+                part_rows = list(batch_fn(part))
         except SweepError:
             raise
         except BaseException as exc:  # noqa: BLE001 - reported structurally
@@ -184,13 +194,24 @@ def _dispatch(executor: ParallelExecutor | str | int | None,
               run: Callable[..., Mapping[str, object]] | None = None,
               seeded: bool = False) -> list[dict[str, object]]:
     resolved = resolve_executor(executor)
-    if (isinstance(resolved, VectorizedExecutor) and run is not None
-            and not seeded and callable(getattr(run, "batch", None))):
-        return _run_batched(resolved, run, [dict(p) for p in points],
-                            chunk_size)
+    if isinstance(resolved, VectorizedExecutor) and run is not None:
+        batchable = callable(getattr(run, "batch", None))
+        if not seeded and batchable:
+            return _run_batched(resolved, run, [dict(p) for p in points],
+                                chunk_size)
+        # The fallback is silent by design for results (identical rows),
+        # but worth one structured warning: the user asked for stacking
+        # and is getting the serial loop.
+        reason = ("seeded sweeps draw per-point rng streams that cannot "
+                  "be stacked" if seeded else
+                  "point callable has no 'batch' implementation")
+        obs_warning("sweep.vectorized_fallback",
+                    once=f"sweep.vectorized_fallback:{reason}",
+                    backend="vectorized", fallback="serial", reason=reason)
     return resolved.map_tasks(
         task_fn, tasks, chunk_size=chunk_size,
         describe=lambda index, _task: dict(points[index]),
+        label="sweep",
     )
 
 

@@ -122,9 +122,29 @@ def single_core_warnings(records: Sequence[BenchRecord], *,
     return warnings
 
 
+def _metrics_snapshot(metrics: Mapping[str, object] | None
+                      ) -> dict[str, object]:
+    """Resolve the ``metrics`` block stamped into every bench payload.
+
+    Priority: an explicit caller-provided snapshot, else the active
+    observer's registry (:func:`repro.obs.get_observer`), else an empty
+    snapshot with the canonical shape — the block is always present so
+    downstream checks can require it unconditionally.
+    """
+    if metrics is not None:
+        return dict(metrics)
+    from repro.obs.trace import get_observer
+
+    observer = get_observer()
+    if observer is not None:
+        return observer.metrics.snapshot()
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
 def write_bench_json(path: str | Path, records: Sequence[BenchRecord], *,
                      workload: Mapping[str, object] | None = None,
-                     derived: Mapping[str, object] | None = None) -> Path:
+                     derived: Mapping[str, object] | None = None,
+                     metrics: Mapping[str, object] | None = None) -> Path:
     """Write measurements to ``path`` in the ``repro-bench/1`` schema.
 
     Every record's ``meta`` gains a ``cpu_count`` key (the machine's
@@ -140,8 +160,14 @@ def write_bench_json(path: str | Path, records: Sequence[BenchRecord], *,
           "machine": {"cpu_count": ..., "python": ..., ...},
           "workload": {...},              # what was measured (optional)
           "records": [{"name", "wall_seconds", "meta"}, ...],
-          "derived": {...}                # cross-record conclusions
+          "derived": {...},               # cross-record conclusions
+          "metrics": {"counters", "gauges", "histograms"}
         }
+
+    The ``metrics`` block is always present: pass an explicit snapshot,
+    or run the bench under an installed observer
+    (:func:`repro.obs.observing`) to capture its registry, else the
+    block is written empty.
     """
     if not records:
         raise ParameterError("need at least one bench record")
@@ -162,6 +188,7 @@ def write_bench_json(path: str | Path, records: Sequence[BenchRecord], *,
         "workload": dict(workload) if workload else {},
         "records": record_dicts,
         "derived": dict(derived) if derived else {},
+        "metrics": _metrics_snapshot(metrics),
     }
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)

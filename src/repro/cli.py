@@ -7,6 +7,15 @@ Subcommands:
 * ``threshold`` — compute r0 and the critical countermeasure surface for
   given rates on the Digg-compatible network;
 * ``dataset`` — print the Digg2009(-compatible) network summary.
+
+Global observability flags (before the subcommand):
+
+* ``--trace-out PATH`` — write a JSONL run manifest (see
+  ``docs/OBSERVABILITY.md``) capturing solver stats, FBSM iteration
+  traces, sweep task/worker telemetry, and experiment run framing;
+* ``--log-level {debug,info,warning,error}`` — stderr threshold for
+  structured log lines (default: warning);
+* ``--progress`` — live progress lines for sweeps/ensembles.
 """
 
 from __future__ import annotations
@@ -26,6 +35,15 @@ def build_parser() -> argparse.ArgumentParser:
                      "Developing Optimized Countermeasures for Rumor "
                      "Spreading in Online Social Networks' (ICDCS 2015)"),
     )
+    parser.add_argument("--log-level", default="warning",
+                        choices=["debug", "info", "warning", "error"],
+                        help="stderr threshold for structured log lines "
+                             "(default: warning)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a JSONL run manifest to PATH "
+                             "(schema repro-obs/1; see docs/OBSERVABILITY.md)")
+    parser.add_argument("--progress", action="store_true",
+                        help="show live progress lines for sweeps/ensembles")
     sub = parser.add_subparsers(dest="command", required=True)
 
     exp = sub.add_parser("experiment", help="run a figure reproduction")
@@ -176,6 +194,9 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.obs.log import set_level
+    from repro.obs.trace import observing
+
     args = build_parser().parse_args(argv)
     handlers = {
         "experiment": _cmd_experiment,
@@ -184,7 +205,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "plan": _cmd_plan,
     }
-    return handlers[args.command](args)
+    set_level(args.log_level)
+    if args.trace_out is None and not args.progress:
+        return handlers[args.command](args)
+    run_info = {"command": args.command, "argv": list(argv or sys.argv[1:])}
+    with observing(args.trace_out, progress=args.progress, run=run_info):
+        return handlers[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution path

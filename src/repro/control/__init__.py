@@ -26,6 +26,7 @@ from repro.control.twophase import (
     run_two_phase,
 )
 from repro.control.pontryagin import (
+    FBSMIteration,
     OptimalControlResult,
     solve_optimal_control,
     solve_with_terminal_target,
@@ -40,6 +41,7 @@ __all__ = [
     "CostateMode",
     "costate_rhs",
     "make_costate_rhs",
+    "FBSMIteration",
     "OptimalControlResult",
     "solve_optimal_control",
     "solve_with_terminal_target",

@@ -26,6 +26,7 @@ the published criterion for sweep methods on bang-bang-like arcs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,11 +39,36 @@ from repro.core.state import RumorTrajectory, SIRState
 from repro.exceptions import ConvergenceError, ParameterError
 from repro.numerics.interpolate import GridFunction
 from repro.numerics.ode import dopri45
+from repro.obs.trace import get_observer
 
-__all__ = ["OptimalControlResult", "solve_optimal_control",
+__all__ = ["FBSMIteration", "OptimalControlResult", "solve_optimal_control",
            "solve_with_terminal_target"]
 
 _DENOMINATOR_FLOOR = 1e-14
+
+
+@dataclass(frozen=True)
+class FBSMIteration:
+    """One sweep of the FBSM fixed-point iteration.
+
+    The per-iteration convergence *trajectory* — objective value and
+    control sup-norm delta — is what countermeasure studies compare
+    (convergence behavior, not just the endpoint); the forward/backward
+    pass timings localize where a slow solve spends its wall clock.
+    """
+
+    iteration: int
+    cost: float
+    control_change: float
+    forward_seconds: float
+    backward_seconds: float
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready representation (the ``fbsm_iteration`` event body)."""
+        return {"iteration": self.iteration, "cost": self.cost,
+                "control_change": self.control_change,
+                "forward_seconds": self.forward_seconds,
+                "backward_seconds": self.backward_seconds}
 
 
 @dataclass(frozen=True)
@@ -69,6 +95,9 @@ class OptimalControlResult:
         ``"controls"``, ``"cost"``, or ``"max_iterations"``.
     control_change:
         Final relative control change.
+    history:
+        Per-sweep :class:`FBSMIteration` records (objective, control
+        delta, pass timings) in iteration order.
     """
 
     times: np.ndarray
@@ -82,6 +111,7 @@ class OptimalControlResult:
     converged: bool
     convergence_reason: str
     control_change: float
+    history: tuple[FBSMIteration, ...] = ()
 
     def eps1_function(self) -> GridFunction:
         """ε1*(t) as an interpolating callable."""
@@ -269,6 +299,7 @@ def solve_optimal_control(params: RumorModelParameters, initial: SIRState, *,
     eps1 = init_control(initial_eps1, bounds.eps1_max / 2.0, bounds.clamp_eps1)
     eps2 = init_control(initial_eps2, bounds.eps2_max / 2.0, bounds.clamp_eps2)
 
+    solve_start = time.perf_counter()
     states = _forward_pass(params, initial, grid, eps1, eps2, rtol, atol)
     costates = np.zeros((grid.size, 2 * n))
     change = np.inf
@@ -276,9 +307,12 @@ def solve_optimal_control(params: RumorModelParameters, initial: SIRState, *,
     plateau_sweeps = 0
     reason = "max_iterations"
     iteration = 0
+    history: list[FBSMIteration] = []
     for iteration in range(1, max_iterations + 1):
+        pass_start = time.perf_counter()
         costates = _backward_pass(params, grid, states, eps1, eps2, costs,
                                   mode, rtol, atol)
+        backward_seconds = time.perf_counter() - pass_start
         new_eps1, new_eps2 = _stationary_controls(states, costates, n,
                                                   costs, bounds)
         # Gentle relaxation decay suppresses the limit-cycle jitter FBSM
@@ -293,13 +327,25 @@ def solve_optimal_control(params: RumorModelParameters, initial: SIRState, *,
             float(np.max(np.abs(relaxed_eps2 - eps2))),
         ) / scale
         eps1, eps2 = relaxed_eps1, relaxed_eps2
+        pass_start = time.perf_counter()
         states = _forward_pass(params, initial, grid, eps1, eps2, rtol, atol)
-        if change < tol:
-            reason = "controls"
-            break
+        forward_seconds = time.perf_counter() - pass_start
         current_cost = evaluate_cost(
             RumorTrajectory(params, grid, states), eps1, eps2, costs
         ).total
+        record = FBSMIteration(
+            iteration=iteration, cost=float(current_cost),
+            control_change=float(change),
+            forward_seconds=round(forward_seconds, 6),
+            backward_seconds=round(backward_seconds, 6))
+        history.append(record)
+        observer = get_observer()
+        if observer is not None:
+            observer.emit("fbsm_iteration", **record.as_dict())
+            observer.metrics.inc("fbsm.iterations")
+        if change < tol:
+            reason = "controls"
+            break
         if abs(previous_cost - current_cost) <= cost_tol * max(1.0, abs(current_cost)):
             plateau_sweeps += 1
             if plateau_sweeps >= 3:
@@ -310,6 +356,14 @@ def solve_optimal_control(params: RumorModelParameters, initial: SIRState, *,
         previous_cost = current_cost
 
     converged = reason != "max_iterations"
+    observer = get_observer()
+    if observer is not None:
+        observer.metrics.inc("fbsm.solves")
+        observer.emit(
+            "span", name="fbsm.solve",
+            seconds=round(time.perf_counter() - solve_start, 6),
+            attrs={"iterations": iteration, "converged": converged,
+                   "reason": reason, "n_grid": int(grid.size)})
     if not converged and raise_on_failure:
         raise ConvergenceError(
             f"FBSM did not converge in {max_iterations} sweeps "
@@ -324,6 +378,7 @@ def solve_optimal_control(params: RumorModelParameters, initial: SIRState, *,
         psi=costates[:, :n], q=costates[:, n:], cost=cost,
         iterations=iteration, converged=converged,
         convergence_reason=reason, control_change=change,
+        history=tuple(history),
     )
 
 

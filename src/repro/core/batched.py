@@ -334,7 +334,7 @@ class BatchedHeterogeneousSIR:
         r -= reduced.y[:, :, :n]
         r -= reduced.y[:, :, n:]
         return BatchedOdeSolution(reduced.t, full, reduced.nfev_rows,
-                                  reduced.solver)
+                                  reduced.solver, stats=reduced.stats)
 
     # -- analysis accessors ----------------------------------------------------
     def trajectory(self, solution: BatchedOdeSolution,

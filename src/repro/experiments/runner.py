@@ -10,6 +10,7 @@ is a thin wrapper over this module.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -18,6 +19,7 @@ from repro.exceptions import ParameterError
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4ab, run_fig4c
+from repro.obs.trace import get_observer
 from repro.parallel.executor import ParallelExecutor, resolve_executor
 
 __all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment", "run_all"]
@@ -94,7 +96,12 @@ EXPERIMENTS: dict[str, Callable[[Path], ExperimentReport]] = {
 
 def run_experiment(experiment_id: str,
                    out_dir: str | Path = "results") -> ExperimentReport:
-    """Run one registered experiment, writing artifacts under ``out_dir``."""
+    """Run one registered experiment, writing artifacts under ``out_dir``.
+
+    With an observer installed (see :mod:`repro.obs`), the run is framed
+    by ``run_start``/``run_end`` manifest events carrying the summary
+    line and artifact list.
+    """
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -102,7 +109,19 @@ def run_experiment(experiment_id: str,
             f"unknown experiment {experiment_id!r}; choose from "
             f"{sorted(EXPERIMENTS)}"
         ) from None
-    return runner(Path(out_dir))
+    observer = get_observer()
+    if observer is None:
+        return runner(Path(out_dir))
+    observer.emit("run_start", experiment=experiment_id,
+                  out_dir=str(out_dir))
+    start = time.perf_counter()
+    report = runner(Path(out_dir))
+    observer.emit("run_end", experiment=experiment_id,
+                  summary=report.summary,
+                  artifacts=[str(path) for path in report.artifacts],
+                  seconds=round(time.perf_counter() - start, 6))
+    observer.metrics.inc("experiments.runs")
+    return report
 
 
 def _run_experiment_task(task: tuple[str, str]) -> ExperimentReport:

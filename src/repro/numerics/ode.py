@@ -20,14 +20,17 @@ All integrators share one calling convention: ``f(t, y) -> dy/dt`` with
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.exceptions import IntegrationError, ParameterError
+from repro.obs.trace import get_observer
 
 __all__ = [
+    "SolverStats",
     "OdeSolution",
     "euler",
     "rk4",
@@ -38,6 +41,72 @@ __all__ = [
 ]
 
 RhsFunction = Callable[[float, np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class SolverStats:
+    """Integration telemetry attached to an :class:`OdeSolution`.
+
+    Attributes
+    ----------
+    accepted, rejected:
+        Step counts.  Fixed-step methods accept every step; for the
+        adaptive solver ``rejected`` counts every retried attempt,
+        including non-finite trial states that shrank the step.
+    nfev:
+        Right-hand-side evaluations (same value as ``OdeSolution.nfev``).
+    warmup_nfev:
+        Evaluations spent before the step loop (initial-step heuristic
+        and FSAL seeding).  For :func:`dopri45` the exact accounting
+        ``nfev == warmup_nfev + 6 * (accepted + rejected)`` holds.
+    h_min, h_max:
+        Smallest/largest *accepted* step size.
+    wall_seconds:
+        Integration wall time (monotonic clock).
+    step_sizes:
+        Accepted step sizes in order, or ``None`` when the solver does
+        not record a history (fixed-step and batched paths).
+    """
+
+    accepted: int
+    rejected: int
+    nfev: int
+    warmup_nfev: int
+    h_min: float
+    h_max: float
+    wall_seconds: float
+    step_sizes: np.ndarray | None = None
+
+    @property
+    def total_steps(self) -> int:
+        """Attempted steps: ``accepted + rejected``."""
+        return self.accepted + self.rejected
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (history length, not the array)."""
+        return {
+            "accepted": self.accepted, "rejected": self.rejected,
+            "nfev": self.nfev, "warmup_nfev": self.warmup_nfev,
+            "h_min": self.h_min, "h_max": self.h_max,
+            "wall_seconds": self.wall_seconds,
+            "recorded_steps": (0 if self.step_sizes is None
+                               else int(self.step_sizes.size)),
+        }
+
+
+def _emit_solver_event(solver: str, dim: int,
+                       stats: SolverStats) -> None:
+    """Report one finished integration to the active observer, if any."""
+    ob = get_observer()
+    if ob is None:
+        return
+    ob.emit("solver", solver=solver, dim=dim, **stats.as_dict())
+    metrics = ob.metrics
+    metrics.inc("solver.runs")
+    metrics.inc("solver.nfev", stats.nfev)
+    metrics.inc("solver.steps_accepted", stats.accepted)
+    metrics.inc("solver.steps_rejected", stats.rejected)
+    metrics.observe("solver.wall_seconds", stats.wall_seconds)
 
 
 @dataclass(frozen=True)
@@ -55,12 +124,17 @@ class OdeSolution:
         Number of right-hand-side evaluations.
     solver:
         Name of the integrator that produced the solution.
+    stats:
+        :class:`SolverStats` telemetry (accepted/rejected step counts,
+        step-size range and history, wall time), or ``None`` for
+        solutions constructed without it.
     """
 
     t: np.ndarray
     y: np.ndarray
     nfev: int
     solver: str
+    stats: SolverStats | None = None
 
     def __post_init__(self) -> None:
         if self.t.ndim != 1 or self.y.ndim != 2 or self.y.shape[0] != self.t.shape[0]:
@@ -147,6 +221,7 @@ def euler(f: RhsFunction, y0: Sequence[float] | np.ndarray,
         raise ParameterError("substeps must be >= 1")
     grid = _validate_grid(t_eval)
     y = _validate_y0(y0)
+    start = time.perf_counter()
     out = np.empty((grid.size, y.size))
     out[0] = y
     nfev = 0
@@ -158,7 +233,10 @@ def euler(f: RhsFunction, y0: Sequence[float] | np.ndarray,
             nfev += 1
         out[j + 1] = y
     _check_finite(out, "euler")
-    return OdeSolution(grid, out, nfev, "euler")
+    stats = _fixed_step_stats(grid, substeps, nfev, 1,
+                              time.perf_counter() - start)
+    _emit_solver_event("euler", y.size, stats)
+    return OdeSolution(grid, out, nfev, "euler", stats=stats)
 
 
 def rk4(f: RhsFunction, y0: Sequence[float] | np.ndarray,
@@ -174,6 +252,7 @@ def rk4(f: RhsFunction, y0: Sequence[float] | np.ndarray,
         raise ParameterError("substeps must be >= 1")
     grid = _validate_grid(t_eval)
     y = _validate_y0(y0)
+    start = time.perf_counter()
     out = np.empty((grid.size, y.size))
     out[0] = y
     nfev = 0
@@ -190,7 +269,22 @@ def rk4(f: RhsFunction, y0: Sequence[float] | np.ndarray,
             nfev += 4
         out[j + 1] = y
     _check_finite(out, "rk4")
-    return OdeSolution(grid, out, nfev, "rk4")
+    stats = _fixed_step_stats(grid, substeps, nfev, 4,
+                              time.perf_counter() - start)
+    _emit_solver_event("rk4", y.size, stats)
+    return OdeSolution(grid, out, nfev, "rk4", stats=stats)
+
+
+def _fixed_step_stats(grid: np.ndarray, substeps: int, nfev: int,
+                      evals_per_step: int,
+                      wall_seconds: float) -> SolverStats:
+    """Stats for a fixed-step run: every step accepted, h from the grid."""
+    spacing = np.diff(grid) / substeps
+    return SolverStats(
+        accepted=(grid.size - 1) * substeps, rejected=0, nfev=nfev,
+        warmup_nfev=nfev - (grid.size - 1) * substeps * evals_per_step,
+        h_min=float(spacing.min()), h_max=float(spacing.max()),
+        wall_seconds=wall_seconds)
 
 
 # Dormand–Prince 5(4) Butcher tableau.
@@ -227,6 +321,7 @@ def dopri45(f: RhsFunction, y0: Sequence[float] | np.ndarray,
     """
     grid = _validate_grid(t_eval)
     y = _validate_y0(y0)
+    start = time.perf_counter()
     t0, tf = grid[0], grid[-1]
     span = tf - t0
     if h_max is None:
@@ -247,6 +342,9 @@ def dopri45(f: RhsFunction, y0: Sequence[float] | np.ndarray,
     t = t0
     f_now = f(t, y)
     nfev += 1
+    warmup_nfev = nfev
+    accepted = rejected = 0
+    step_sizes: list[float] = []
     err_prev = 1.0
     safety, beta = 0.9, 0.04
     min_factor, max_factor = 0.2, 5.0
@@ -271,6 +369,7 @@ def dopri45(f: RhsFunction, y0: Sequence[float] | np.ndarray,
         y4 = y + h * (_DP_B4 @ k)
         if not np.all(np.isfinite(y5)):
             # Shrink aggressively and retry rather than aborting outright.
+            rejected += 1
             h *= 0.25
             if h < 1e-14 * max(abs(t), 1.0):
                 raise IntegrationError(f"dopri45 produced non-finite state at t={t:.6g}")
@@ -279,6 +378,8 @@ def dopri45(f: RhsFunction, y0: Sequence[float] | np.ndarray,
         err = math.sqrt(float(np.mean(((y5 - y4) / scale) ** 2)))
         if err <= 1.0:
             # Accept: emit dense output for all grid points inside (t, t+h].
+            accepted += 1
+            step_sizes.append(h)
             t_new = t + h
             f_new = k[6]  # FSAL: last stage is f(t_new, y5)
             while next_output < grid.size and grid[next_output] <= t_new + 1e-14:
@@ -293,6 +394,7 @@ def dopri45(f: RhsFunction, y0: Sequence[float] | np.ndarray,
             err_prev = err
             h *= min(max_factor, max(min_factor, factor))
         else:
+            rejected += 1
             h *= max(min_factor, safety * err ** (-1.0 / order))
     else:
         raise IntegrationError(
@@ -303,7 +405,15 @@ def dopri45(f: RhsFunction, y0: Sequence[float] | np.ndarray,
         # Numerical edge: final grid point equals tf within round-off.
         out[next_output:] = y
     _check_finite(out, "dopri45")
-    return OdeSolution(grid, out, nfev, "dopri45")
+    history = np.asarray(step_sizes)
+    stats = SolverStats(
+        accepted=accepted, rejected=rejected, nfev=nfev,
+        warmup_nfev=warmup_nfev,
+        h_min=float(history.min()) if history.size else 0.0,
+        h_max=float(history.max()) if history.size else 0.0,
+        wall_seconds=time.perf_counter() - start, step_sizes=history)
+    _emit_solver_event("dopri45", y.size, stats)
+    return OdeSolution(grid, out, nfev, "dopri45", stats=stats)
 
 
 def _initial_step(f: RhsFunction, t0: float, y0: np.ndarray,
@@ -349,6 +459,7 @@ def solve_ivp_scipy(f: RhsFunction, y0: Sequence[float] | np.ndarray,
 
     grid = _validate_grid(t_eval)
     y = _validate_y0(y0)
+    start = time.perf_counter()
     result, info = odeint(
         lambda state, t: f(t, state), y, grid,
         rtol=rtol, atol=atol, full_output=True,
@@ -356,7 +467,18 @@ def solve_ivp_scipy(f: RhsFunction, y0: Sequence[float] | np.ndarray,
     if info["message"] != "Integration successful.":
         raise IntegrationError(f"scipy odeint failed: {info['message']}")
     _check_finite(result, "scipy-lsoda")
-    return OdeSolution(grid, result, int(info["nfe"][-1]), "scipy-lsoda")
+    nfev = int(info["nfe"][-1])
+    # LSODA reports cumulative steps but not rejections; record what it
+    # gives us (h range from the per-output-point step-size history).
+    steps = int(info["nst"][-1])
+    h_used = np.asarray(info["hu"], dtype=float)
+    stats = SolverStats(
+        accepted=steps, rejected=0, nfev=nfev, warmup_nfev=0,
+        h_min=float(h_used.min()) if h_used.size else 0.0,
+        h_max=float(h_used.max()) if h_used.size else 0.0,
+        wall_seconds=time.perf_counter() - start)
+    _emit_solver_event("scipy-lsoda", y.size, stats)
+    return OdeSolution(grid, result, nfev, "scipy-lsoda", stats=stats)
 
 
 def _check_finite(y: np.ndarray, solver: str) -> None:

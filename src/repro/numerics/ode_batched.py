@@ -49,6 +49,7 @@ callables keep working unchanged.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -57,14 +58,17 @@ import numpy as np
 from repro.exceptions import IntegrationError, ParameterError
 from repro.numerics.ode import (
     OdeSolution,
+    SolverStats,
     _DP_A,
     _DP_B4,
     _DP_B5,
     _DP_C,
     _validate_grid,
 )
+from repro.obs.trace import get_observer
 
 __all__ = [
+    "BatchedSolverStats",
     "BatchedOdeSolution",
     "BatchedRhsFunction",
     "rk4_batched",
@@ -75,6 +79,69 @@ __all__ = [
 
 BatchedRhsFunction = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
 
+
+@dataclass(frozen=True)
+class BatchedSolverStats:
+    """Per-row integration telemetry for a batched run.
+
+    Mirrors :class:`~repro.numerics.ode.SolverStats` with one entry per
+    batch row.  ``wall_seconds`` and ``loop_steps`` are whole-batch
+    quantities: the rows share one solver loop, so per-row wall time is
+    not separable.  The adaptive accounting holds row-wise:
+    ``nfev_rows == warmup_nfev + 6 * (accepted_rows + rejected_rows)``.
+    """
+
+    accepted_rows: np.ndarray
+    rejected_rows: np.ndarray
+    warmup_nfev: int
+    h_min_rows: np.ndarray
+    h_max_rows: np.ndarray
+    loop_steps: int
+    wall_seconds: float
+
+    def row(self, index: int, nfev: int) -> SolverStats:
+        """Row ``index``'s telemetry as scalar :class:`SolverStats`.
+
+        ``wall_seconds`` is the whole batch's wall time (shared loop).
+        """
+        return SolverStats(
+            accepted=int(self.accepted_rows[index]),
+            rejected=int(self.rejected_rows[index]),
+            nfev=nfev, warmup_nfev=self.warmup_nfev,
+            h_min=float(self.h_min_rows[index]),
+            h_max=float(self.h_max_rows[index]),
+            wall_seconds=self.wall_seconds)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready batch aggregate."""
+        return {
+            "accepted": int(self.accepted_rows.sum()),
+            "rejected": int(self.rejected_rows.sum()),
+            "warmup_nfev": self.warmup_nfev,
+            "h_min": float(self.h_min_rows.min()),
+            "h_max": float(self.h_max_rows.max()),
+            "loop_steps": self.loop_steps,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def _emit_batched_solver_event(solver: str, dim: int, batch: int,
+                               nfev_rows: np.ndarray,
+                               stats: BatchedSolverStats) -> None:
+    """Report one finished batched integration to the active observer."""
+    ob = get_observer()
+    if ob is None:
+        return
+    aggregate = stats.as_dict()
+    ob.emit("solver", solver=solver, dim=dim, batch=batch,
+            nfev=int(nfev_rows.sum()), **aggregate)
+    metrics = ob.metrics
+    metrics.inc("solver.runs")
+    metrics.inc("solver.batched_rows", batch)
+    metrics.inc("solver.nfev", int(nfev_rows.sum()))
+    metrics.inc("solver.steps_accepted", aggregate["accepted"])
+    metrics.inc("solver.steps_rejected", aggregate["rejected"])
+    metrics.observe("solver.wall_seconds", stats.wall_seconds)
 
 
 @dataclass(frozen=True)
@@ -94,12 +161,17 @@ class BatchedOdeSolution:
         each of those rows.
     solver:
         Name of the integrator that produced the solution.
+    stats:
+        :class:`BatchedSolverStats` telemetry (per-row accepted and
+        rejected step counts, step-size ranges, shared wall time), or
+        ``None`` for solutions constructed without it.
     """
 
     t: np.ndarray
     y: np.ndarray
     nfev_rows: np.ndarray
     solver: str
+    stats: BatchedSolverStats | None = None
 
     def __post_init__(self) -> None:
         if (self.t.ndim != 1 or self.y.ndim != 3
@@ -130,8 +202,11 @@ class BatchedOdeSolution:
         if not -self.batch_size <= row < self.batch_size:
             raise ParameterError(
                 f"row {row} out of range for batch of {self.batch_size}")
+        nfev = int(self.nfev_rows[row])
+        stats = (self.stats.row(row % self.batch_size, nfev)
+                 if self.stats is not None else None)
         return OdeSolution(self.t, np.ascontiguousarray(self.y[:, row, :]),
-                           int(self.nfev_rows[row]), self.solver)
+                           nfev, self.solver, stats=stats)
 
 
 def _validate_batch_y0(y0: np.ndarray) -> np.ndarray:
@@ -193,6 +268,7 @@ def rk4_batched(f: BatchedRhsFunction, y0: np.ndarray,
         raise ParameterError("substeps must be >= 1")
     grid = _validate_grid(t_eval)
     y = _validate_batch_y0(y0)
+    start = time.perf_counter()
     batch, dim = y.shape
     rows = np.arange(batch)
     rhs = _RhsAdapter(f)
@@ -231,7 +307,18 @@ def rk4_batched(f: BatchedRhsFunction, y0: np.ndarray,
             nfev_rows += 4
         out[j + 1] = y
     _check_finite_batch(out, "rk4-batched")
-    return BatchedOdeSolution(grid, out, nfev_rows, "rk4-batched")
+    spacing = np.diff(grid) / substeps
+    n_steps = (grid.size - 1) * substeps
+    stats = BatchedSolverStats(
+        accepted_rows=np.full(batch, n_steps, dtype=np.int64),
+        rejected_rows=np.zeros(batch, dtype=np.int64),
+        warmup_nfev=0,
+        h_min_rows=np.full(batch, float(spacing.min())),
+        h_max_rows=np.full(batch, float(spacing.max())),
+        loop_steps=n_steps, wall_seconds=time.perf_counter() - start)
+    _emit_batched_solver_event("rk4-batched", dim, batch, nfev_rows, stats)
+    return BatchedOdeSolution(grid, out, nfev_rows, "rk4-batched",
+                              stats=stats)
 
 
 def _initial_step_batched(rhs: _RhsAdapter, t0: float, y0: np.ndarray,
@@ -298,6 +385,7 @@ def dopri45_batched(f: BatchedRhsFunction, y0: np.ndarray,
     """
     grid = _validate_grid(t_eval)
     y = _validate_batch_y0(y0)
+    start = time.perf_counter()
     batch, dim = y.shape
     t0, tf = grid[0], grid[-1]
     span = tf - t0
@@ -310,6 +398,10 @@ def dopri45_batched(f: BatchedRhsFunction, y0: np.ndarray,
     out[0] = y
     nfev_rows = np.zeros(batch, dtype=np.int64)
     next_output = np.ones(batch, dtype=np.int64)  # per-row next grid index
+    accepted_rows = np.zeros(batch, dtype=np.int64)
+    rejected_rows = np.zeros(batch, dtype=np.int64)
+    h_min_rows = np.full(batch, np.inf)
+    h_max_rows = np.zeros(batch)
 
     # Live-row workspaces, sized once for the full batch.  The first m
     # rows of each buffer (first m column-blocks of ``k``) hold the live
@@ -332,12 +424,14 @@ def dopri45_batched(f: BatchedRhsFunction, y0: np.ndarray,
         h[:] = _initial_step_batched(rhs, t0, y, live, rtol, atol, h_max,
                                      k0_seed)
         nfev_rows += 2
+        warmup_nfev = 2
     else:
         if h_init <= 0:
             raise ParameterError("h_init must be positive")
         h[:] = min(h_init, h_max)
         rhs(t[:m], y, live, k0_seed)
         nfev_rows += 1
+        warmup_nfev = 1
 
     safety, beta = 0.9, 0.04
     min_factor, max_factor = 0.2, 5.0
@@ -410,6 +504,11 @@ def dopri45_batched(f: BatchedRhsFunction, y0: np.ndarray,
             finite = np.isfinite(y5m).all(axis=1)
             err = np.where(finite & np.isfinite(err), err, np.inf)
             accept = err <= 1.0
+            # Per-row step accounting: every live row attempted this
+            # step; rejections include non-finite trial states, so
+            # nfev_rows == warmup + 6·(accepted + rejected) row-wise.
+            accepted_rows[live[:m][accept]] += 1
+            rejected_rows[live[:m][~accept]] += 1
 
             # Non-finite trial states: shrink aggressively and retry,
             # exactly like the scalar solver's recovery path.
@@ -435,6 +534,12 @@ def dopri45_batched(f: BatchedRhsFunction, y0: np.ndarray,
                 k0 = kf[0].reshape(m, dim)
                 k6 = kf[6].reshape(m, dim)
                 t_new = tm + hm
+                # Record the accepted step sizes before the controllers
+                # rescale hm.
+                rows_acc = live[:m] if all_accepted else live[:m][acc]
+                h_acc = hm if all_accepted else hm[acc]
+                h_min_rows[rows_acc] = np.minimum(h_min_rows[rows_acc], h_acc)
+                h_max_rows[rows_acc] = np.maximum(h_max_rows[rows_acc], h_acc)
                 # Dense output: fill every grid point each accepted row
                 # just stepped across (the scalar solver's inner loop).
                 pending = np.arange(m) if all_accepted else acc
@@ -502,7 +607,15 @@ def dopri45_batched(f: BatchedRhsFunction, y0: np.ndarray,
         np.seterr(**old_err)
 
     _check_finite_batch(out, "dopri45-batched")
-    return BatchedOdeSolution(grid, out, nfev_rows, "dopri45-batched")
+    stats = BatchedSolverStats(
+        accepted_rows=accepted_rows, rejected_rows=rejected_rows,
+        warmup_nfev=warmup_nfev, h_min_rows=h_min_rows,
+        h_max_rows=h_max_rows, loop_steps=steps,
+        wall_seconds=time.perf_counter() - start)
+    _emit_batched_solver_event("dopri45-batched", dim, batch, nfev_rows,
+                               stats)
+    return BatchedOdeSolution(grid, out, nfev_rows, "dopri45-batched",
+                              stats=stats)
 
 
 BATCHED_SOLVERS: dict[str, Callable[..., BatchedOdeSolution]] = {

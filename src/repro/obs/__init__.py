@@ -1,0 +1,72 @@
+"""Observability layer: metrics, tracing, structured logs, run manifests.
+
+``repro.obs`` is the zero-dependency instrumentation layer every other
+subsystem reports into (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.metrics` — counters / gauges / histograms in a
+  thread-safe :class:`MetricsRegistry`;
+* :mod:`repro.obs.trace` — the :class:`Observer` (span-based tracing +
+  event emission on a monotonic clock) and the module-global hook
+  (:func:`get_observer` / :func:`observing`) instrumented code polls;
+* :mod:`repro.obs.manifest` — event sinks, most importantly the JSONL
+  run-manifest writer behind the CLI's ``--trace-out``;
+* :mod:`repro.obs.events` — the closed event schema and the manifest
+  validators the schema tests and the CI smoke step run;
+* :mod:`repro.obs.log` — structured leveled logging to stderr and the
+  manifest;
+* :mod:`repro.obs.progress` — live progress lines and post-run
+  summaries for the parallel executors.
+
+Everything is opt-in: with no observer installed the instrumented hot
+paths reduce to one global read, and results are bitwise identical
+either way.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    OBS_SCHEMA,
+    read_manifest,
+    validate_event,
+    validate_manifest,
+)
+from repro.obs.log import (
+    get_level,
+    set_level,
+)
+from repro.obs.manifest import EventSink, JsonlSink, MemorySink, NullSink
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.progress import ProgressAggregator, summary_text
+from repro.obs.trace import (
+    Observer,
+    get_observer,
+    install,
+    observing,
+    span,
+    uninstall,
+)
+
+__all__ = [
+    "OBS_SCHEMA",
+    "EVENT_TYPES",
+    "validate_event",
+    "validate_manifest",
+    "read_manifest",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EventSink",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "Observer",
+    "get_observer",
+    "install",
+    "uninstall",
+    "observing",
+    "span",
+    "set_level",
+    "get_level",
+    "ProgressAggregator",
+    "summary_text",
+]

@@ -1,0 +1,136 @@
+"""Event schema of the run-manifest JSONL stream, with validators.
+
+A run manifest is a JSON-Lines file: one JSON object per line, each an
+*event* with at least a ``type`` (one of :data:`EVENT_TYPES`) and ``t``
+(seconds since the manifest opened, monotonic clock).  The stream is
+framed by a ``manifest_start`` event (first line, carrying the schema
+identifier :data:`OBS_SCHEMA`) and a ``manifest_end`` event (last line,
+carrying the event count and the final metrics snapshot).
+
+The schema is deliberately closed: :func:`validate_event` rejects
+unknown event types and missing required fields, so the CI smoke step
+(and :func:`validate_manifest`) fails loudly when an emitter drifts
+from the documented contract instead of silently producing an
+unreadable trace.  Field semantics are documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "OBS_SCHEMA",
+    "EVENT_TYPES",
+    "REQUIRED_FIELDS",
+    "validate_event",
+    "validate_manifest",
+    "read_manifest",
+]
+
+#: Schema identifier written into every ``manifest_start`` event.
+OBS_SCHEMA = "repro-obs/1"
+
+#: Required fields per event type (beyond the universal ``type``/``t``).
+REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
+    # Stream framing.
+    "manifest_start": ("schema", "created_utc", "run"),
+    "manifest_end": ("events", "wall_seconds", "metrics"),
+    # Generic instruments.
+    "span": ("name", "seconds"),
+    "log": ("level", "event", "fields"),
+    # Solver telemetry (scalar and batched integrators).
+    "solver": ("solver", "dim", "nfev", "accepted", "rejected",
+               "wall_seconds"),
+    # FBSM iteration trace (control/pontryagin.py).
+    "fbsm_iteration": ("iteration", "cost", "control_change",
+                       "forward_seconds", "backward_seconds"),
+    # Sweep/ensemble progress (repro.parallel executors).
+    "task": ("name", "index", "seconds", "ok"),
+    "worker": ("worker", "chunk", "tasks", "busy_seconds"),
+    "progress_summary": ("name", "tasks", "errors", "wall_seconds",
+                         "workers", "utilization", "slowest"),
+    # Experiment run manifests (experiments.runner).
+    "run_start": ("experiment",),
+    "run_end": ("experiment", "summary", "artifacts", "seconds"),
+}
+
+#: The closed set of event types a manifest may contain.
+EVENT_TYPES = frozenset(REQUIRED_FIELDS)
+
+
+def validate_event(event: Mapping[str, object]) -> None:
+    """Check one event against the schema; raise ``ParameterError`` if bad."""
+    event_type = event.get("type")
+    if event_type not in EVENT_TYPES:
+        raise ParameterError(
+            f"unknown event type {event_type!r}; known types: "
+            f"{sorted(EVENT_TYPES)}")
+    if "t" not in event:
+        raise ParameterError(f"event {event_type!r} is missing field 't'")
+    missing = [field for field in REQUIRED_FIELDS[event_type]
+               if field not in event]
+    if missing:
+        raise ParameterError(
+            f"event {event_type!r} is missing required fields {missing}")
+
+
+def read_manifest(path: str | Path) -> list[dict[str, object]]:
+    """Parse a JSONL manifest into a list of event dicts (no validation)."""
+    path = Path(path)
+    if not path.exists():
+        raise ParameterError(f"manifest not found: {path}")
+    events = []
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(
+                f"{path}:{lineno}: invalid JSON in manifest: {exc}"
+            ) from None
+        if not isinstance(event, dict):
+            raise ParameterError(
+                f"{path}:{lineno}: manifest line is not a JSON object")
+        events.append(event)
+    return events
+
+
+def validate_manifest(path: str | Path) -> list[dict[str, object]]:
+    """Load and fully validate a manifest; return its events.
+
+    Checks, in order: the file parses as JSONL, the first event is a
+    ``manifest_start`` carrying the supported schema, every event
+    validates against :data:`REQUIRED_FIELDS` (unknown types fail), and
+    the last event is a ``manifest_end`` whose ``events`` count matches
+    the stream.  This is the check the CI observability smoke step runs
+    against a real ``--trace-out`` run.
+    """
+    events = read_manifest(path)
+    if not events:
+        raise ParameterError(f"manifest {path} is empty")
+    for event in events:
+        validate_event(event)
+    first, last = events[0], events[-1]
+    if first["type"] != "manifest_start":
+        raise ParameterError(
+            f"manifest must open with manifest_start, got {first['type']!r}")
+    if first["schema"] != OBS_SCHEMA:
+        raise ParameterError(
+            f"unsupported manifest schema {first['schema']!r} "
+            f"(expected {OBS_SCHEMA!r})")
+    if last["type"] != "manifest_end":
+        raise ParameterError(
+            f"manifest must close with manifest_end, got {last['type']!r} "
+            f"(was the run interrupted?)")
+    if last["events"] != len(events):
+        raise ParameterError(
+            f"manifest_end reports {last['events']} events, stream has "
+            f"{len(events)}")
+    return events

@@ -1,0 +1,98 @@
+"""Structured logging: leveled stderr lines plus manifest ``log`` events.
+
+The library's one logging convention: a *log record* is an event name
+(dotted, stable, grep-able — ``"sweep.vectorized_fallback"``) plus
+structured fields, never a pre-formatted sentence.  Each record goes two
+places:
+
+* **stderr**, as a single ``level name key=value ...`` line, when the
+  record's level clears the process threshold (:func:`set_level`, CLI
+  ``--log-level``; default ``warning``);
+* **the run manifest**, as a ``log`` event, whenever an observer is
+  installed — regardless of the stderr threshold, so traces keep the
+  full record even for quiet runs.
+
+Repeated warnings can be collapsed with ``once=<key>``: the first
+record with a given key is emitted, later ones are dropped (per
+process) — how the vectorized-fallback warnings stay single.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+from repro.exceptions import ParameterError
+from repro.obs.trace import get_observer
+
+__all__ = ["LEVELS", "set_level", "get_level", "log", "debug", "info",
+           "warning", "error", "reset_once"]
+
+LEVELS: dict[str, int] = {"debug": 10, "info": 20, "warning": 30,
+                          "error": 40}
+
+_threshold = LEVELS["warning"]
+_once_seen: set[str] = set()
+
+
+def set_level(level: str) -> None:
+    """Set the stderr threshold (``debug``/``info``/``warning``/``error``)."""
+    global _threshold
+    try:
+        _threshold = LEVELS[str(level).lower()]
+    except KeyError:
+        raise ParameterError(
+            f"unknown log level {level!r}; choose from {sorted(LEVELS)}"
+        ) from None
+
+
+def get_level() -> str:
+    """Current stderr threshold name."""
+    return next(name for name, rank in LEVELS.items() if rank == _threshold)
+
+
+def reset_once() -> None:
+    """Forget ``once=`` deduplication keys (test isolation hook)."""
+    _once_seen.clear()
+
+
+def log(level: str, event: str, *, once: str | None = None,
+        stream: TextIO | None = None, **fields: object) -> bool:
+    """Emit one structured record; returns whether it was emitted.
+
+    ``once`` deduplicates by key per process.  ``stream`` overrides
+    stderr (tests).  Unknown levels raise
+    :class:`~repro.exceptions.ParameterError`.
+    """
+    if level not in LEVELS:
+        raise ParameterError(
+            f"unknown log level {level!r}; choose from {sorted(LEVELS)}")
+    if once is not None:
+        if once in _once_seen:
+            return False
+        _once_seen.add(once)
+    observer = get_observer()
+    if observer is not None:
+        observer.emit("log", level=level, event=event, fields=dict(fields))
+    if LEVELS[level] >= _threshold:
+        rendered = " ".join(f"{key}={value!r}"
+                            for key, value in fields.items())
+        print(f"[{level}] {event}" + (f" {rendered}" if rendered else ""),
+              file=stream if stream is not None else sys.stderr)
+    return True
+
+
+def debug(event: str, **fields: object) -> bool:
+    return log("debug", event, **fields)
+
+
+def info(event: str, **fields: object) -> bool:
+    return log("info", event, **fields)
+
+
+def warning(event: str, **fields: object) -> bool:
+    return log("warning", event, **fields)
+
+
+def error(event: str, **fields: object) -> bool:
+    return log("error", event, **fields)

@@ -1,0 +1,94 @@
+"""Event sinks: where an observer's event stream goes.
+
+Three sinks cover every use:
+
+* :class:`JsonlSink` — appends one JSON line per event to the run
+  manifest file (the ``--trace-out`` path).  Writes are serialized by a
+  lock so thread-executor workers emitting solver events concurrently
+  cannot interleave lines, and each line is flushed so a crashed run
+  leaves a readable (if unterminated) manifest.
+* :class:`MemorySink` — collects events in a list; the test and
+  benchmark sink.
+* :class:`NullSink` — discards events; used when only metrics or
+  progress output is wanted (``--progress`` without ``--trace-out``).
+
+Sinks receive plain dicts that already carry ``type`` and ``t``; the
+:class:`~repro.obs.trace.Observer` is the only writer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["EventSink", "JsonlSink", "MemorySink", "NullSink"]
+
+
+class EventSink:
+    """Interface: receives one event dict per call; close() ends the run."""
+
+    def write(self, event: Mapping[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further writes are undefined."""
+
+
+class NullSink(EventSink):
+    """Discards every event (metrics/progress-only observation)."""
+
+    def write(self, event: Mapping[str, object]) -> None:
+        pass
+
+
+class MemorySink(EventSink):
+    """Keeps events in :attr:`events` for inspection (tests, benches)."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, object]] = []
+        self._lock = threading.Lock()
+
+    def write(self, event: Mapping[str, object]) -> None:
+        with self._lock:
+            self.events.append(dict(event))
+
+    def of_type(self, event_type: str) -> list[dict[str, object]]:
+        """Events of one type, in emission order."""
+        with self._lock:
+            return [e for e in self.events if e.get("type") == event_type]
+
+
+class JsonlSink(EventSink):
+    """Writes the JSONL run manifest at ``path`` (parents created)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = self.path.open("w", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def write(self, event: Mapping[str, object]) -> None:
+        line = json.dumps(event, sort_keys=False, default=_json_fallback)
+        with self._lock:
+            if self._file.closed:
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+def _json_fallback(value: object) -> object:
+    """Serialize numpy scalars/arrays and paths without importing numpy."""
+    if hasattr(value, "tolist"):  # numpy array or scalar
+        return value.tolist()
+    if hasattr(value, "item"):  # other numpy-like scalar
+        return value.item()
+    if isinstance(value, Path):
+        return str(value)
+    return repr(value)

@@ -1,0 +1,151 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a named collection of three instrument
+kinds, modeled on the Prometheus client data model but with no external
+dependency and no background machinery:
+
+* :class:`Counter` — monotonically increasing totals (``solver.nfev``,
+  ``sweep.tasks``);
+* :class:`Gauge` — last-write-wins level readings (``sweep.workers``);
+* :class:`Histogram` — streaming summaries (count / sum / min / max /
+  mean) of an observed quantity, e.g. per-task wall seconds.  The
+  histogram keeps O(1) state, not samples, so it is safe on hot paths.
+
+All instruments are thread-safe (one lock per registry): the thread
+executor runs instrumented solver code concurrently in worker threads
+that share the process-global registry.  Snapshots are plain JSON-ready
+dictionaries; :func:`repro.bench.timing.write_bench_json` stamps one
+into every ``BENCH_*.json`` payload, and the manifest writer embeds one
+in the ``manifest_end`` event (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.exceptions import ParameterError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing total; negative increments are rejected."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ParameterError(
+                f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins level reading (may move in either direction)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of an observed quantity (O(1) state, no samples)."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> dict[str, float]:
+        """JSON-ready summary; empty histograms report zeros."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {"count": self.count, "sum": self.total, "min": self.min,
+                "max": self.max, "mean": self.total / self.count}
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms behind one lock.
+
+    Instruments are created on first use (``registry.counter("x").inc()``)
+    and a name maps to exactly one instrument kind — reusing a counter
+    name for a gauge raises :class:`~repro.exceptions.ParameterError`.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _get(self, table: dict, name: str, factory, kind: str):
+        with self._lock:
+            instrument = table.get(name)
+            if instrument is None:
+                for other_kind, other in (("counter", self._counters),
+                                          ("gauge", self._gauges),
+                                          ("histogram", self._histograms)):
+                    if other is not table and name in other:
+                        raise ParameterError(
+                            f"metric {name!r} already registered as a "
+                            f"{other_kind}, cannot reuse it as a {kind}")
+                instrument = table[name] = factory(name)
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, Counter, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges, name, Gauge, "gauge")
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(self._histograms, name, Histogram, "histogram")
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Shorthand: ``registry.counter(name).inc(amount)``."""
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Shorthand: ``registry.histogram(name).observe(value)``."""
+        self.histogram(name).observe(value)
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """JSON-ready snapshot of every instrument.
+
+        Layout (the ``metrics`` block of bench payloads and the
+        ``manifest_end`` event)::
+
+            {"counters": {name: total, ...},
+             "gauges": {name: value, ...},
+             "histograms": {name: {count, sum, min, max, mean}, ...}}
+        """
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
+                "histograms": {n: h.summary()
+                               for n, h in self._histograms.items()},
+            }

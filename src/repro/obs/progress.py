@@ -1,0 +1,132 @@
+"""Progress aggregation for parallel sweeps, ensembles, and experiments.
+
+The executors in :mod:`repro.parallel` report each finished chunk to a
+:class:`ProgressAggregator`: per-task wall times measured worker-side,
+the worker tag that ran the chunk, and its busy interval.  The
+aggregator turns that stream into
+
+* **live progress lines** on stderr (``--progress``) — carriage-return
+  rewritten on a TTY, one line per update otherwise, throttled to at
+  most ~5 lines/second so log files stay readable;
+* a **post-run summary** — task/error counts, wall time, per-worker
+  busy seconds, utilization (busy ÷ workers × wall), and the slowest
+  tasks — returned as a dict and emitted as a ``progress_summary``
+  event.
+
+Timing is collected worker-side with the monotonic clock and only
+*durations* cross process boundaries, so the numbers are valid even
+under the process backend where clocks are not comparable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Mapping, TextIO
+
+__all__ = ["ProgressAggregator", "summary_text"]
+
+#: Minimum seconds between rendered progress lines.
+_RENDER_INTERVAL = 0.2
+
+#: How many slowest tasks the summary keeps.
+_SLOWEST_KEPT = 5
+
+
+class ProgressAggregator:
+    """Aggregates per-task timings and worker heartbeats for one map."""
+
+    def __init__(self, name: str, total: int, workers: int, *,
+                 live: bool = False, stream: TextIO | None = None) -> None:
+        self.name = name
+        self.total = int(total)
+        self.workers = int(workers)
+        self.live = bool(live)
+        self._stream = stream if stream is not None else sys.stderr
+        self._t0 = time.perf_counter()
+        self._last_render = 0.0
+        self._rendered = False
+        self.done = 0
+        self.errors = 0
+        self.busy_by_worker: dict[str, float] = {}
+        self._slowest: list[tuple[float, int, object]] = []
+
+    # -- ingest ------------------------------------------------------------
+    def task_done(self, index: int, seconds: float, ok: bool,
+                  point: object = None) -> None:
+        """Record one finished task (called in deterministic chunk order)."""
+        self.done += 1
+        if not ok:
+            self.errors += 1
+        self._slowest.append((float(seconds), int(index), point))
+        if len(self._slowest) > 4 * _SLOWEST_KEPT:
+            self._slowest.sort(reverse=True)
+            del self._slowest[_SLOWEST_KEPT:]
+        if self.live:
+            self._render()
+
+    def chunk_done(self, worker: str, busy_seconds: float) -> None:
+        """Record one worker heartbeat (a chunk's busy interval)."""
+        self.busy_by_worker[worker] = (
+            self.busy_by_worker.get(worker, 0.0) + float(busy_seconds))
+
+    # -- output ------------------------------------------------------------
+    def _render(self, final: bool = False) -> None:
+        now = time.perf_counter()
+        if not final and now - self._last_render < _RENDER_INTERVAL:
+            return
+        self._last_render = now
+        elapsed = now - self._t0
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        line = (f"[{self.name}] {self.done}/{self.total} tasks"
+                f"  {rate:.1f}/s  {self.workers} worker"
+                f"{'s' if self.workers != 1 else ''}  {elapsed:.1f}s"
+                + (f"  {self.errors} errors" if self.errors else ""))
+        if self._stream.isatty():
+            end = "\n" if final else ""
+            print(f"\r\x1b[2K{line}", end=end, file=self._stream, flush=True)
+        else:
+            print(line, file=self._stream, flush=True)
+        self._rendered = True
+
+    def finish(self) -> dict[str, object]:
+        """Render the final line (live mode) and return the summary dict."""
+        if self.live:
+            self._render(final=True)
+        wall = time.perf_counter() - self._t0
+        busy = sum(self.busy_by_worker.values())
+        denom = self.workers * wall
+        self._slowest.sort(reverse=True)
+        slowest = [
+            {"index": index, "seconds": round(seconds, 6),
+             **({"point": point} if point is not None else {})}
+            for seconds, index, point in self._slowest[:_SLOWEST_KEPT]
+        ]
+        return {
+            "name": self.name,
+            "tasks": self.done,
+            "errors": self.errors,
+            "wall_seconds": round(wall, 6),
+            "workers": self.workers,
+            "busy_seconds": round(busy, 6),
+            "utilization": round(busy / denom, 4) if denom > 0 else 0.0,
+            "busy_by_worker": {worker: round(seconds, 6) for worker, seconds
+                               in sorted(self.busy_by_worker.items())},
+            "slowest": slowest,
+        }
+
+
+def summary_text(summary: Mapping[str, object]) -> str:
+    """One-paragraph human rendering of a :meth:`finish` summary."""
+    lines = [
+        f"{summary['name']}: {summary['tasks']} tasks in "
+        f"{summary['wall_seconds']:.2f}s on {summary['workers']} worker(s), "
+        f"utilization {float(summary['utilization']) * 100:.0f}%, "
+        f"{summary['errors']} errors",
+    ]
+    for entry in summary["slowest"]:  # type: ignore[union-attr]
+        point = entry.get("point")
+        suffix = f"  point={point!r}" if point is not None else ""
+        lines.append(f"  slowest: task {entry['index']} "
+                     f"{entry['seconds']:.3f}s{suffix}")
+    return "\n".join(lines)

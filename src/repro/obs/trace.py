@@ -1,0 +1,190 @@
+"""The observer: span-based tracing, event emission, and the runtime hook.
+
+One :class:`Observer` represents one observed run.  It owns a metrics
+registry, an event sink (usually the JSONL manifest), and a monotonic
+clock anchored at construction; everything instrumented code needs goes
+through its :meth:`~Observer.emit` / :meth:`~Observer.span` methods.
+
+Instrumented library code never takes an observer parameter.  It asks
+the module-global hook::
+
+    ob = get_observer()
+    if ob is not None:
+        ob.emit("solver", ...)
+
+With no observer installed, ``get_observer()`` is a single global read
+returning ``None`` — the disabled path adds no measurable overhead and
+cannot perturb results (see the bitwise-equality tests in
+``tests/test_obs_integration.py``).  :func:`observing` installs an
+observer for a ``with`` block and writes the ``manifest_start`` /
+``manifest_end`` framing events around it.
+
+Process-pool safety: an observer records its owning PID and silently
+drops events emitted from a forked child, so process-backend workers
+that inherit the global hook cannot corrupt the parent's manifest.
+Worker telemetry for the process backend is instead captured
+structurally in chunk results and emitted parent-side (see
+:mod:`repro.parallel.executor`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from datetime import datetime, timezone
+from typing import Iterator, Mapping
+
+from repro.obs.events import OBS_SCHEMA
+from repro.obs.manifest import EventSink, JsonlSink, MemorySink, NullSink
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Observer", "get_observer", "install", "uninstall",
+           "observing", "span"]
+
+
+class Observer:
+    """One observed run: clock + metrics registry + event sink.
+
+    Parameters
+    ----------
+    sink:
+        Event destination; default :class:`~repro.obs.manifest.NullSink`.
+    progress:
+        When true, the parallel executors render live progress lines to
+        stderr (the CLI ``--progress`` flag).
+    run:
+        Free-form metadata describing the run (argv, preset, ...);
+        written into the ``manifest_start`` event.
+    """
+
+    def __init__(self, sink: EventSink | None = None, *,
+                 progress: bool = False,
+                 run: Mapping[str, object] | None = None) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self.metrics = MetricsRegistry()
+        self.progress = bool(progress)
+        self.run = dict(run) if run else {}
+        self.pid = os.getpid()
+        self.t0 = time.perf_counter()
+        self.events_written = 0
+        self._closed = False
+
+    # -- clock -------------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since the observer was created (monotonic)."""
+        return time.perf_counter() - self.t0
+
+    # -- event emission ----------------------------------------------------
+    def emit(self, event_type: str, **fields: object) -> None:
+        """Write one event to the sink, stamping ``type`` and ``t``.
+
+        Events emitted from a forked child process (different PID) are
+        dropped — the parent owns the manifest.
+        """
+        if self._closed or os.getpid() != self.pid:
+            return
+        event: dict[str, object] = {"type": event_type,
+                                    "t": round(self.now(), 6)}
+        event.update(fields)
+        self.sink.write(event)
+        self.events_written += 1
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[None]:
+        """Time a block and emit a ``span`` event when it exits.
+
+        The event is emitted even when the block raises (the span then
+        carries ``"error": <exception type>``), so manifests show where
+        a failed run spent its time.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        except BaseException as exc:
+            self.emit("span", name=name,
+                      seconds=round(time.perf_counter() - start, 6),
+                      attrs=dict(attrs), error=type(exc).__name__)
+            raise
+        self.emit("span", name=name,
+                  seconds=round(time.perf_counter() - start, 6),
+                  attrs=dict(attrs))
+
+    # -- lifecycle ---------------------------------------------------------
+    def open_manifest(self) -> None:
+        """Write the ``manifest_start`` framing event."""
+        self.emit("manifest_start", schema=OBS_SCHEMA,
+                  created_utc=datetime.now(timezone.utc).isoformat(
+                      timespec="seconds"),
+                  run=self.run)
+
+    def close_manifest(self) -> None:
+        """Write ``manifest_end`` (with the metrics snapshot) and close."""
+        if self._closed:
+            return
+        self.emit("manifest_end", events=self.events_written + 1,
+                  wall_seconds=round(self.now(), 6),
+                  metrics=self.metrics.snapshot())
+        self._closed = True
+        self.sink.close()
+
+
+#: The installed observer, or ``None`` when observability is disabled.
+_OBSERVER: Observer | None = None
+
+
+def get_observer() -> Observer | None:
+    """The active observer, or ``None`` — the hook instrumented code polls."""
+    return _OBSERVER
+
+
+def install(observer: Observer) -> None:
+    """Install ``observer`` as the process-global hook."""
+    global _OBSERVER
+    _OBSERVER = observer
+
+
+def uninstall() -> None:
+    """Remove the global hook (instrumentation reverts to no-ops)."""
+    global _OBSERVER
+    _OBSERVER = None
+
+
+@contextmanager
+def observing(trace_out: str | os.PathLike | None = None, *,
+              progress: bool = False,
+              run: Mapping[str, object] | None = None,
+              sink: EventSink | None = None) -> Iterator[Observer]:
+    """Observe a block: install an observer, frame and close its manifest.
+
+    ``trace_out`` selects the JSONL manifest path; with ``trace_out``
+    omitted and no explicit ``sink``, events go to a
+    :class:`~repro.obs.manifest.MemorySink` (inspectable on the yielded
+    observer) so metrics and progress still work.  Nesting is not
+    supported: the previous hook, if any, is restored on exit.
+    """
+    if sink is None:
+        sink = JsonlSink(trace_out) if trace_out is not None else MemorySink()
+    observer = Observer(sink, progress=progress, run=run)
+    previous = get_observer()
+    install(observer)
+    observer.open_manifest()
+    try:
+        yield observer
+    finally:
+        observer.close_manifest()
+        if previous is not None:
+            install(previous)
+        else:
+            uninstall()
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[None]:
+    """Module-level span helper: no-op when no observer is installed."""
+    ob = get_observer()
+    if ob is None:
+        yield
+        return
+    with ob.span(name, **attrs):
+        yield

@@ -42,12 +42,16 @@ from __future__ import annotations
 import math
 import os
 import pickle
+import threading
+import time
 import traceback
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence
 
 from repro.exceptions import ParameterError, SweepError
+from repro.obs.progress import ProgressAggregator
+from repro.obs.trace import get_observer
 
 __all__ = [
     "ParallelExecutor",
@@ -69,24 +73,40 @@ def available_cpus() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def _worker_tag() -> str:
+    """Stable worker identity: owning PID plus thread for thread pools."""
+    thread = threading.current_thread()
+    if thread is threading.main_thread():
+        return f"pid-{os.getpid()}"
+    return f"pid-{os.getpid()}/{thread.name}"
+
+
 def _run_chunk(fn: Callable[[object], object],
-               chunk: Sequence[object]) -> list[tuple]:
+               chunk: Sequence[object]) -> tuple[str, float, list[tuple]]:
     """Run one chunk of tasks, capturing per-task failures structurally.
 
     Runs inside the worker (thread, process, or the caller for the
-    serial backend).  Never raises: every outcome is either
-    ``("ok", value)`` or ``("err", type_name, message, traceback)`` so
-    process workers ship failures back as plain strings instead of
-    pickled exception objects.
+    serial backend).  Never raises: the return value is
+    ``(worker_tag, busy_seconds, outcomes)`` where every outcome is
+    either ``("ok", value, seconds)`` or
+    ``("err", type_name, message, traceback, seconds)`` so process
+    workers ship failures back as plain strings instead of pickled
+    exception objects, and per-task wall times travel structurally
+    (worker clocks are not comparable across processes, so only
+    durations cross the boundary).
     """
+    chunk_start = time.perf_counter()
     outcomes: list[tuple] = []
     for task in chunk:
+        task_start = time.perf_counter()
         try:
-            outcomes.append((_OK, fn(task)))
+            value = fn(task)
+            outcomes.append((_OK, value, time.perf_counter() - task_start))
         except BaseException as exc:  # noqa: BLE001 - reported structurally
             outcomes.append((_ERR, type(exc).__name__, str(exc),
-                             traceback.format_exc()))
-    return outcomes
+                             traceback.format_exc(),
+                             time.perf_counter() - task_start))
+    return _worker_tag(), time.perf_counter() - chunk_start, outcomes
 
 
 def _make_chunks(n_tasks: int, n_chunks: int) -> list[range]:
@@ -121,6 +141,7 @@ class ParallelExecutor(ABC):
                   tasks: Sequence[object], *,
                   chunk_size: int | None = None,
                   describe: Callable[[int, object], object] | None = None,
+                  label: str = "map",
                   ) -> list[object]:
         """Apply ``fn`` to every task; results in task order.
 
@@ -137,6 +158,9 @@ class ParallelExecutor(ABC):
         describe:
             Maps ``(task_index, task)`` to the parameter point reported
             on failure; defaults to the task payload itself.
+        label:
+            Name stamped on per-task/worker telemetry events when an
+            observer is installed (e.g. ``"sweep"``, ``"ensemble"``).
         """
         tasks = list(tasks)
         if not tasks:
@@ -148,16 +172,51 @@ class ParallelExecutor(ABC):
         else:
             n_chunks = math.ceil(len(tasks) / chunk_size)
         chunks = _make_chunks(len(tasks), n_chunks)
+
+        observer = get_observer()
+        aggregator: ProgressAggregator | None = None
+        if observer is not None:
+            aggregator = ProgressAggregator(
+                label, len(tasks), self.workers, live=observer.progress)
+
+        def on_chunk(chunk_index: int,
+                     chunk_result: tuple[str, float, list[tuple]]) -> None:
+            # Runs in the parent as chunk results arrive (submission
+            # order), so live progress shows up during the sweep instead
+            # of after it.
+            if observer is None or aggregator is None:
+                return
+            worker, busy_seconds, outcomes = chunk_result
+            observer.emit("worker", worker=worker, chunk=chunk_index,
+                          tasks=len(outcomes),
+                          busy_seconds=round(busy_seconds, 6))
+            aggregator.chunk_done(worker, busy_seconds)
+            for index, outcome in zip(chunks[chunk_index], outcomes):
+                ok = outcome[0] == _OK
+                seconds = outcome[-1]
+                point = describe(index, tasks[index]) if describe else None
+                observer.emit("task", name=label, index=index,
+                              seconds=round(seconds, 6), ok=ok)
+                aggregator.task_done(index, seconds, ok, point=point)
+                observer.metrics.inc("parallel.tasks")
+                if not ok:
+                    observer.metrics.inc("parallel.task_errors")
+                observer.metrics.observe("parallel.task_seconds", seconds)
+
         outcome_chunks = self._execute(
-            fn, [[tasks[i] for i in chunk] for chunk in chunks])
+            fn, [[tasks[i] for i in chunk] for chunk in chunks], on_chunk)
+
+        if observer is not None and aggregator is not None:
+            summary = aggregator.finish()
+            observer.emit("progress_summary", **summary)
 
         results: list[object] = [None] * len(tasks)
-        for chunk, outcomes in zip(chunks, outcome_chunks):
+        for chunk, (_worker, _busy, outcomes) in zip(chunks, outcome_chunks):
             for index, outcome in zip(chunk, outcomes):
                 if outcome[0] == _OK:
                     results[index] = outcome[1]
                     continue
-                _tag, error_type, message, worker_tb = outcome
+                _tag, error_type, message, worker_tb = outcome[:4]
                 point = describe(index, tasks[index]) if describe else tasks[index]
                 raise SweepError(
                     f"sweep task {index} failed at point {point!r}: "
@@ -170,8 +229,14 @@ class ParallelExecutor(ABC):
     # -- backend hook ------------------------------------------------------
     @abstractmethod
     def _execute(self, fn: Callable[[object], object],
-                 chunks: list[list[object]]) -> list[list[tuple]]:
-        """Run every chunk, returning outcome lists aligned with ``chunks``."""
+                 chunks: list[list[object]],
+                 on_chunk: Callable[[int, tuple], None] | None = None,
+                 ) -> list[tuple[str, float, list[tuple]]]:
+        """Run every chunk, returning chunk results aligned with ``chunks``.
+
+        ``on_chunk(chunk_index, chunk_result)`` — when given — must be
+        invoked in the parent, in submission order, as results arrive.
+        """
 
 
 class SerialExecutor(ParallelExecutor):
@@ -182,8 +247,14 @@ class SerialExecutor(ParallelExecutor):
     def __init__(self, workers: int = 1) -> None:
         super().__init__(1)
 
-    def _execute(self, fn, chunks):
-        return [_run_chunk(fn, chunk) for chunk in chunks]
+    def _execute(self, fn, chunks, on_chunk=None):
+        chunk_results = []
+        for chunk_index, chunk in enumerate(chunks):
+            result = _run_chunk(fn, chunk)
+            if on_chunk is not None:
+                on_chunk(chunk_index, result)
+            chunk_results.append(result)
+        return chunk_results
 
 
 class ThreadExecutor(ParallelExecutor):
@@ -191,10 +262,16 @@ class ThreadExecutor(ParallelExecutor):
 
     backend = "thread"
 
-    def _execute(self, fn, chunks):
+    def _execute(self, fn, chunks, on_chunk=None):
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-            return [future.result() for future in futures]
+            chunk_results = []
+            for chunk_index, future in enumerate(futures):
+                result = future.result()
+                if on_chunk is not None:
+                    on_chunk(chunk_index, result)
+                chunk_results.append(result)
+            return chunk_results
 
 
 class ProcessExecutor(ParallelExecutor):
@@ -202,7 +279,7 @@ class ProcessExecutor(ParallelExecutor):
 
     backend = "process"
 
-    def _execute(self, fn, chunks):
+    def _execute(self, fn, chunks, on_chunk=None):
         try:
             pickle.dumps(fn)
         except Exception as exc:
@@ -213,10 +290,10 @@ class ProcessExecutor(ParallelExecutor):
             ) from None
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-            outcome_chunks = []
+            chunk_results = []
             for chunk_index, future in enumerate(futures):
                 try:
-                    outcome_chunks.append(future.result())
+                    result = future.result()
                 except SweepError:
                     raise
                 except BaseException as exc:
@@ -233,7 +310,10 @@ class ProcessExecutor(ParallelExecutor):
                         f"{type(exc).__name__}: {exc}{hint}",
                         error_type=type(exc).__name__,
                     ) from None
-            return outcome_chunks
+                if on_chunk is not None:
+                    on_chunk(chunk_index, result)
+                chunk_results.append(result)
+            return chunk_results
 
 
 class VectorizedExecutor(ParallelExecutor):
@@ -273,8 +353,8 @@ class VectorizedExecutor(ParallelExecutor):
         chunk = self.chunk_size or self.DEFAULT_CHUNK
         return max(1, min(chunk, n_points))
 
-    def _execute(self, fn, chunks):
-        return [_run_chunk(fn, chunk) for chunk in chunks]
+    def _execute(self, fn, chunks, on_chunk=None):
+        return SerialExecutor._execute(self, fn, chunks, on_chunk)
 
 
 BACKENDS: dict[str, type[ParallelExecutor]] = {

@@ -27,7 +27,12 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 from repro.networks.graph import Graph
-from repro.parallel.executor import ParallelExecutor, resolve_executor
+from repro.obs.log import warning as obs_warning
+from repro.parallel.executor import (
+    ParallelExecutor,
+    VectorizedExecutor,
+    resolve_executor,
+)
 from repro.parallel.seeding import spawn_seeds, task_rng
 from repro.simulation.agent_based import (
     AgentBasedConfig,
@@ -77,9 +82,18 @@ def run_ensemble(graph: Graph, seeds: np.ndarray, config: EnsembleConfig, *,
     run_seeds = spawn_seeds(base_seed, n_runs)
     tasks = [(graph, seeds, config, seed) for seed in run_seeds]
     resolved = resolve_executor(executor)
+    if isinstance(resolved, VectorizedExecutor):
+        # Same results, no speedup — say so once, structurally, instead
+        # of silently degrading to the serial loop.
+        obs_warning("ensemble.vectorized_fallback",
+                    once="ensemble.vectorized_fallback",
+                    backend="vectorized", fallback="serial",
+                    reason="stochastic realizations draw independent rng "
+                           "streams and cannot be stacked")
     return resolved.map_tasks(
         _run_realization, tasks, chunk_size=chunk_size,
         describe=lambda index, _task: {"run": index, "base_seed": base_seed},
+        label="ensemble",
     )
 
 

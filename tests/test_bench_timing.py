@@ -90,3 +90,31 @@ class TestSingleCoreWarnings:
     def test_ignores_records_without_worker_meta(self):
         records = [BenchRecord("x", 1.0)]
         assert single_core_warnings(records, cpu_count=1) == []
+
+
+class TestMetricsBlock:
+    RECORD = [BenchRecord("x", 1.0)]
+
+    def test_block_always_present_and_empty_by_default(self, tmp_path):
+        write_bench_json(tmp_path / "b.json", self.RECORD)
+        payload = read_bench_json(tmp_path / "b.json")
+        assert payload["metrics"] == {"counters": {}, "gauges": {},
+                                      "histograms": {}}
+
+    def test_explicit_snapshot_wins(self, tmp_path):
+        snapshot = {"counters": {"solver.runs": 3.0}, "gauges": {},
+                    "histograms": {}}
+        write_bench_json(tmp_path / "b.json", self.RECORD, metrics=snapshot)
+        payload = read_bench_json(tmp_path / "b.json")
+        assert payload["metrics"]["counters"]["solver.runs"] == 3.0
+
+    def test_active_observer_registry_is_captured(self, tmp_path):
+        from repro.obs.trace import observing
+
+        with observing():
+            from repro.obs.trace import get_observer
+
+            get_observer().metrics.inc("bench.calls", 2)
+            write_bench_json(tmp_path / "b.json", self.RECORD)
+        payload = read_bench_json(tmp_path / "b.json")
+        assert payload["metrics"]["counters"]["bench.calls"] == 2.0

@@ -73,3 +73,39 @@ class TestCommands:
     def test_threshold_spreading_verdict(self, capsys):
         assert main(["threshold", "--eps1", "0.01", "--eps2", "0.01"]) == 0
         assert "SPREADING" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["threshold"])
+        assert args.log_level == "warning"
+        assert args.trace_out is None
+        assert args.progress is False
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--log-level", "debug", "--trace-out", "run.jsonl",
+             "--progress", "threshold"])
+        assert args.log_level == "debug"
+        assert args.trace_out == "run.jsonl"
+        assert args.progress is True
+
+    def test_invalid_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--log-level", "loud", "threshold"])
+
+    def test_trace_out_writes_valid_manifest(self, tmp_path: Path, capsys):
+        from repro.obs.events import validate_manifest
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["--trace-out", str(path), "threshold"]) == 0
+        events = validate_manifest(path)
+        assert events[0]["run"]["command"] == "threshold"
+        assert events[-1]["type"] == "manifest_end"
+
+    def test_no_observer_leaks_after_main(self, tmp_path: Path):
+        from repro.obs.trace import get_observer
+
+        assert main(["--trace-out", str(tmp_path / "t.jsonl"),
+                     "threshold"]) == 0
+        assert get_observer() is None
