@@ -45,7 +45,7 @@ if "repro" not in sys.modules:  # allow `python benchmarks/bench_batched.py`
 from repro.analysis.sweep import SweepResult, sweep_grid  # noqa: E402
 from repro.bench.timing import (  # noqa: E402
     BenchRecord,
-    time_call,
+    time_call_samples,
     write_bench_json,
 )
 from repro.bench.workloads import (  # noqa: E402
@@ -87,17 +87,21 @@ def _max_rel_diff(reference: SweepResult, other: SweepResult) -> float:
 
 def _bench_workload(name: str, axes: dict, chunk_size: int | None,
                     records: list[BenchRecord],
-                    derived: dict[str, object]) -> None:
+                    derived: dict[str, object], *,
+                    repeat: int = 1) -> None:
     """Time one workload serially and batched; append records in place."""
     point_fn = WORKLOADS[name]
     executor = VectorizedExecutor(chunk_size=chunk_size)
     n_points = len(axes["eps1"]) * len(axes["eps2"])
     chunk = executor.batch_chunk_size(n_points)
 
-    serial, serial_seconds = time_call(
-        lambda: sweep_grid(axes, point_fn, executor="serial"))
-    batched, batched_seconds = time_call(
-        lambda: sweep_grid(axes, point_fn, executor=executor))
+    serial, serial_raw = time_call_samples(
+        lambda: sweep_grid(axes, point_fn, executor="serial"),
+        repeat=repeat)
+    batched, batched_raw = time_call_samples(
+        lambda: sweep_grid(axes, point_fn, executor=executor),
+        repeat=repeat)
+    serial_seconds, batched_seconds = min(serial_raw), min(batched_raw)
     assert isinstance(serial, SweepResult)
     assert isinstance(batched, SweepResult)
 
@@ -106,6 +110,8 @@ def _bench_workload(name: str, axes: dict, chunk_size: int | None,
     records.append(BenchRecord(f"{name}/serial", serial_seconds, {
         "backend": "serial", "workers": 1, "points": len(serial),
         "points_per_second": len(serial) / serial_seconds,
+        "repeat": repeat,
+        "raw_seconds": [round(s, 6) for s in serial_raw],
     }))
     records.append(BenchRecord(f"{name}/vectorized", batched_seconds, {
         "backend": "vectorized", "workers": 1, "points": len(batched),
@@ -113,6 +119,8 @@ def _bench_workload(name: str, axes: dict, chunk_size: int | None,
         "points_per_second": len(batched) / batched_seconds,
         "speedup_vs_serial": speedup,
         "max_rel_diff_vs_serial": rel,
+        "repeat": repeat,
+        "raw_seconds": [round(s, 6) for s in batched_raw],
     }))
     derived.setdefault("speedup_vs_serial", {})[name] = speedup
     derived.setdefault("max_rel_diff_vs_serial", {})[name] = rel
@@ -120,12 +128,13 @@ def _bench_workload(name: str, axes: dict, chunk_size: int | None,
 
 def run_benchmark(*, points: int = 64, chunk_size: int | None = None,
                   workloads: Sequence[str] = tuple(WORKLOADS),
-                  smoke: bool = False,
+                  smoke: bool = False, repeat: int = 3,
                   out: str | Path | None = DEFAULT_OUT) -> dict[str, object]:
     """Time each workload serial vs batched; return the written payload."""
     if smoke:
         points = min(points, 4)
         workloads = ["cache_resident_sweep"]
+        repeat = min(repeat, 2)
     n1, n2 = _grid_shape(points)
     axes = severity_axes(n1, n2)
     workload_meta = {
@@ -133,6 +142,7 @@ def run_benchmark(*, points: int = 64, chunk_size: int | None = None,
         "points": n1 * n2,
         "axes": {"eps1": n1, "eps2": n2},
         "accuracy_rtol": ACCURACY_RTOL,
+        "repeat": repeat,
     }
 
     records: list[BenchRecord] = []
@@ -142,7 +152,8 @@ def run_benchmark(*, points: int = 64, chunk_size: int | None = None,
     # payload (the BENCH_batched.json CI check requires the block).
     with observing(run={"bench": "batched", "points": n1 * n2}) as observer:
         for name in workloads:
-            _bench_workload(name, axes, chunk_size, records, derived)
+            _bench_workload(name, axes, chunk_size, records, derived,
+                            repeat=repeat)
         metrics_snapshot = observer.metrics.snapshot()
     derived["note"] = (
         "batched dopri45 step-locks to the serial solver, so metrics "
@@ -177,6 +188,8 @@ def run_benchmark(*, points: int = 64, chunk_size: int | None = None,
 
 def test_bench_batched_smoke(tmp_path) -> None:
     """Pytest hook: harness runs end to end and batched matches serial."""
+    import pytest
+
     from repro.bench.timing import read_bench_json
 
     out = tmp_path / "BENCH_batched.json"
@@ -189,6 +202,12 @@ def test_bench_batched_smoke(tmp_path) -> None:
     # under an observer, so solver counters must have accumulated).
     assert set(on_disk["metrics"]) == {"counters", "gauges", "histograms"}
     assert on_disk["metrics"]["counters"].get("solver.runs", 0) > 0
+    # Raw per-repeat timings: the noise-floor input of obs compare.
+    for record in on_disk["records"]:
+        raw = record["meta"]["raw_seconds"]
+        assert len(raw) == record["meta"]["repeat"] >= 2
+        assert min(raw) == pytest.approx(record["wall_seconds"],
+                                         abs=1e-6)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -205,11 +224,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="workloads to time (default: both)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny cache-resident workload for CI")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repeats per measurement; raw "
+                             "per-repeat times are recorded (default 3)")
     parser.add_argument("--out", default=str(DEFAULT_OUT),
                         help=f"output JSON path (default {DEFAULT_OUT})")
     args = parser.parse_args(argv)
     run_benchmark(points=args.points, chunk_size=args.chunk,
-                  workloads=args.workloads, smoke=args.smoke, out=args.out)
+                  workloads=args.workloads, smoke=args.smoke,
+                  repeat=args.repeat, out=args.out)
     return 0
 
 

@@ -32,7 +32,7 @@ from repro.analysis.sweep import SweepResult, sweep_grid  # noqa: E402
 from repro.bench.timing import (  # noqa: E402
     BenchRecord,
     single_core_warnings,
-    time_call,
+    time_call_samples,
     write_bench_json,
 )
 from repro.bench.workloads import (  # noqa: E402
@@ -55,7 +55,7 @@ def _grid_shape(points: int) -> tuple[int, int]:
 
 def run_benchmark(*, points: int = 64, workers: int | None = None,
                   backends: Sequence[str] = ("serial", "thread", "process"),
-                  smoke: bool = False,
+                  smoke: bool = False, repeat: int = 3,
                   out: str | Path | None = DEFAULT_OUT) -> dict[str, object]:
     """Time the sweep under each backend; return the written payload."""
     workers = workers if workers is not None else min(4, available_cpus())
@@ -63,6 +63,7 @@ def run_benchmark(*, points: int = 64, workers: int | None = None,
         smoke_threshold_point if smoke else digg_threshold_point)
     if smoke:
         points = min(points, 4)
+        repeat = min(repeat, 2)
     n1, n2 = _grid_shape(points)
     axes = severity_axes(n1, n2)
     workload = {
@@ -70,6 +71,7 @@ def run_benchmark(*, points: int = 64, workers: int | None = None,
         "points": n1 * n2,
         "axes": {"eps1": n1, "eps2": n2},
         "workers": workers,
+        "repeat": repeat,
     }
 
     records: list[BenchRecord] = []
@@ -79,8 +81,10 @@ def run_benchmark(*, points: int = 64, workers: int | None = None,
     for backend in backends:
         executor = (resolve_executor("serial") if backend == "serial"
                     else resolve_executor(backend, workers))
-        result, seconds = time_call(
-            lambda: sweep_grid(axes, point_fn, executor=executor))
+        result, raw = time_call_samples(
+            lambda: sweep_grid(axes, point_fn, executor=executor),
+            repeat=repeat)
+        seconds = min(raw)
         assert isinstance(result, SweepResult)
         if backend == "serial":
             reference, serial_seconds = result, seconds
@@ -91,6 +95,8 @@ def run_benchmark(*, points: int = 64, workers: int | None = None,
             "workers": 1 if backend == "serial" else workers,
             "points": len(result),
             "points_per_second": len(result) / seconds,
+            "repeat": repeat,
+            "raw_seconds": [round(s, 6) for s in raw],
         }
         if backend != "serial" and serial_seconds is not None:
             meta["speedup_vs_serial"] = serial_seconds / seconds
@@ -105,9 +111,11 @@ def run_benchmark(*, points: int = 64, workers: int | None = None,
     if reference is not None and serial_seconds is not None:
         serial_executor = resolve_executor("serial")
         with observing(run={"bench": "obs_overhead"}) as observer:
-            obs_result, obs_seconds = time_call(
-                lambda: sweep_grid(axes, point_fn, executor=serial_executor))
+            obs_result, obs_raw = time_call_samples(
+                lambda: sweep_grid(axes, point_fn, executor=serial_executor),
+                repeat=repeat)
             obs_metrics = observer.metrics.snapshot()
+        obs_seconds = min(obs_raw)
         assert isinstance(obs_result, SweepResult)
         identical["serial+obs"] = reference.bitwise_equal(obs_result)
         obs_overhead_ratio = obs_seconds / serial_seconds
@@ -116,6 +124,8 @@ def run_benchmark(*, points: int = 64, workers: int | None = None,
             "points_per_second": len(obs_result) / obs_seconds,
             "observer": True,
             "overhead_vs_serial": obs_overhead_ratio,
+            "repeat": repeat,
+            "raw_seconds": [round(s, 6) for s in obs_raw],
         }))
 
     parallel_speedups = {
@@ -162,6 +172,9 @@ def test_bench_parallel_smoke(tmp_path) -> None:
     # The observability overhead run is part of the bitwise map too.
     assert "serial+obs" in payload["derived"]["bitwise_identical_to_serial"]
     assert payload["derived"]["obs_overhead_ratio"] is not None
+    for record in payload["records"]:
+        assert len(record["meta"]["raw_seconds"]) == \
+            record["meta"]["repeat"] >= 2
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -179,11 +192,15 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="backends to time (serial is the reference)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workload for CI (seconds, not minutes)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repeats per measurement; raw "
+                             "per-repeat times are recorded (default 3)")
     parser.add_argument("--out", default=str(DEFAULT_OUT),
                         help=f"output JSON path (default {DEFAULT_OUT})")
     args = parser.parse_args(argv)
     run_benchmark(points=args.points, workers=args.workers,
-                  backends=args.backends, smoke=args.smoke, out=args.out)
+                  backends=args.backends, smoke=args.smoke,
+                  repeat=args.repeat, out=args.out)
     return 0
 
 

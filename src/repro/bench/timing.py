@@ -6,6 +6,8 @@ module owns the measurement and the file format (documented in
 ``docs/PARALLEL.md``):
 
 * :func:`time_call` — wall-clock one callable (best-of-``repeat``);
+* :func:`time_call_samples` — the same, returning every repeat's raw
+  wall time (the noise-floor input of ``repro obs compare``);
 * :class:`BenchRecord` — one named measurement plus free-form metadata;
 * :func:`write_bench_json` / :func:`read_bench_json` — the on-disk
   schema, versioned via the ``schema`` field;
@@ -31,6 +33,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "BenchRecord",
     "time_call",
+    "time_call_samples",
     "machine_info",
     "write_bench_json",
     "read_bench_json",
@@ -67,24 +70,37 @@ class BenchRecord:
                 "meta": dict(self.meta)}
 
 
+def time_call_samples(fn: Callable[[], object], *,
+                      repeat: int = 1) -> tuple[object, list[float]]:
+    """Run ``fn`` ``repeat`` times; return (last result, all wall times).
+
+    The raw per-repeat times, in run order, are what
+    ``repro obs compare`` uses to estimate a measurement's noise floor
+    — aggregates alone cannot distinguish a 20% regression from a 20%
+    scheduler hiccup, but the spread across repeats can.
+    """
+    if repeat < 1:
+        raise ParameterError(f"repeat must be >= 1, got {repeat}")
+    samples: list[float] = []
+    result: object = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return result, samples
+
+
 def time_call(fn: Callable[[], object], *,
               repeat: int = 1) -> tuple[object, float]:
     """Run ``fn`` ``repeat`` times; return (last result, best seconds).
 
     Best-of-``repeat`` suppresses scheduler noise without averaging away
     a cold-cache first run's information — the standard benchmarking
-    convention (cf. ``timeit``).
+    convention (cf. ``timeit``).  Use :func:`time_call_samples` when the
+    per-repeat raw times are needed as well.
     """
-    if repeat < 1:
-        raise ParameterError(f"repeat must be >= 1, got {repeat}")
-    best = float("inf")
-    result: object = None
-    for _ in range(repeat):
-        start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
-    return result, best
+    result, samples = time_call_samples(fn, repeat=repeat)
+    return result, min(samples)
 
 
 def machine_info() -> dict[str, object]:

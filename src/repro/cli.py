@@ -6,7 +6,11 @@ Subcommands:
   pipeline, writing CSV/ASCII artifacts;
 * ``threshold`` — compute r0 and the critical countermeasure surface for
   given rates on the Digg-compatible network;
-* ``dataset`` — print the Digg2009(-compatible) network summary.
+* ``dataset`` — print the Digg2009(-compatible) network summary;
+* ``obs {report, compare, validate}`` — the telemetry consumption
+  side: analyze a run manifest, diff two manifests or bench files with
+  regression gating (nonzero exit on regression — the CI perf gate),
+  or validate a manifest's schema.
 
 Global observability flags (before the subcommand):
 
@@ -15,7 +19,10 @@ Global observability flags (before the subcommand):
   traces, sweep task/worker telemetry, and experiment run framing;
 * ``--log-level {debug,info,warning,error}`` — stderr threshold for
   structured log lines (default: warning);
-* ``--progress`` — live progress lines for sweeps/ensembles.
+* ``--progress`` — live progress lines for sweeps/ensembles;
+* ``--profile-resources`` / ``--profile-phases`` — opt-in resource
+  profiling (tracemalloc span peaks / per-phase cProfile), adding the
+  ``repro-obs/2`` event types to the manifest.
 """
 
 from __future__ import annotations
@@ -41,9 +48,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: warning)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write a JSONL run manifest to PATH "
-                             "(schema repro-obs/1; see docs/OBSERVABILITY.md)")
+                             "(schema repro-obs/2; see docs/OBSERVABILITY.md)")
     parser.add_argument("--progress", action="store_true",
                         help="show live progress lines for sweeps/ensembles")
+    parser.add_argument("--profile-resources", action="store_true",
+                        help="emit a resource event (tracemalloc peak, "
+                             "peak RSS) for every span (repro-obs/2)")
+    parser.add_argument("--profile-phases", action="store_true",
+                        help="run experiment phases under cProfile and "
+                             "emit profile events (repro-obs/2)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     exp = sub.add_parser("experiment", help="run a figure reproduction")
@@ -97,6 +110,34 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--r0", type=float, default=4.0,
                       help="uncontrolled severity at the (0.2, 0.05) "
                            "reference rates")
+
+    obs = sub.add_parser(
+        "obs", help="analyze run manifests and bench files")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="timing/convergence report for one run manifest")
+    obs_report.add_argument("manifest", help="JSONL run manifest path")
+    obs_report.add_argument("--width", type=int, default=40,
+                            help="bar chart width (default 40)")
+    obs_compare = obs_sub.add_parser(
+        "compare", help="diff two manifests or two BENCH_*.json files; "
+                        "exits 1 on regression or shape drift")
+    obs_compare.add_argument("a", help="baseline manifest/bench file")
+    obs_compare.add_argument("b", help="candidate manifest/bench file")
+    obs_compare.add_argument("--wall-rtol", type=float, default=None,
+                             help="relative wall-time regression "
+                                  "threshold (default 0.25)")
+    obs_compare.add_argument("--nfev-rtol", type=float, default=None,
+                             help="relative solver-nfev threshold "
+                                  "(default 0.01)")
+    obs_compare.add_argument("--warn-only", action="store_true",
+                             help="downgrade timing/metric regressions to "
+                                  "warnings (shape drift still fails) — "
+                                  "for shared CI runners")
+    obs_validate = obs_sub.add_parser(
+        "validate", help="validate a manifest against repro-obs/1|2; "
+                         "exit 0/1")
+    obs_validate.add_argument("manifest", help="JSONL run manifest path")
     return parser
 
 
@@ -192,6 +233,42 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.exceptions import ParameterError
+
+    try:
+        if args.obs_command == "report":
+            from repro.obs.report import render_report
+
+            print(render_report(args.manifest, width=args.width))
+            return 0
+        if args.obs_command == "compare":
+            from repro.obs.compare import (
+                DEFAULT_NFEV_RTOL,
+                DEFAULT_WALL_RTOL,
+                compare_paths,
+            )
+
+            wall_rtol = (args.wall_rtol if args.wall_rtol is not None
+                         else DEFAULT_WALL_RTOL)
+            nfev_rtol = (args.nfev_rtol if args.nfev_rtol is not None
+                         else DEFAULT_NFEV_RTOL)
+            comparison = compare_paths(args.a, args.b, wall_rtol=wall_rtol,
+                                       nfev_rtol=nfev_rtol)
+            print(comparison.text(warn_only=args.warn_only))
+            return comparison.exit_code(warn_only=args.warn_only)
+        # validate
+        from repro.obs.events import validate_manifest
+
+        events = validate_manifest(args.manifest)
+        print(f"{args.manifest}: valid "
+              f"({events[0]['schema']}, {len(events)} events)")
+        return 0
+    except ParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     from repro.obs.log import set_level
@@ -204,12 +281,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         "dataset": _cmd_dataset,
         "report": _cmd_report,
         "plan": _cmd_plan,
+        "obs": _cmd_obs,
     }
     set_level(args.log_level)
-    if args.trace_out is None and not args.progress:
+    wants_observer = (args.trace_out is not None or args.progress
+                      or args.profile_resources or args.profile_phases)
+    if args.command == "obs" or not wants_observer:
         return handlers[args.command](args)
     run_info = {"command": args.command, "argv": list(argv or sys.argv[1:])}
-    with observing(args.trace_out, progress=args.progress, run=run_info):
+    with observing(args.trace_out, progress=args.progress, run=run_info,
+                   resources=args.profile_resources,
+                   profile=args.profile_phases):
         return handlers[args.command](args)
 
 

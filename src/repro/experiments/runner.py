@@ -19,6 +19,7 @@ from repro.exceptions import ParameterError
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4ab, run_fig4c
+from repro.obs.resources import maybe_profiled
 from repro.obs.trace import get_observer
 from repro.parallel.executor import ParallelExecutor, resolve_executor
 
@@ -100,7 +101,9 @@ def run_experiment(experiment_id: str,
 
     With an observer installed (see :mod:`repro.obs`), the run is framed
     by ``run_start``/``run_end`` manifest events carrying the summary
-    line and artifact list.
+    line and artifact list; with phase profiling enabled
+    (``--profile-phases``) the pipeline additionally runs under
+    cProfile and a ``profile`` event lands in the manifest.
     """
     try:
         runner = EXPERIMENTS[experiment_id]
@@ -115,7 +118,9 @@ def run_experiment(experiment_id: str,
     observer.emit("run_start", experiment=experiment_id,
                   out_dir=str(out_dir))
     start = time.perf_counter()
-    report = runner(Path(out_dir))
+    with observer.span(f"experiment.{experiment_id}"):
+        with maybe_profiled(f"experiment.{experiment_id}"):
+            report = runner(Path(out_dir))
     observer.emit("run_end", experiment=experiment_id,
                   summary=report.summary,
                   artifacts=[str(path) for path in report.artifacts],

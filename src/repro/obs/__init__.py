@@ -15,16 +15,31 @@ subsystem reports into (see ``docs/OBSERVABILITY.md``):
 * :mod:`repro.obs.log` — structured leveled logging to stderr and the
   manifest;
 * :mod:`repro.obs.progress` — live progress lines and post-run
-  summaries for the parallel executors.
+  summaries for the parallel executors;
+* :mod:`repro.obs.reader` — the streaming, truncation-tolerant
+  manifest reader with span-tree reconstruction;
+* :mod:`repro.obs.report` — per-run analysis (``repro obs report``);
+* :mod:`repro.obs.compare` — run-to-run diff with regression gating
+  (``repro obs compare``, the CI perf gate);
+* :mod:`repro.obs.resources` — opt-in tracemalloc/cProfile profiling
+  (the ``repro-obs/2`` event types).
 
 Everything is opt-in: with no observer installed the instrumented hot
 paths reduce to one global read, and results are bitwise identical
 either way.
 """
 
+from repro.obs.compare import (
+    Comparison,
+    compare_bench,
+    compare_manifests,
+    compare_paths,
+)
 from repro.obs.events import (
     EVENT_TYPES,
     OBS_SCHEMA,
+    OBS_SCHEMA_V1,
+    SUPPORTED_SCHEMAS,
     read_manifest,
     validate_event,
     validate_manifest,
@@ -36,6 +51,9 @@ from repro.obs.log import (
 from repro.obs.manifest import EventSink, JsonlSink, MemorySink, NullSink
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.progress import ProgressAggregator, summary_text
+from repro.obs.reader import Manifest, SpanNode, load_manifest
+from repro.obs.report import render_report, report_text
+from repro.obs.resources import maybe_profiled
 from repro.obs.trace import (
     Observer,
     get_observer,
@@ -47,10 +65,22 @@ from repro.obs.trace import (
 
 __all__ = [
     "OBS_SCHEMA",
+    "OBS_SCHEMA_V1",
+    "SUPPORTED_SCHEMAS",
     "EVENT_TYPES",
     "validate_event",
     "validate_manifest",
     "read_manifest",
+    "Manifest",
+    "SpanNode",
+    "load_manifest",
+    "report_text",
+    "render_report",
+    "Comparison",
+    "compare_bench",
+    "compare_manifests",
+    "compare_paths",
+    "maybe_profiled",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,298 @@
+"""Run-to-run comparison with regression gating (``repro obs compare``).
+
+Compares two run manifests (``repro-obs/*`` JSONL) or two bench files
+(``repro-bench/1`` JSON) and classifies every difference into one of
+three buckets:
+
+* **shape drift** — the two runs measured different things: record or
+  metric names added/removed, workload sizes changed, solver run or
+  task counts diverged.  Always a hard failure (exit 1), even in
+  warn-only mode — a perf baseline that silently changes shape is
+  worse than a slow one.
+* **regressions** — the same measurement got worse beyond its
+  threshold: wall time beyond ``wall_rtol`` *and* the estimated noise
+  floor, solver ``nfev`` beyond ``nfev_rtol``, FBSM iteration-count
+  increases.  Exit 1 unless ``warn_only`` (the shared-CI-runner mode)
+  downgrades them to warnings.
+* **improvements / notes** — informational.
+
+The noise floor comes from the per-repeat raw wall times the bench
+harness records (``meta["raw_seconds"]``): for each record the
+relative spread ``(max - min) / min`` over the repeats, doubled
+(``noise_factor``) to be conservative.  The effective wall-time
+threshold is ``max(wall_rtol, noise_factor * spread)`` — a noisy
+measurement cannot trip the gate on noise alone, but a genuinely
+regressed one still does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import ParameterError
+from repro.obs.reader import Manifest, load_manifest
+from repro.obs.report import fbsm_summary, solver_rollup
+
+__all__ = [
+    "Comparison",
+    "noise_floor",
+    "compare_bench",
+    "compare_manifests",
+    "compare_paths",
+]
+
+#: Default relative wall-time threshold (25% slower trips the gate).
+DEFAULT_WALL_RTOL = 0.25
+
+#: Default relative nfev threshold (nfev is deterministic; 1%).
+DEFAULT_NFEV_RTOL = 0.01
+
+#: Safety multiplier on the measured repeat spread.
+DEFAULT_NOISE_FACTOR = 2.0
+
+
+@dataclass
+class Comparison:
+    """Outcome of one A-vs-B comparison."""
+
+    kind: str
+    a: Path
+    b: Path
+    shape_drift: list[str] = field(default_factory=list)
+    regressions: list[str] = field(default_factory=list)
+    improvements: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.shape_drift and not self.regressions
+
+    def exit_code(self, *, warn_only: bool = False) -> int:
+        """0 when clean; 1 on shape drift (always) or regressions
+        (unless ``warn_only`` downgrades value regressions)."""
+        if self.shape_drift:
+            return 1
+        if self.regressions and not warn_only:
+            return 1
+        return 0
+
+    def text(self, *, warn_only: bool = False) -> str:
+        lines = [f"compare ({self.kind}): A={self.a}  B={self.b}"]
+        for label, bucket in (("SHAPE DRIFT", self.shape_drift),
+                              ("REGRESSION", self.regressions),
+                              ("improvement", self.improvements),
+                              ("warning", self.warnings),
+                              ("note", self.notes)):
+            for entry in bucket:
+                lines.append(f"  [{label}] {entry}")
+        verdict = self.exit_code(warn_only=warn_only)
+        if verdict == 0 and self.regressions:
+            lines.append("verdict: PASS (regressions downgraded to "
+                         "warnings: warn-only mode)")
+        elif verdict == 0:
+            lines.append("verdict: PASS")
+        else:
+            lines.append("verdict: FAIL")
+        return "\n".join(lines)
+
+
+def noise_floor(raw_a: list[float] | None, raw_b: list[float] | None, *,
+                noise_factor: float = DEFAULT_NOISE_FACTOR) -> float:
+    """Relative noise estimate from two per-repeat raw timing lists.
+
+    Each list's spread is ``(max - min) / min``; the floor is
+    ``noise_factor`` times the larger spread.  Returns 0.0 when
+    neither side has at least two repeats (no information).
+    """
+    spread = 0.0
+    for raw in (raw_a, raw_b):
+        if raw and len(raw) >= 2:
+            low = min(raw)
+            if low > 0:
+                spread = max(spread, (max(raw) - low) / low)
+    return noise_factor * spread
+
+
+def _rel_change(base: float, new: float) -> float:
+    if base == 0:
+        return 0.0 if new == 0 else float("inf")
+    return (new - base) / base
+
+
+def compare_bench(path_a: str | Path, path_b: str | Path, *,
+                  wall_rtol: float = DEFAULT_WALL_RTOL,
+                  nfev_rtol: float = DEFAULT_NFEV_RTOL,
+                  noise_factor: float = DEFAULT_NOISE_FACTOR) -> Comparison:
+    """Diff two ``repro-bench/1`` files with regression gating."""
+    # Imported lazily: repro.bench pulls in repro.core, which (via the
+    # solver instrumentation) imports repro.obs — a cycle at module
+    # import time, but not at call time.
+    from repro.bench.timing import read_bench_json
+
+    a = read_bench_json(path_a)
+    b = read_bench_json(path_b)
+    comparison = Comparison("bench", Path(path_a), Path(path_b))
+
+    points_a = a.get("workload", {}).get("points")
+    points_b = b.get("workload", {}).get("points")
+    if points_a != points_b:
+        comparison.shape_drift.append(
+            f"workload points differ: {points_a} vs {points_b}")
+
+    records_a = {r["name"]: r for r in a["records"]}
+    records_b = {r["name"]: r for r in b["records"]}
+    for name in sorted(set(records_a) - set(records_b)):
+        comparison.shape_drift.append(f"record {name!r} missing from B")
+    for name in sorted(set(records_b) - set(records_a)):
+        comparison.shape_drift.append(f"record {name!r} added in B")
+
+    for name in sorted(set(records_a) & set(records_b)):
+        rec_a, rec_b = records_a[name], records_b[name]
+        wall_a = float(rec_a["wall_seconds"])
+        wall_b = float(rec_b["wall_seconds"])
+        rel = _rel_change(wall_a, wall_b)
+        floor = noise_floor(rec_a["meta"].get("raw_seconds"),
+                            rec_b["meta"].get("raw_seconds"),
+                            noise_factor=noise_factor)
+        threshold = max(wall_rtol, floor)
+        detail = (f"{name}: wall {wall_a:.4f}s -> {wall_b:.4f}s "
+                  f"({rel:+.1%}; threshold ±{threshold:.1%}"
+                  + (f", noise floor {floor:.1%}" if floor else "") + ")")
+        if rel > threshold:
+            comparison.regressions.append(detail)
+        elif rel < -threshold:
+            comparison.improvements.append(detail)
+        else:
+            comparison.notes.append(detail)
+
+    # Metric blocks: name sets are shape, deterministic counters gate.
+    metrics_a = a.get("metrics", {})
+    metrics_b = b.get("metrics", {})
+    for table in ("counters", "histograms", "gauges"):
+        keys_a = set(metrics_a.get(table, {}))
+        keys_b = set(metrics_b.get(table, {}))
+        if keys_a != keys_b:
+            comparison.shape_drift.append(
+                f"metrics.{table} keys drifted: "
+                f"-{sorted(keys_a - keys_b)} +{sorted(keys_b - keys_a)}")
+    for counter in ("solver.nfev", "solver.runs"):
+        value_a = metrics_a.get("counters", {}).get(counter)
+        value_b = metrics_b.get("counters", {}).get(counter)
+        if value_a is None or value_b is None:
+            continue
+        rel = _rel_change(float(value_a), float(value_b))
+        detail = (f"counter {counter}: {value_a:g} -> {value_b:g} "
+                  f"({rel:+.2%}; threshold ±{nfev_rtol:.2%})")
+        if abs(rel) > nfev_rtol:
+            comparison.regressions.append(detail)
+        else:
+            comparison.notes.append(detail)
+    return comparison
+
+
+def compare_manifests(path_a: str | Path, path_b: str | Path, *,
+                      wall_rtol: float = DEFAULT_WALL_RTOL,
+                      nfev_rtol: float = DEFAULT_NFEV_RTOL) -> Comparison:
+    """Structural + timing diff of two run manifests."""
+    a = load_manifest(path_a)
+    b = load_manifest(path_b)
+    comparison = Comparison("manifest", Path(path_a), Path(path_b))
+    for side, manifest in (("A", a), ("B", b)):
+        if not manifest.complete:
+            comparison.warnings.append(
+                f"manifest {side} is truncated "
+                f"({manifest.truncation_reason}); timings are partial")
+
+    # Structural: the deterministic event populations must match.
+    counts_a, counts_b = a.type_counts(), b.type_counts()
+    for event_type in ("solver", "task", "fbsm_iteration", "run_start",
+                      "run_end"):
+        count_a = counts_a.get(event_type, 0)
+        count_b = counts_b.get(event_type, 0)
+        if event_type == "fbsm_iteration":
+            continue  # compared below as a convergence metric
+        if count_a != count_b:
+            comparison.shape_drift.append(
+                f"{event_type} event count drifted: {count_a} vs {count_b}")
+    spans_a = set(a.span_rollup())
+    spans_b = set(b.span_rollup())
+    if spans_a != spans_b:
+        comparison.shape_drift.append(
+            f"span names drifted: -{sorted(spans_a - spans_b)} "
+            f"+{sorted(spans_b - spans_a)}")
+
+    # Wall time (single runs: rtol only, no repeat noise floor).
+    rel = _rel_change(a.wall_seconds, b.wall_seconds)
+    detail = (f"wall {a.wall_seconds:.3f}s -> {b.wall_seconds:.3f}s "
+              f"({rel:+.1%}; threshold ±{wall_rtol:.1%})")
+    if rel > wall_rtol:
+        comparison.regressions.append(detail)
+    elif rel < -wall_rtol:
+        comparison.improvements.append(detail)
+    else:
+        comparison.notes.append(detail)
+
+    # Solver work: nfev is deterministic for identical workloads.
+    solver_a, solver_b = solver_rollup(a), solver_rollup(b)
+    if solver_a["runs"] or solver_b["runs"]:
+        rel = _rel_change(float(solver_a["nfev"]), float(solver_b["nfev"]))
+        detail = (f"solver nfev {solver_a['nfev']} -> {solver_b['nfev']} "
+                  f"({rel:+.2%}; threshold ±{nfev_rtol:.2%})")
+        if rel > nfev_rtol:
+            comparison.regressions.append(detail)
+        elif rel < -nfev_rtol:
+            comparison.improvements.append(detail)
+        else:
+            comparison.notes.append(detail)
+
+    # FBSM convergence: more sweeps for the same problem is a
+    # regression of the optimizer, independent of wall clock.
+    fbsm_a, fbsm_b = fbsm_summary(a), fbsm_summary(b)
+    if (fbsm_a is None) != (fbsm_b is None):
+        comparison.shape_drift.append(
+            "FBSM trace present in only one manifest")
+    elif fbsm_a is not None and fbsm_b is not None:
+        iters_a, iters_b = fbsm_a["iterations"], fbsm_b["iterations"]
+        detail = f"FBSM iterations {iters_a} -> {iters_b}"
+        if iters_b > iters_a:
+            comparison.regressions.append(detail)
+        elif iters_b < iters_a:
+            comparison.improvements.append(detail)
+        else:
+            comparison.notes.append(detail)
+    return comparison
+
+
+def _is_bench_file(path: Path) -> bool:
+    """True when ``path`` is a whole-file JSON bench payload."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return False
+    return (isinstance(payload, dict)
+            and str(payload.get("schema", "")).startswith("repro-bench/"))
+
+
+def compare_paths(path_a: str | Path, path_b: str | Path, *,
+                  wall_rtol: float = DEFAULT_WALL_RTOL,
+                  nfev_rtol: float = DEFAULT_NFEV_RTOL,
+                  noise_factor: float = DEFAULT_NOISE_FACTOR) -> Comparison:
+    """Dispatch on file kind: two bench JSONs or two JSONL manifests."""
+    path_a, path_b = Path(path_a), Path(path_b)
+    for path in (path_a, path_b):
+        if not path.exists():
+            raise ParameterError(f"compare input not found: {path}")
+    bench_a, bench_b = _is_bench_file(path_a), _is_bench_file(path_b)
+    if bench_a != bench_b:
+        raise ParameterError(
+            f"cannot compare a bench file with a manifest: "
+            f"{path_a} is {'bench' if bench_a else 'manifest'}, "
+            f"{path_b} is {'bench' if bench_b else 'manifest'}")
+    if bench_a:
+        return compare_bench(path_a, path_b, wall_rtol=wall_rtol,
+                             nfev_rtol=nfev_rtol, noise_factor=noise_factor)
+    return compare_manifests(path_a, path_b, wall_rtol=wall_rtol,
+                             nfev_rtol=nfev_rtol)

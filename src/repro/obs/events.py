@@ -25,7 +25,10 @@ from repro.exceptions import ParameterError
 
 __all__ = [
     "OBS_SCHEMA",
+    "OBS_SCHEMA_V1",
+    "SUPPORTED_SCHEMAS",
     "EVENT_TYPES",
+    "V2_EVENT_TYPES",
     "REQUIRED_FIELDS",
     "validate_event",
     "validate_manifest",
@@ -33,7 +36,16 @@ __all__ = [
 ]
 
 #: Schema identifier written into every ``manifest_start`` event.
-OBS_SCHEMA = "repro-obs/1"
+#: ``repro-obs/2`` extends ``repro-obs/1`` additively with the opt-in
+#: resource-profiling event types (``resource``, ``profile``); every
+#: ``repro-obs/1`` manifest is also a valid ``repro-obs/2`` manifest.
+OBS_SCHEMA = "repro-obs/2"
+
+#: The previous schema identifier; still accepted by the validators.
+OBS_SCHEMA_V1 = "repro-obs/1"
+
+#: Schema identifiers :func:`validate_manifest` accepts.
+SUPPORTED_SCHEMAS = frozenset({OBS_SCHEMA_V1, OBS_SCHEMA})
 
 #: Required fields per event type (beyond the universal ``type``/``t``).
 REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
@@ -57,10 +69,18 @@ REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
     # Experiment run manifests (experiments.runner).
     "run_start": ("experiment",),
     "run_end": ("experiment", "summary", "artifacts", "seconds"),
+    # Opt-in resource profiling (repro-obs/2; repro.obs.resources).
+    "resource": ("name", "seconds", "tracemalloc_peak_bytes",
+                 "ru_maxrss_kb"),
+    "profile": ("name", "seconds", "top"),
 }
 
 #: The closed set of event types a manifest may contain.
 EVENT_TYPES = frozenset(REQUIRED_FIELDS)
+
+#: Event types introduced by ``repro-obs/2``; invalid in a ``repro-obs/1``
+#: manifest.
+V2_EVENT_TYPES = frozenset({"resource", "profile"})
 
 
 def validate_event(event: Mapping[str, object]) -> None:
@@ -106,10 +126,12 @@ def validate_manifest(path: str | Path) -> list[dict[str, object]]:
     """Load and fully validate a manifest; return its events.
 
     Checks, in order: the file parses as JSONL, the first event is a
-    ``manifest_start`` carrying the supported schema, every event
-    validates against :data:`REQUIRED_FIELDS` (unknown types fail), and
-    the last event is a ``manifest_end`` whose ``events`` count matches
-    the stream.  This is the check the CI observability smoke step runs
+    ``manifest_start`` carrying a supported schema (``repro-obs/1`` or
+    ``repro-obs/2``), every event validates against
+    :data:`REQUIRED_FIELDS` (unknown types fail; the ``repro-obs/2``
+    event types are rejected in a ``repro-obs/1`` manifest), and the
+    last event is a ``manifest_end`` whose ``events`` count matches the
+    stream.  This is the check the CI observability smoke step runs
     against a real ``--trace-out`` run.
     """
     events = read_manifest(path)
@@ -121,10 +143,17 @@ def validate_manifest(path: str | Path) -> list[dict[str, object]]:
     if first["type"] != "manifest_start":
         raise ParameterError(
             f"manifest must open with manifest_start, got {first['type']!r}")
-    if first["schema"] != OBS_SCHEMA:
+    if first["schema"] not in SUPPORTED_SCHEMAS:
         raise ParameterError(
             f"unsupported manifest schema {first['schema']!r} "
-            f"(expected {OBS_SCHEMA!r})")
+            f"(supported: {sorted(SUPPORTED_SCHEMAS)})")
+    if first["schema"] == OBS_SCHEMA_V1:
+        v2_only = sorted({e["type"] for e in events
+                          if e["type"] in V2_EVENT_TYPES})
+        if v2_only:
+            raise ParameterError(
+                f"manifest declares {OBS_SCHEMA_V1!r} but contains "
+                f"{OBS_SCHEMA!r}-only event types {v2_only}")
     if last["type"] != "manifest_end":
         raise ParameterError(
             f"manifest must close with manifest_end, got {last['type']!r} "

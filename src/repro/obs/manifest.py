@@ -18,8 +18,12 @@ Sinks receive plain dicts that already carry ``type`` and ``t``; the
 
 from __future__ import annotations
 
+import atexit
 import json
+import os
+import signal
 import threading
+import weakref
 from pathlib import Path
 from typing import Mapping
 
@@ -61,13 +65,21 @@ class MemorySink(EventSink):
 
 
 class JsonlSink(EventSink):
-    """Writes the JSONL run manifest at ``path`` (parents created)."""
+    """Writes the JSONL run manifest at ``path`` (parents created).
+
+    Durability: every line is flushed as written, and the sink
+    registers itself for fsync-and-close at interpreter exit and on
+    ``SIGTERM`` (see :func:`_close_open_sinks`), so a killed run still
+    leaves a parseable — if truncated, i.e. missing ``manifest_end`` —
+    manifest on disk for :func:`repro.obs.reader.load_manifest`.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = self.path.open("w", encoding="utf-8")
         self._lock = threading.Lock()
+        _register_sink(self)
 
     def write(self, event: Mapping[str, object]) -> None:
         line = json.dumps(event, sort_keys=False, default=_json_fallback)
@@ -80,7 +92,56 @@ class JsonlSink(EventSink):
     def close(self) -> None:
         with self._lock:
             if not self._file.closed:
+                self._file.flush()
+                try:
+                    os.fsync(self._file.fileno())
+                except OSError:  # e.g. path on a filesystem without fsync
+                    pass
                 self._file.close()
+
+
+#: Open JSONL sinks, closed (flush + fsync) at interpreter exit and on
+#: SIGTERM so killed runs leave readable truncated manifests.
+_OPEN_SINKS: "weakref.WeakSet[JsonlSink]" = weakref.WeakSet()
+_EXIT_HOOKS_INSTALLED = False
+_PREVIOUS_SIGTERM: object = None
+
+
+def _close_open_sinks() -> None:
+    """Flush-and-close every live sink (atexit / SIGTERM path)."""
+    for sink in list(_OPEN_SINKS):
+        try:
+            sink.close()
+        except Exception:  # never mask interpreter shutdown
+            pass
+
+
+def _handle_sigterm(signum, frame):  # pragma: no cover - exercised via
+    # a killed subprocess in tests/test_obs_resources.py
+    _close_open_sinks()
+    previous = _PREVIOUS_SIGTERM
+    if callable(previous):
+        previous(signum, frame)
+        return
+    # Default disposition: re-deliver the signal with the default
+    # handler so the exit status still reports death-by-SIGTERM.
+    signal.signal(signum, signal.SIG_DFL)
+    os.kill(os.getpid(), signum)
+
+
+def _register_sink(sink: JsonlSink) -> None:
+    global _EXIT_HOOKS_INSTALLED, _PREVIOUS_SIGTERM
+    _OPEN_SINKS.add(sink)
+    if _EXIT_HOOKS_INSTALLED:
+        return
+    atexit.register(_close_open_sinks)
+    try:
+        _PREVIOUS_SIGTERM = signal.signal(signal.SIGTERM, _handle_sigterm)
+    except (ValueError, OSError, AttributeError):
+        # Not the main thread, or a platform without SIGTERM: the
+        # atexit hook alone still covers normal interpreter exit.
+        _PREVIOUS_SIGTERM = None
+    _EXIT_HOOKS_INSTALLED = True
 
 
 def _json_fallback(value: object) -> object:

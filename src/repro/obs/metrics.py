@@ -8,8 +8,9 @@ dependency and no background machinery:
   ``sweep.tasks``);
 * :class:`Gauge` — last-write-wins level readings (``sweep.workers``);
 * :class:`Histogram` — streaming summaries (count / sum / min / max /
-  mean) of an observed quantity, e.g. per-task wall seconds.  The
-  histogram keeps O(1) state, not samples, so it is safe on hot paths.
+  mean, plus reservoir-estimated quantiles) of an observed quantity,
+  e.g. per-task wall seconds.  The histogram keeps O(1) aggregate state
+  and a bounded sample reservoir, so it is safe on hot paths.
 
 All instruments are thread-safe (one lock per registry): the thread
 executor runs instrumented solver code concurrently in worker threads
@@ -57,10 +58,28 @@ class Gauge:
         self.value = float(value)
 
 
-class Histogram:
-    """Streaming summary of an observed quantity (O(1) state, no samples)."""
+#: Bounded reservoir size backing :meth:`Histogram.quantile`.
+_RESERVOIR_SIZE = 256
 
-    __slots__ = ("name", "count", "total", "min", "max")
+#: Knuth LCG constants for the deterministic reservoir index stream.
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+
+class Histogram:
+    """Streaming summary of an observed quantity (bounded state).
+
+    Keeps O(1) aggregate state (count/sum/min/max) plus a bounded
+    reservoir of at most :data:`_RESERVOIR_SIZE` samples for
+    :meth:`quantile` estimates.  The reservoir uses its own tiny LCG
+    (seeded per instance, deterministic) so observing values never
+    touches any global random state — instrumentation cannot perturb
+    seeded simulations.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_reservoir",
+                 "_lcg")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -68,6 +87,8 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._reservoir: list[float] = []
+        self._lcg = 1
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -77,6 +98,47 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self._reservoir) < _RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            # Algorithm R with a deterministic index stream: replace a
+            # random slot with probability reservoir/count.
+            self._lcg = (_LCG_A * self._lcg + _LCG_C) & _LCG_MASK
+            slot = (self._lcg >> 16) % self.count
+            if slot < _RESERVOIR_SIZE:
+                self._reservoir[slot] = value
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1) of the observed values.
+
+        Exact while at most :data:`_RESERVOIR_SIZE` values have been
+        observed; a reservoir estimate beyond that.  An empty histogram
+        reports 0.0 for every quantile, matching the zeros convention of
+        :meth:`summary`; a single-sample histogram reports that sample
+        for every ``q``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError(
+                f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        frac = position - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    def reset(self) -> None:
+        """Return to the freshly-constructed state (name kept)."""
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._reservoir.clear()
+        self._lcg = 1
 
     def summary(self) -> dict[str, float]:
         """JSON-ready summary; empty histograms report zeros."""
@@ -131,6 +193,21 @@ class MetricsRegistry:
     def observe(self, name: str, value: float) -> None:
         """Shorthand: ``registry.histogram(name).observe(value)``."""
         self.histogram(name).observe(value)
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping names (and kinds) registered.
+
+        Counters and gauges return to 0.0, histograms to the empty
+        state, so a long-lived registry can be reused across runs
+        without tearing down the instrument tables.
+        """
+        with self._lock:
+            for counter in self._counters.values():
+                counter.value = 0.0
+            for gauge in self._gauges.values():
+                gauge.value = 0.0
+            for histogram in self._histograms.values():
+                histogram.reset()
 
     def snapshot(self) -> dict[str, dict[str, object]]:
         """JSON-ready snapshot of every instrument.

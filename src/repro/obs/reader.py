@@ -1,0 +1,310 @@
+"""Streaming manifest reader: validation, truncation tolerance, span trees.
+
+The write side of the observability layer (:mod:`repro.obs.trace`)
+produces JSONL run manifests; this module is the read side.
+:func:`load_manifest` streams a manifest line by line — it never holds
+the raw text in memory, only the parsed events — validates each event
+against the schema declared in ``manifest_start`` (``repro-obs/1`` or
+``repro-obs/2``), and returns a :class:`Manifest` that distinguishes
+
+* a **complete** run: properly framed, ``manifest_end`` present with a
+  matching event count — ``manifest.complete`` is ``True``;
+* a **truncated** run: the process died (crash, ``kill``, OOM) before
+  ``manifest_end`` — everything written before the truncation is
+  still returned, ``complete`` is ``False``, and
+  ``truncation_reason`` says what was observed (missing end frame, or
+  a partial final line from a mid-write kill).
+
+Anything else — unknown event types, missing required fields mid-stream,
+a wrong schema id — is **schema drift**, not truncation, and raises
+:class:`~repro.exceptions.ParameterError` regardless of mode
+(``strict=True`` additionally refuses truncated manifests).
+
+A :class:`Manifest` also reconstructs the **span tree**: ``span``
+events are emitted at block *exit* with a duration, so each span's
+interval is ``[t - seconds, t]`` on the manifest's monotonic clock and
+nesting is recovered by interval containment (inner spans complete —
+and are therefore emitted — before their parents).  Each
+:class:`SpanNode` carries cumulative (``seconds``) and
+``self_seconds`` (cumulative minus direct children) rollups, the
+numbers ``repro obs report`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.exceptions import ParameterError
+from repro.obs.events import (
+    OBS_SCHEMA_V1,
+    SUPPORTED_SCHEMAS,
+    V2_EVENT_TYPES,
+    validate_event,
+)
+
+__all__ = ["SpanNode", "Manifest", "load_manifest", "iter_events"]
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span: interval, attributes, children.
+
+    ``seconds`` is cumulative wall time (the span's own duration);
+    ``self_seconds`` subtracts the direct children, i.e. time spent in
+    the span's own code between child spans.
+    """
+
+    name: str
+    start: float
+    end: float
+    attrs: dict[str, object] = field(default_factory=dict)
+    error: str | None = None
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+    @property
+    def self_seconds(self) -> float:
+        return max(0.0, self.seconds
+                   - sum(child.seconds for child in self.children))
+
+    def walk(self) -> Iterator[tuple[int, "SpanNode"]]:
+        """Depth-first (depth, node) traversal, children by start time."""
+        stack: list[tuple[int, SpanNode]] = [(0, self)]
+        while stack:
+            depth, node = stack.pop()
+            yield depth, node
+            for child in reversed(node.children):
+                stack.append((depth + 1, child))
+
+
+@dataclass
+class Manifest:
+    """One parsed run manifest, complete or truncated.
+
+    Attributes
+    ----------
+    path:
+        Where the manifest was read from.
+    schema:
+        Schema id declared by ``manifest_start``.
+    events:
+        Every successfully parsed event, in stream order.
+    complete:
+        ``True`` iff the stream is properly framed by a
+        ``manifest_end`` whose event count matches.
+    truncation_reason:
+        ``None`` when complete; otherwise what the reader observed
+        (missing end frame / partial final line).
+    """
+
+    path: Path
+    schema: str
+    events: list[dict[str, object]]
+    complete: bool
+    truncation_reason: str | None = None
+
+    # -- convenience accessors ---------------------------------------------
+    @property
+    def run(self) -> dict[str, object]:
+        """Free-form run metadata from ``manifest_start``."""
+        return dict(self.events[0].get("run", {}))  # type: ignore[arg-type]
+
+    @property
+    def created_utc(self) -> str:
+        return str(self.events[0].get("created_utc", ""))
+
+    @property
+    def wall_seconds(self) -> float:
+        """Recorded wall time (complete) or last observed ``t`` (truncated)."""
+        if self.complete:
+            return float(self.events[-1]["wall_seconds"])  # type: ignore
+        return max((float(e.get("t", 0.0)) for e in self.events),
+                   default=0.0)
+
+    @property
+    def metrics(self) -> dict[str, object] | None:
+        """Final metrics snapshot; ``None`` for truncated manifests."""
+        if not self.complete:
+            return None
+        return dict(self.events[-1]["metrics"])  # type: ignore[arg-type]
+
+    def of_type(self, event_type: str) -> list[dict[str, object]]:
+        """Events of one type, in stream order."""
+        return [e for e in self.events if e.get("type") == event_type]
+
+    def type_counts(self) -> dict[str, int]:
+        """Event count per type, sorted by name."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            key = str(event.get("type"))
+            counts[key] = counts.get(key, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # -- span tree ----------------------------------------------------------
+    def span_tree(self) -> list[SpanNode]:
+        """Reconstruct span nesting from the flat completion-order stream.
+
+        Returns the root spans (those not contained in any other span),
+        children ordered by start time.  Reconstruction relies on spans
+        being emitted at exit: a span that lies inside another span's
+        ``[start, end]`` interval appears earlier in the stream and is
+        adopted as its child.
+        """
+        roots: list[SpanNode] = []
+        for event in self.of_type("span"):
+            end = float(event["t"])  # type: ignore[arg-type]
+            seconds = float(event["seconds"])  # type: ignore[arg-type]
+            node = SpanNode(
+                name=str(event["name"]),
+                start=end - seconds,
+                end=end,
+                attrs=dict(event.get("attrs", {})),  # type: ignore[arg-type]
+                error=event.get("error"),  # type: ignore[arg-type]
+            )
+            kept: list[SpanNode] = []
+            for candidate in roots:
+                # Timestamps are rounded to 1e-6 on emission, so allow
+                # a few ulps of slack at the interval boundaries.
+                if (node.start <= candidate.start + 5e-6
+                        and candidate.end <= node.end + 5e-6):
+                    node.children.append(candidate)
+                else:
+                    kept.append(candidate)
+            node.children.sort(key=lambda child: child.start)
+            kept.append(node)
+            roots = kept
+        roots.sort(key=lambda root: root.start)
+        return roots
+
+    def span_rollup(self) -> dict[str, dict[str, float]]:
+        """Per-name wall-time rollup over the whole span tree.
+
+        Maps span name to ``{"count", "seconds", "self_seconds",
+        "max_seconds"}`` where ``seconds`` is cumulative (sum of the
+        spans' own durations) and ``self_seconds`` excludes child
+        spans, so the two columns answer "where did the run pass
+        through" and "where did it actually spend time".
+        """
+        rollup: dict[str, dict[str, float]] = {}
+        for root in self.span_tree():
+            for _depth, node in root.walk():
+                entry = rollup.setdefault(node.name, {
+                    "count": 0, "seconds": 0.0, "self_seconds": 0.0,
+                    "max_seconds": 0.0})
+                entry["count"] += 1
+                entry["seconds"] += node.seconds
+                entry["self_seconds"] += node.self_seconds
+                entry["max_seconds"] = max(entry["max_seconds"],
+                                           node.seconds)
+        return dict(sorted(rollup.items(),
+                           key=lambda item: -item[1]["self_seconds"]))
+
+
+def iter_events(path: str | Path) -> Iterator[tuple[int, str]]:
+    """Stream (lineno, raw line) pairs of a manifest, skipping blanks."""
+    path = Path(path)
+    if not path.exists():
+        raise ParameterError(f"manifest not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if line.strip():
+                yield lineno, line
+
+
+def load_manifest(path: str | Path, *, strict: bool = False) -> Manifest:
+    """Stream-parse and validate a manifest, tolerating truncation.
+
+    Parameters
+    ----------
+    path:
+        The JSONL manifest file.
+    strict:
+        When true, a truncated manifest raises instead of returning
+        ``complete=False`` — the behavior of
+        :func:`repro.obs.events.validate_manifest`.
+
+    Raises
+    ------
+    ParameterError
+        On schema drift (unknown event type, missing required fields
+        before the final line, unsupported schema id, file not
+        starting with ``manifest_start``) — truncation tolerance never
+        hides a malformed *writer*, only a killed one.
+    """
+    path = Path(path)
+    events: list[dict[str, object]] = []
+    truncation: str | None = None
+
+    pending: tuple[int, str] | None = None
+    stream = iter_events(path)
+    for lineno, line in stream:
+        if pending is not None:
+            _parse_checked(path, *pending, events)
+            pending = None
+        pending = (lineno, line)
+    if pending is not None:
+        # The final line is the only one allowed to be broken: a
+        # SIGKILL mid-write leaves a partial JSON fragment there.
+        lineno, line = pending
+        try:
+            _parse_checked(path, lineno, line, events)
+        except ParameterError:
+            if strict:
+                raise
+            truncation = (f"final line {lineno} is a partial write "
+                          f"(run killed mid-event)")
+
+    if not events:
+        raise ParameterError(f"manifest {path} is empty")
+    first = events[0]
+    if first.get("type") != "manifest_start":
+        raise ParameterError(
+            f"{path}: manifest must open with manifest_start, got "
+            f"{first.get('type')!r}")
+    schema = str(first.get("schema"))
+    if schema not in SUPPORTED_SCHEMAS:
+        raise ParameterError(
+            f"{path}: unsupported manifest schema {schema!r} "
+            f"(supported: {sorted(SUPPORTED_SCHEMAS)})")
+    if schema == OBS_SCHEMA_V1:
+        v2_only = sorted({str(e["type"]) for e in events
+                          if e["type"] in V2_EVENT_TYPES})
+        if v2_only:
+            raise ParameterError(
+                f"{path}: manifest declares {OBS_SCHEMA_V1!r} but "
+                f"contains v2-only event types {v2_only}")
+
+    last = events[-1]
+    complete = truncation is None and last.get("type") == "manifest_end"
+    if complete and last["events"] != len(events):
+        raise ParameterError(
+            f"{path}: manifest_end reports {last['events']} events, "
+            f"stream has {len(events)}")
+    if truncation is None and not complete:
+        truncation = ("missing manifest_end frame (run interrupted "
+                      "before close)")
+    if strict and not complete:
+        raise ParameterError(f"{path}: truncated manifest: {truncation}")
+    return Manifest(path=path, schema=schema, events=events,
+                    complete=complete, truncation_reason=truncation)
+
+
+def _parse_checked(path: Path, lineno: int, line: str,
+                   events: list[dict[str, object]]) -> None:
+    """Parse one line into ``events``; raise ParameterError when bad."""
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ParameterError(
+            f"{path}:{lineno}: invalid JSON in manifest: {exc}") from None
+    if not isinstance(event, dict):
+        raise ParameterError(
+            f"{path}:{lineno}: manifest line is not a JSON object")
+    validate_event(event)
+    events.append(event)

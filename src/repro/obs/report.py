@@ -1,0 +1,290 @@
+"""Human-readable analysis of one run manifest (``repro obs report``).
+
+Turns a :class:`~repro.obs.reader.Manifest` into the report the CLI
+prints: run header and completeness verdict, per-phase span timing
+(tree + self/cumulative rollup bar chart), solver step-accounting
+rollups across every integration in the run, the FBSM convergence
+summary (iteration count, cost trajectory, control sup-norm deltas),
+executor utilization/straggler analysis, and — for ``repro-obs/2``
+manifests with profiling enabled — resource peaks and cProfile tops.
+
+Every section is computed by a small pure function returning a plain
+dict (used directly by tests and by :mod:`repro.obs.compare`);
+:func:`report_text` is just the renderer over those dicts, drawing
+charts with :mod:`repro.viz.ascii`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.reader import Manifest, load_manifest
+from repro.viz.ascii import bar_chart, line_chart
+
+__all__ = [
+    "solver_rollup",
+    "fbsm_summary",
+    "executor_summary",
+    "resource_summary",
+    "report_text",
+    "render_report",
+]
+
+
+def solver_rollup(manifest: Manifest) -> dict[str, object]:
+    """Aggregate step accounting over every ``solver`` event.
+
+    Sums nfev/accepted/rejected/wall over all integrations (scalar and
+    batched) and reports the rejection rate — the first number to look
+    at when a run got slower: a rising rejection rate means the
+    adaptive controller is fighting the problem, a rising nfev at
+    constant rejection rate means more integrations or longer spans.
+    """
+    events = manifest.of_type("solver")
+    rollup: dict[str, object] = {
+        "runs": len(events),
+        "nfev": 0,
+        "accepted": 0,
+        "rejected": 0,
+        "wall_seconds": 0.0,
+        "by_solver": {},
+    }
+    by_solver: dict[str, dict[str, float]] = {}
+    for event in events:
+        rollup["nfev"] += int(event["nfev"])
+        rollup["accepted"] += int(event["accepted"])
+        rollup["rejected"] += int(event["rejected"])
+        rollup["wall_seconds"] += float(event["wall_seconds"])
+        per = by_solver.setdefault(str(event["solver"]), {
+            "runs": 0, "nfev": 0, "wall_seconds": 0.0})
+        per["runs"] += 1
+        per["nfev"] += int(event["nfev"])
+        per["wall_seconds"] += float(event["wall_seconds"])
+    steps = rollup["accepted"] + rollup["rejected"]
+    rollup["rejection_rate"] = (rollup["rejected"] / steps if steps else 0.0)
+    rollup["by_solver"] = by_solver
+    return rollup
+
+
+def fbsm_summary(manifest: Manifest) -> dict[str, object] | None:
+    """Convergence summary of the FBSM iteration trace, or ``None``.
+
+    Collects the per-sweep objective values and control sup-norm
+    deltas — the convergence *trajectory*, which is what distinguishes
+    a healthy solve (monotone cost, shrinking deltas) from one that is
+    oscillating toward ``max_iterations``.
+    """
+    trace = manifest.of_type("fbsm_iteration")
+    if not trace:
+        return None
+    costs = [float(e["cost"]) for e in trace]
+    deltas = [float(e["control_change"]) for e in trace]
+    solve_spans = [e for e in manifest.of_type("span")
+                   if e["name"] == "fbsm.solve"]
+    attrs = dict(solve_spans[-1].get("attrs", {})) if solve_spans else {}
+    return {
+        "iterations": len(trace),
+        "first_cost": costs[0],
+        "final_cost": costs[-1],
+        "costs": costs,
+        "final_control_change": deltas[-1],
+        "control_changes": deltas,
+        "forward_seconds": sum(float(e["forward_seconds"]) for e in trace),
+        "backward_seconds": sum(float(e["backward_seconds"]) for e in trace),
+        "converged": attrs.get("converged"),
+        "convergence_reason": attrs.get("reason", attrs.get(
+            "convergence_reason")),
+    }
+
+
+def executor_summary(manifest: Manifest) -> dict[str, object] | None:
+    """Utilization and straggler analysis from task/worker telemetry."""
+    tasks = manifest.of_type("task")
+    summaries = manifest.of_type("progress_summary")
+    if not tasks and not summaries:
+        return None
+    seconds = sorted(float(e["seconds"]) for e in tasks)
+    mean = sum(seconds) / len(seconds) if seconds else 0.0
+    result: dict[str, object] = {
+        "tasks": len(tasks),
+        "errors": sum(1 for e in tasks if not e["ok"]),
+        "task_seconds_mean": mean,
+        "task_seconds_max": seconds[-1] if seconds else 0.0,
+        # Straggler ratio: slowest task over mean task — the number
+        # that says whether chunked dispatch left workers idle.
+        "straggler_ratio": (seconds[-1] / mean if mean > 0 else 0.0),
+        "maps": [],
+    }
+    result["maps"] = [{
+        "name": s["name"],
+        "tasks": s["tasks"],
+        "errors": s["errors"],
+        "wall_seconds": s["wall_seconds"],
+        "workers": s["workers"],
+        "utilization": s["utilization"],
+        "slowest": s["slowest"],
+    } for s in summaries]
+    return result
+
+
+def resource_summary(manifest: Manifest) -> dict[str, object] | None:
+    """Peak-memory rollup of ``resource`` events (repro-obs/2), or None."""
+    events = manifest.of_type("resource")
+    if not events:
+        return None
+    by_name: dict[str, dict[str, float]] = {}
+    for event in events:
+        entry = by_name.setdefault(str(event["name"]), {
+            "count": 0, "tracemalloc_peak_bytes": 0, "ru_maxrss_kb": 0})
+        entry["count"] += 1
+        entry["tracemalloc_peak_bytes"] = max(
+            entry["tracemalloc_peak_bytes"],
+            int(event["tracemalloc_peak_bytes"]))
+        entry["ru_maxrss_kb"] = max(entry["ru_maxrss_kb"],
+                                    int(event["ru_maxrss_kb"]))
+    return {
+        "spans": len(events),
+        "ru_maxrss_kb": max(int(e["ru_maxrss_kb"]) for e in events),
+        "by_name": dict(sorted(
+            by_name.items(),
+            key=lambda item: -item[1]["tracemalloc_peak_bytes"])),
+    }
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    return f"{n:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def report_text(manifest: Manifest, *, width: int = 40) -> str:
+    """Render the full analysis report for one manifest."""
+    lines: list[str] = []
+    verdict = ("COMPLETE" if manifest.complete
+               else f"TRUNCATED — {manifest.truncation_reason}")
+    lines.append(f"manifest: {manifest.path}")
+    lines.append(f"schema:   {manifest.schema}   [{verdict}]")
+    if manifest.created_utc:
+        lines.append(f"created:  {manifest.created_utc}")
+    if manifest.run:
+        rendered = ", ".join(f"{k}={v!r}" for k, v in manifest.run.items())
+        lines.append(f"run:      {rendered}")
+    lines.append(f"wall:     {manifest.wall_seconds:.3f}s over "
+                 f"{len(manifest.events)} events")
+    counts = manifest.type_counts()
+    lines.append("events:   " + "  ".join(f"{k}={v}"
+                                          for k, v in counts.items()))
+
+    rollup = manifest.span_rollup()
+    if rollup:
+        lines.append("")
+        lines.append("== phase timing (spans) ==")
+        header = (f"  {'span':<28} {'count':>5} {'cum s':>9} "
+                  f"{'self s':>9} {'max s':>9}")
+        lines.append(header)
+        for name, entry in rollup.items():
+            lines.append(f"  {name:<28} {int(entry['count']):>5} "
+                         f"{entry['seconds']:>9.3f} "
+                         f"{entry['self_seconds']:>9.3f} "
+                         f"{entry['max_seconds']:>9.3f}")
+        lines.append(bar_chart(
+            {name: entry["self_seconds"] for name, entry in rollup.items()},
+            width=width, title="  self time by span", unit="s"))
+
+    solver = solver_rollup(manifest)
+    if solver["runs"]:
+        lines.append("")
+        lines.append("== solver step accounting ==")
+        lines.append(f"  integrations: {solver['runs']}   "
+                     f"nfev: {solver['nfev']}   "
+                     f"accepted: {solver['accepted']}   "
+                     f"rejected: {solver['rejected']}   "
+                     f"rejection rate: {solver['rejection_rate']:.1%}")
+        lines.append(f"  solver wall: {solver['wall_seconds']:.3f}s")
+        for name, per in sorted(solver["by_solver"].items()):
+            lines.append(f"    {name}: {int(per['runs'])} runs, "
+                         f"nfev {int(per['nfev'])}, "
+                         f"{per['wall_seconds']:.3f}s")
+
+    fbsm = fbsm_summary(manifest)
+    if fbsm is not None:
+        lines.append("")
+        lines.append("== FBSM convergence ==")
+        converged = fbsm["converged"]
+        status = ("converged" if converged
+                  else "NOT converged" if converged is not None
+                  else "unknown (no fbsm.solve span)")
+        reason = fbsm["convergence_reason"]
+        lines.append(f"  iterations: {fbsm['iterations']}   {status}"
+                     + (f" ({reason})" if reason else ""))
+        lines.append(f"  cost: {fbsm['first_cost']:.6g} -> "
+                     f"{fbsm['final_cost']:.6g}   "
+                     f"final control change: "
+                     f"{fbsm['final_control_change']:.3g}")
+        lines.append(f"  forward passes: {fbsm['forward_seconds']:.3f}s   "
+                     f"backward passes: {fbsm['backward_seconds']:.3f}s")
+        if fbsm["iterations"] >= 2:
+            lines.append(line_chart(
+                list(range(1, fbsm["iterations"] + 1)), fbsm["costs"],
+                name="cost", width=max(32, width), height=10,
+                title="  objective per FBSM sweep", x_label="iteration"))
+
+    executor = executor_summary(manifest)
+    if executor is not None:
+        lines.append("")
+        lines.append("== executor ==")
+        lines.append(f"  tasks: {executor['tasks']}   "
+                     f"errors: {executor['errors']}   "
+                     f"mean {executor['task_seconds_mean']:.3f}s   "
+                     f"max {executor['task_seconds_max']:.3f}s   "
+                     f"straggler ratio {executor['straggler_ratio']:.2f}")
+        for entry in executor["maps"]:
+            lines.append(f"  map {entry['name']!r}: {entry['tasks']} tasks "
+                         f"on {entry['workers']} worker(s) in "
+                         f"{entry['wall_seconds']:.2f}s, utilization "
+                         f"{float(entry['utilization']):.0%}")
+            for slow in entry["slowest"][:3]:
+                point = slow.get("point")
+                suffix = f"  point={point!r}" if point is not None else ""
+                lines.append(f"    straggler: task {slow['index']} "
+                             f"{slow['seconds']:.3f}s{suffix}")
+
+    resources = resource_summary(manifest)
+    if resources is not None:
+        lines.append("")
+        lines.append("== resources (repro-obs/2) ==")
+        lines.append(f"  profiled spans: {resources['spans']}   "
+                     f"process peak RSS: "
+                     f"{_fmt_bytes(resources['ru_maxrss_kb'] * 1024)}")
+        for name, entry in resources["by_name"].items():
+            lines.append(f"    {name}: tracemalloc peak "
+                         f"{_fmt_bytes(entry['tracemalloc_peak_bytes'])} "
+                         f"over {int(entry['count'])} span(s)")
+
+    profiles = manifest.of_type("profile")
+    if profiles:
+        lines.append("")
+        lines.append("== cProfile phases (repro-obs/2) ==")
+        for event in profiles:
+            lines.append(f"  {event['name']} ({event['seconds']:.3f}s), "
+                         f"top by cumulative time:")
+            for entry in list(event["top"])[:5]:
+                lines.append(f"    {entry['cumtime']:>8.3f}s "
+                             f"{entry['ncalls']:>7}x  {entry['function']}")
+
+    logs = manifest.of_type("log")
+    noisy = [e for e in logs if e["level"] in ("warning", "error")]
+    if noisy:
+        lines.append("")
+        lines.append("== warnings/errors ==")
+        for event in noisy:
+            lines.append(f"  [{event['level']}] {event['event']} "
+                         f"{event['fields']}")
+    return "\n".join(lines)
+
+
+def render_report(path: str | Path, *, width: int = 40) -> str:
+    """Load ``path`` (tolerating truncation) and render its report."""
+    return report_text(load_manifest(path), width=width)

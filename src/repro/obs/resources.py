@@ -1,0 +1,156 @@
+"""Opt-in resource profiling: tracemalloc span sampling and cProfile phases.
+
+Two instruments, both **off by default** and both pure additions to the
+``repro-obs/2`` manifest schema:
+
+* **Resource spans** — when an observer is created with
+  ``resources=True`` (CLI ``--profile-resources``), every
+  :meth:`~repro.obs.trace.Observer.span` additionally samples
+  ``tracemalloc`` (Python-heap peak over the block) and
+  ``resource.getrusage`` (process peak RSS) and emits one ``resource``
+  event next to the ``span`` event.
+* **Profiled phases** — :func:`maybe_profiled` wraps a block in
+  ``cProfile`` when the observer was created with ``profile=True``
+  (CLI ``--profile-phases``) and emits one ``profile`` event carrying
+  the top functions by cumulative time.  The experiment runner wraps
+  each figure pipeline in one.
+
+The invariant the rest of the observability layer guarantees is kept:
+with no observer installed the instrumented paths are a single global
+pointer read, and with an observer installed but profiling *disabled*
+(the default) neither instrument runs, so results stay bitwise
+identical (see ``tests/test_obs_resources.py``).
+
+Caveats, documented rather than hidden: ``tracemalloc`` tracks Python
+allocations only (numpy buffers allocated through ``malloc`` appear,
+arena reuse does not), slows allocation-heavy code noticeably, and peak
+accounting uses ``tracemalloc.reset_peak`` — nested resource spans
+report the peak since the innermost reset.  ``ru_maxrss`` is the
+process-lifetime high-water mark in kilobytes on Linux; it never
+decreases across spans.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "ResourceSample",
+    "start_tracing",
+    "stop_tracing",
+    "sample_block",
+    "maybe_profiled",
+    "profile_top",
+]
+
+#: How many functions a ``profile`` event keeps (by cumulative time).
+PROFILE_TOP_N = 15
+
+
+class ResourceSample:
+    """Start/stop pair around one resource-profiled span."""
+
+    __slots__ = ("started_tracing", "t0")
+
+    def __init__(self) -> None:
+        self.started_tracing = start_tracing()
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+        self.t0 = time.perf_counter()
+
+    def finish(self) -> dict[str, object]:
+        """Fields of the ``resource`` event (``seconds`` included)."""
+        seconds = time.perf_counter() - self.t0
+        peak = 0
+        if tracemalloc.is_tracing():
+            _current, peak = tracemalloc.get_traced_memory()
+        return {
+            "seconds": round(seconds, 6),
+            "tracemalloc_peak_bytes": int(peak),
+            "ru_maxrss_kb": _ru_maxrss_kb(),
+        }
+
+
+def start_tracing() -> bool:
+    """Ensure tracemalloc is tracing; return whether this call started it."""
+    if tracemalloc.is_tracing():
+        return False
+    tracemalloc.start()
+    return True
+
+
+def stop_tracing() -> None:
+    """Stop tracemalloc (observer teardown for the tracer it started)."""
+    if tracemalloc.is_tracing():
+        tracemalloc.stop()
+
+
+def _ru_maxrss_kb() -> int:
+    """Process peak RSS in kB (0 where ``resource`` is unavailable)."""
+    try:
+        import resource as _resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+
+
+@contextmanager
+def sample_block() -> Iterator[dict[str, object]]:
+    """Sample a block; the yielded dict is filled with event fields on exit."""
+    sample = ResourceSample()
+    fields: dict[str, object] = {}
+    try:
+        yield fields
+    finally:
+        fields.update(sample.finish())
+
+
+def profile_top(profile: cProfile.Profile, *,
+                top: int = PROFILE_TOP_N) -> list[dict[str, object]]:
+    """The ``top`` entries of a finished profile, by cumulative time.
+
+    Each entry is JSON-ready: ``{"function", "ncalls", "tottime",
+    "cumtime"}`` with ``function`` rendered ``module:line(name)``.
+    """
+    stats = pstats.Stats(profile)
+    entries = []
+    for func, (_cc, ncalls, tottime, cumtime, _callers) in \
+            stats.stats.items():  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        entries.append({
+            "function": f"{filename}:{lineno}({name})",
+            "ncalls": int(ncalls),
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        })
+    entries.sort(key=lambda entry: (-entry["cumtime"], entry["function"]))
+    return entries[:top]
+
+
+@contextmanager
+def maybe_profiled(name: str, **attrs: object) -> Iterator[None]:
+    """cProfile a block and emit a ``profile`` event — only when the
+    installed observer has ``profile=True``; otherwise a no-op beyond
+    the single observer read.
+    """
+    from repro.obs.trace import get_observer
+
+    observer = get_observer()
+    if observer is None or not observer.profile:
+        yield
+        return
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        observer.emit("profile", name=name,
+                      seconds=round(time.perf_counter() - t0, 6),
+                      top=profile_top(profiler), **attrs)

@@ -56,19 +56,36 @@ class Observer:
     run:
         Free-form metadata describing the run (argv, preset, ...);
         written into the ``manifest_start`` event.
+    resources:
+        When true (CLI ``--profile-resources``), every span also emits
+        a ``resource`` event with the block's tracemalloc peak and the
+        process peak RSS (see :mod:`repro.obs.resources`).  Off by
+        default; the disabled path does not touch tracemalloc.
+    profile:
+        When true (CLI ``--profile-phases``),
+        :func:`repro.obs.resources.maybe_profiled` blocks run under
+        cProfile and emit ``profile`` events.  Off by default.
     """
 
     def __init__(self, sink: EventSink | None = None, *,
                  progress: bool = False,
-                 run: Mapping[str, object] | None = None) -> None:
+                 run: Mapping[str, object] | None = None,
+                 resources: bool = False,
+                 profile: bool = False) -> None:
         self.sink = sink if sink is not None else NullSink()
         self.metrics = MetricsRegistry()
         self.progress = bool(progress)
         self.run = dict(run) if run else {}
+        self.resources = bool(resources)
+        self.profile = bool(profile)
         self.pid = os.getpid()
         self.t0 = time.perf_counter()
         self.events_written = 0
         self._closed = False
+        self._started_tracing = False
+        if self.resources:
+            from repro.obs.resources import start_tracing
+            self._started_tracing = start_tracing()
 
     # -- clock -------------------------------------------------------------
     def now(self) -> float:
@@ -96,8 +113,14 @@ class Observer:
 
         The event is emitted even when the block raises (the span then
         carries ``"error": <exception type>``), so manifests show where
-        a failed run spent its time.
+        a failed run spent its time.  With ``resources=True`` a
+        ``resource`` event (tracemalloc peak, peak RSS) accompanies
+        every span.
         """
+        sample = None
+        if self.resources:
+            from repro.obs.resources import ResourceSample
+            sample = ResourceSample()
         start = time.perf_counter()
         try:
             yield
@@ -105,10 +128,14 @@ class Observer:
             self.emit("span", name=name,
                       seconds=round(time.perf_counter() - start, 6),
                       attrs=dict(attrs), error=type(exc).__name__)
+            if sample is not None:
+                self.emit("resource", name=name, **sample.finish())
             raise
         self.emit("span", name=name,
                   seconds=round(time.perf_counter() - start, 6),
                   attrs=dict(attrs))
+        if sample is not None:
+            self.emit("resource", name=name, **sample.finish())
 
     # -- lifecycle ---------------------------------------------------------
     def open_manifest(self) -> None:
@@ -127,6 +154,10 @@ class Observer:
                   metrics=self.metrics.snapshot())
         self._closed = True
         self.sink.close()
+        if self._started_tracing:
+            from repro.obs.resources import stop_tracing
+            stop_tracing()
+            self._started_tracing = False
 
 
 #: The installed observer, or ``None`` when observability is disabled.
@@ -154,7 +185,9 @@ def uninstall() -> None:
 def observing(trace_out: str | os.PathLike | None = None, *,
               progress: bool = False,
               run: Mapping[str, object] | None = None,
-              sink: EventSink | None = None) -> Iterator[Observer]:
+              sink: EventSink | None = None,
+              resources: bool = False,
+              profile: bool = False) -> Iterator[Observer]:
     """Observe a block: install an observer, frame and close its manifest.
 
     ``trace_out`` selects the JSONL manifest path; with ``trace_out``
@@ -165,7 +198,8 @@ def observing(trace_out: str | os.PathLike | None = None, *,
     """
     if sink is None:
         sink = JsonlSink(trace_out) if trace_out is not None else MemorySink()
-    observer = Observer(sink, progress=progress, run=run)
+    observer = Observer(sink, progress=progress, run=run,
+                        resources=resources, profile=profile)
     previous = get_observer()
     install(observer)
     observer.open_manifest()

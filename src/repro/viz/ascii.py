@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 
-__all__ = ["line_chart", "multi_line_chart"]
+__all__ = ["line_chart", "multi_line_chart", "bar_chart"]
 
 _MARKERS = "*o+x#@%&"
 
@@ -82,6 +82,32 @@ def multi_line_chart(x: Sequence[float] | np.ndarray,
     lines.append(f"{y_lo:.4g}".rjust(10))
     lines.append(" " * 2 + "+" + "-" * width)
     lines.append(f"  {x_label}: {x[0]:.4g} .. {x[-1]:.4g}")
+    return "\n".join(lines)
+
+
+def bar_chart(items: Mapping[str, float], *, width: int = 40,
+              title: str = "", unit: str = "") -> str:
+    """Render named non-negative quantities as horizontal ASCII bars.
+
+    Bars scale linearly to the largest value; each row prints the
+    label, the bar, and the value (with ``unit`` appended).  Used by
+    ``repro obs report`` for per-phase timing breakdowns.
+    """
+    if not items:
+        raise ParameterError("need at least one bar")
+    if width < 8:
+        raise ParameterError("bar width too small (min 8)")
+    values = {str(name): float(value) for name, value in items.items()}
+    if any(value < 0 for value in values.values()):
+        raise ParameterError("bar values must be non-negative")
+    peak = max(values.values())
+    label_width = max(len(name) for name in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        filled = int(round(width * (value / peak))) if peak > 0 else 0
+        bar = "#" * filled
+        lines.append(f"  {name.rjust(label_width)} |{bar.ljust(width)}| "
+                     f"{value:.4g}{unit}")
     return "\n".join(lines)
 
 

@@ -109,3 +109,92 @@ class TestObservabilityFlags:
         assert main(["--trace-out", str(tmp_path / "t.jsonl"),
                      "threshold"]) == 0
         assert get_observer() is None
+
+    def test_profiling_flags_default_off(self):
+        args = build_parser().parse_args(["threshold"])
+        assert args.profile_resources is False
+        assert args.profile_phases is False
+
+    def test_profiling_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--profile-resources", "--profile-phases", "threshold"])
+        assert args.profile_resources is True
+        assert args.profile_phases is True
+
+    def test_profiling_flag_alone_installs_observer(self, tmp_path: Path,
+                                                    capsys):
+        # --profile-resources without --trace-out still observes (the
+        # manifest goes to a MemorySink) and must not leak the hook.
+        from repro.obs.trace import get_observer
+
+        assert main(["--profile-resources", "threshold"]) == 0
+        assert get_observer() is None
+
+
+class TestObsSubcommand:
+    def _valid_manifest(self, tmp_path: Path) -> Path:
+        from repro.obs.trace import observing
+
+        path = tmp_path / "run.jsonl"
+        with observing(path, run={"case": "cli"}) as observer:
+            with observer.span("phase"):
+                pass
+        return path
+
+    def test_parser_accepts_obs_commands(self):
+        args = build_parser().parse_args(["obs", "report", "m.jsonl"])
+        assert args.command == "obs"
+        assert args.obs_command == "report"
+        assert args.width == 40
+        args = build_parser().parse_args(
+            ["obs", "compare", "a.json", "b.json", "--warn-only",
+             "--wall-rtol", "0.5"])
+        assert args.obs_command == "compare"
+        assert args.warn_only is True
+        assert args.wall_rtol == 0.5
+        args = build_parser().parse_args(["obs", "validate", "m.jsonl"])
+        assert args.obs_command == "validate"
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_validate_exit_zero_on_valid(self, tmp_path: Path, capsys):
+        path = self._valid_manifest(tmp_path)
+        assert main(["obs", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "valid" in out
+        assert "repro-obs/2" in out
+
+    def test_validate_exit_one_on_truncated(self, tmp_path: Path,
+                                            capsys):
+        path = self._valid_manifest(tmp_path)
+        lines = path.read_text(encoding="utf-8").splitlines()[:-1]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert main(["obs", "validate", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_validate_exit_one_on_missing_file(self, tmp_path: Path,
+                                               capsys):
+        assert main(["obs", "validate",
+                     str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_renders_manifest(self, tmp_path: Path, capsys):
+        path = self._valid_manifest(tmp_path)
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "[COMPLETE]" in out
+        assert "phase" in out
+
+    def test_obs_never_installs_observer(self, tmp_path: Path, capsys):
+        # Even with observability flags set, analysis commands must not
+        # trace themselves.
+        from repro.obs.trace import get_observer
+
+        path = self._valid_manifest(tmp_path)
+        trace = tmp_path / "self-trace.jsonl"
+        assert main(["--trace-out", str(trace), "obs", "report",
+                     str(path)]) == 0
+        assert get_observer() is None
+        assert not trace.exists()

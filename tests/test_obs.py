@@ -110,6 +110,80 @@ class TestMetrics:
         registry.observe("h", 1.0)
         json.dumps(registry.snapshot())  # must not raise
 
+    def test_empty_histogram_quantiles_are_zero(self):
+        hist = Histogram("x")
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(1.0) == 0.0
+
+    def test_single_sample_histogram_quantiles(self):
+        hist = Histogram("x")
+        hist.observe(3.5)
+        for q in (0.0, 0.25, 0.5, 1.0):
+            assert hist.quantile(q) == 3.5
+
+    def test_quantile_exact_below_reservoir_bound(self):
+        hist = Histogram("x")
+        for value in (4.0, 1.0, 3.0, 2.0, 5.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(0.5) == 3.0
+        assert hist.quantile(1.0) == 5.0
+        assert hist.quantile(0.25) == 2.0  # linear interpolation grid
+
+    def test_quantile_out_of_range_rejected(self):
+        hist = Histogram("x")
+        hist.observe(1.0)
+        with pytest.raises(ParameterError):
+            hist.quantile(-0.1)
+        with pytest.raises(ParameterError):
+            hist.quantile(1.1)
+
+    def test_quantile_reservoir_estimate_beyond_bound(self):
+        # Feed far more samples than the reservoir holds: estimates
+        # must stay inside the observed range and be deterministic
+        # across identical runs (the LCG is per-instance, seeded).
+        def fill():
+            hist = Histogram("x")
+            for i in range(5000):
+                hist.observe(float(i % 100))
+            return hist
+        a, b = fill(), fill()
+        assert a.count == 5000
+        for q in (0.1, 0.5, 0.9):
+            assert 0.0 <= a.quantile(q) <= 99.0
+            assert a.quantile(q) == b.quantile(q)
+        assert a.quantile(0.5) == pytest.approx(49.5, abs=15.0)
+
+    def test_histogram_reset_returns_to_empty(self):
+        hist = Histogram("x")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        hist.reset()
+        assert hist.summary() == {"count": 0, "sum": 0.0, "min": 0.0,
+                                  "max": 0.0, "mean": 0.0}
+        assert hist.quantile(0.5) == 0.0
+        # Observations after reset behave like a fresh histogram.
+        hist.observe(7.0)
+        assert hist.summary()["mean"] == 7.0
+        assert hist.quantile(0.5) == 7.0
+
+    def test_registry_reset_zeroes_but_keeps_registrations(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 5)
+        registry.gauge("g").set(3)
+        registry.observe("h", 2.0)
+        registry.reset()
+        snap = registry.snapshot()
+        # Names stay registered (and kind-locked), values are zeroed.
+        assert snap["counters"] == {"c": 0.0}
+        assert snap["gauges"] == {"g": 0.0}
+        assert snap["histograms"]["h"]["count"] == 0
+        with pytest.raises(ParameterError):
+            registry.gauge("c")  # kind lock survives reset
+        registry.inc("c")
+        assert registry.snapshot()["counters"]["c"] == 1.0
+
 
 # -- sinks -----------------------------------------------------------------
 

@@ -1,0 +1,299 @@
+"""Tests for run-to-run comparison and the perf gate
+(:mod:`repro.obs.compare`, ``repro obs compare``).
+
+The acceptance pair the issue names: identical inputs exit 0, a
+synthetically regressed bench file exits nonzero.  Around those, the
+classification rules — shape drift always fails (even warn-only), the
+noise floor from per-repeat raw timings suppresses noisy-but-equal
+measurements, deterministic counters gate at a tight threshold.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.timing import BenchRecord, write_bench_json
+from repro.exceptions import ParameterError
+from repro.obs.compare import (
+    Comparison,
+    compare_bench,
+    compare_manifests,
+    compare_paths,
+    noise_floor,
+)
+from repro.obs.events import OBS_SCHEMA
+
+
+def _bench(path, wall=1.0, raw=None, nfev=1000, name="sweep/serial",
+           points=16):
+    """Write a minimal bench file and return its path."""
+    meta = {"backend": "serial", "workers": 1}
+    if raw is not None:
+        meta["raw_seconds"] = raw
+        meta["repeat"] = len(raw)
+    write_bench_json(
+        path, [BenchRecord(name, wall, meta)],
+        workload={"name": "sweep", "points": points},
+        metrics={"counters": {"solver.nfev": nfev, "solver.runs": 16},
+                 "gauges": {}, "histograms": {}})
+    return path
+
+
+def _manifest(path, *, wall=1.0, spans=("work",), nfev=100,
+              fbsm_iterations=0):
+    events = [{"type": "manifest_start", "t": 0.0, "schema": OBS_SCHEMA,
+               "created_utc": "2026-08-06T00:00:00+00:00", "run": {}}]
+    for i, name in enumerate(spans):
+        events.append({"type": "span", "t": 0.1 * (i + 1), "name": name,
+                       "seconds": 0.1, "attrs": {}})
+    if nfev:
+        events.append({"type": "solver", "t": 0.5, "solver": "dopri45",
+                       "dim": 15, "nfev": nfev, "accepted": 10,
+                       "rejected": 1, "wall_seconds": 0.2})
+    for i in range(fbsm_iterations):
+        events.append({"type": "fbsm_iteration", "t": 0.6 + 0.01 * i,
+                       "iteration": i + 1, "cost": 10.0 - i,
+                       "control_change": 0.1,
+                       "forward_seconds": 0.01,
+                       "backward_seconds": 0.01})
+    events.append({"type": "manifest_end", "t": wall,
+                   "events": len(events) + 1, "wall_seconds": wall,
+                   "metrics": {"counters": {}, "gauges": {},
+                               "histograms": {}}})
+    path.write_text("".join(json.dumps(e) + "\n" for e in events),
+                    encoding="utf-8")
+    return path
+
+
+class TestNoiseFloor:
+    def test_zero_without_repeats(self):
+        assert noise_floor(None, None) == 0.0
+        assert noise_floor([1.0], [2.0]) == 0.0
+
+    def test_floor_is_doubled_worst_spread(self):
+        # A spread of (1.2 - 1.0) / 1.0 = 20% on one side -> 40% floor.
+        assert noise_floor([1.0, 1.2], [1.0, 1.0]) == pytest.approx(0.4)
+        assert noise_floor([1.0, 1.0], [1.0, 1.2],
+                           noise_factor=1.0) == pytest.approx(0.2)
+
+
+class TestCompareBench:
+    def test_identical_files_pass(self, tmp_path):
+        a = _bench(tmp_path / "a.json")
+        b = _bench(tmp_path / "b.json")
+        comparison = compare_bench(a, b)
+        assert comparison.ok
+        assert comparison.exit_code() == 0
+        assert "PASS" in comparison.text()
+
+    def test_regressed_wall_time_fails(self, tmp_path):
+        a = _bench(tmp_path / "a.json", wall=1.0)
+        b = _bench(tmp_path / "b.json", wall=1.5)  # +50% > 25% rtol
+        comparison = compare_bench(a, b)
+        assert not comparison.ok
+        assert comparison.exit_code() == 1
+        assert any("wall" in entry for entry in comparison.regressions)
+        assert "FAIL" in comparison.text()
+
+    def test_warn_only_downgrades_value_regressions(self, tmp_path):
+        a = _bench(tmp_path / "a.json", wall=1.0)
+        b = _bench(tmp_path / "b.json", wall=1.5)
+        comparison = compare_bench(a, b)
+        assert comparison.exit_code(warn_only=True) == 0
+        assert "warn-only" in comparison.text(warn_only=True)
+
+    def test_noise_floor_suppresses_noisy_regression(self, tmp_path):
+        # Best-of walls differ by 40%, but the repeats scatter by 30%
+        # on the A side -> floor = 60% > the observed 40% change.
+        a = _bench(tmp_path / "a.json", wall=1.0, raw=[1.0, 1.3, 1.1])
+        b = _bench(tmp_path / "b.json", wall=1.4, raw=[1.4, 1.45])
+        assert compare_bench(a, b).ok
+        # The same 40% change with tight repeats is a real regression.
+        a2 = _bench(tmp_path / "a2.json", wall=1.0, raw=[1.0, 1.01])
+        b2 = _bench(tmp_path / "b2.json", wall=1.4, raw=[1.4, 1.41])
+        assert not compare_bench(a2, b2).ok
+
+    def test_improvement_is_not_a_failure(self, tmp_path):
+        a = _bench(tmp_path / "a.json", wall=2.0)
+        b = _bench(tmp_path / "b.json", wall=1.0)
+        comparison = compare_bench(a, b)
+        assert comparison.ok
+        assert comparison.improvements
+
+    def test_record_set_drift_always_fails(self, tmp_path):
+        a = _bench(tmp_path / "a.json", name="sweep/serial")
+        b = _bench(tmp_path / "b.json", name="sweep/thread")
+        comparison = compare_bench(a, b)
+        assert comparison.shape_drift
+        # Shape drift survives warn-only: the baseline changed meaning.
+        assert comparison.exit_code(warn_only=True) == 1
+
+    def test_workload_points_drift_fails(self, tmp_path):
+        a = _bench(tmp_path / "a.json", points=16)
+        b = _bench(tmp_path / "b.json", points=64)
+        assert compare_bench(a, b).shape_drift
+
+    def test_nfev_counter_gates_tightly(self, tmp_path):
+        a = _bench(tmp_path / "a.json", nfev=1000)
+        b = _bench(tmp_path / "b.json", nfev=1020)  # +2% > 1% rtol
+        comparison = compare_bench(a, b)
+        assert any("solver.nfev" in entry
+                   for entry in comparison.regressions)
+        assert compare_bench(a, _bench(tmp_path / "c.json",
+                                       nfev=1005)).ok
+
+    def test_metric_key_drift_fails(self, tmp_path):
+        a = _bench(tmp_path / "a.json")
+        payload = json.loads((tmp_path / "a.json").read_text())
+        payload["metrics"]["counters"]["new.counter"] = 1
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(payload), encoding="utf-8")
+        comparison = compare_bench(a, b)
+        assert any("counters" in entry for entry in comparison.shape_drift)
+
+    def test_synthetic_regression_of_committed_baseline(self, tmp_path):
+        """Acceptance: the committed BENCH_batched.json vs a copy with
+        one wall time inflated 10x exits nonzero; vs an identical copy
+        exits 0."""
+        from pathlib import Path
+
+        baseline = Path(__file__).resolve().parent.parent \
+            / "BENCH_batched.json"
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        same = tmp_path / "same.json"
+        same.write_text(json.dumps(payload), encoding="utf-8")
+        assert compare_paths(baseline, same).exit_code() == 0
+
+        regressed = copy.deepcopy(payload)
+        record = regressed["records"][0]
+        record["wall_seconds"] *= 10.0
+        record["meta"]["raw_seconds"] = [
+            s * 10.0 for s in record["meta"]["raw_seconds"]]
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(regressed), encoding="utf-8")
+        comparison = compare_paths(baseline, bad)
+        assert comparison.exit_code() == 1
+        assert comparison.regressions
+
+
+class TestCompareManifests:
+    def test_identical_manifests_pass(self, tmp_path):
+        a = _manifest(tmp_path / "a.jsonl")
+        b = _manifest(tmp_path / "b.jsonl")
+        comparison = compare_manifests(a, b)
+        assert comparison.ok
+        assert comparison.kind == "manifest"
+
+    def test_wall_regression_fails(self, tmp_path):
+        a = _manifest(tmp_path / "a.jsonl", wall=1.0)
+        b = _manifest(tmp_path / "b.jsonl", wall=2.0)
+        comparison = compare_manifests(a, b)
+        assert any("wall" in entry for entry in comparison.regressions)
+
+    def test_nfev_drift_fails(self, tmp_path):
+        a = _manifest(tmp_path / "a.jsonl", nfev=1000)
+        b = _manifest(tmp_path / "b.jsonl", nfev=1100)
+        comparison = compare_manifests(a, b)
+        assert any("nfev" in entry for entry in comparison.regressions)
+
+    def test_span_name_drift_fails(self, tmp_path):
+        a = _manifest(tmp_path / "a.jsonl", spans=("work",))
+        b = _manifest(tmp_path / "b.jsonl", spans=("other",))
+        assert compare_manifests(a, b).shape_drift
+
+    def test_fbsm_iteration_increase_is_regression(self, tmp_path):
+        a = _manifest(tmp_path / "a.jsonl", fbsm_iterations=5)
+        b = _manifest(tmp_path / "b.jsonl", fbsm_iterations=8)
+        comparison = compare_manifests(a, b)
+        assert any("FBSM" in entry for entry in comparison.regressions)
+        backwards = compare_manifests(b, a)
+        assert any("FBSM" in entry for entry in backwards.improvements)
+
+    def test_fbsm_presence_mismatch_is_shape_drift(self, tmp_path):
+        a = _manifest(tmp_path / "a.jsonl", fbsm_iterations=5)
+        b = _manifest(tmp_path / "b.jsonl", fbsm_iterations=0)
+        assert any("FBSM" in entry
+                   for entry in compare_manifests(a, b).shape_drift)
+
+    def test_truncated_manifest_warns(self, tmp_path):
+        a = _manifest(tmp_path / "a.jsonl")
+        b = tmp_path / "b.jsonl"
+        # Drop the manifest_end line from a copy of A.
+        lines = a.read_text(encoding="utf-8").splitlines()[:-1]
+        b.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        comparison = compare_manifests(a, b)
+        assert any("truncated" in entry for entry in comparison.warnings)
+
+
+class TestComparePaths:
+    def test_dispatch_and_mixed_kinds(self, tmp_path):
+        bench = _bench(tmp_path / "a.json")
+        manifest = _manifest(tmp_path / "b.jsonl")
+        assert compare_paths(bench, bench).kind == "bench"
+        assert compare_paths(manifest, manifest).kind == "manifest"
+        with pytest.raises(ParameterError, match="cannot compare"):
+            compare_paths(bench, manifest)
+
+    def test_missing_input_raises(self, tmp_path):
+        existing = _bench(tmp_path / "a.json")
+        with pytest.raises(ParameterError, match="not found"):
+            compare_paths(existing, tmp_path / "nope.json")
+
+
+class TestCompareCli:
+    def test_identical_exit_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = _bench(tmp_path / "a.json")
+        b = _bench(tmp_path / "b.json")
+        assert main(["obs", "compare", str(a), str(b)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regressed_exit_nonzero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = _bench(tmp_path / "a.json", wall=1.0)
+        b = _bench(tmp_path / "b.json", wall=2.0)
+        assert main(["obs", "compare", str(a), str(b)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_warn_only_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = _bench(tmp_path / "a.json", wall=1.0)
+        b = _bench(tmp_path / "b.json", wall=2.0)
+        assert main(["obs", "compare", "--warn-only",
+                     str(a), str(b)]) == 0
+
+    def test_wall_rtol_flag_loosens_gate(self, tmp_path):
+        from repro.cli import main
+
+        a = _bench(tmp_path / "a.json", wall=1.0)
+        b = _bench(tmp_path / "b.json", wall=1.4)
+        assert main(["obs", "compare", str(a), str(b)]) == 1
+        assert main(["obs", "compare", "--wall-rtol", "0.6",
+                     str(a), str(b)]) == 0
+
+    def test_missing_file_reports_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = _bench(tmp_path / "a.json")
+        assert main(["obs", "compare", str(a),
+                     str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestComparisonText:
+    def test_buckets_rendered_with_labels(self, tmp_path):
+        comparison = Comparison("bench", tmp_path / "a", tmp_path / "b")
+        comparison.shape_drift.append("records differ")
+        comparison.regressions.append("slower")
+        comparison.improvements.append("faster")
+        text = comparison.text()
+        assert "[SHAPE DRIFT] records differ" in text
+        assert "[REGRESSION] slower" in text
+        assert "[improvement] faster" in text
+        assert text.endswith("verdict: FAIL")

@@ -1,0 +1,269 @@
+"""Unit tests for the manifest reader (:mod:`repro.obs.reader`).
+
+Covers the streaming loader's completeness/truncation semantics (a
+killed run's manifest parses with ``complete=False``; schema drift
+raises regardless of mode), schema-version acceptance (``repro-obs/1``
+and ``/2``), and the span-tree reconstruction with its self/cumulative
+wall-time rollups.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs.events import OBS_SCHEMA, OBS_SCHEMA_V1
+from repro.obs.reader import Manifest, SpanNode, load_manifest
+
+
+def _start(schema=OBS_SCHEMA, run=None):
+    return {"type": "manifest_start", "t": 0.0, "schema": schema,
+            "created_utc": "2026-08-06T00:00:00+00:00",
+            "run": run or {"test": True}}
+
+
+def _end(count, wall=1.0, metrics=None):
+    return {"type": "manifest_end", "t": wall, "events": count,
+            "wall_seconds": wall,
+            "metrics": metrics or {"counters": {}, "gauges": {},
+                                   "histograms": {}}}
+
+
+def _span(name, end, seconds, **attrs):
+    return {"type": "span", "t": end, "name": name, "seconds": seconds,
+            "attrs": attrs}
+
+
+def _write(path, events):
+    path.write_text("".join(json.dumps(e) + "\n" for e in events),
+                    encoding="utf-8")
+    return path
+
+
+class TestLoadManifest:
+    def test_complete_manifest(self, tmp_path):
+        path = _write(tmp_path / "m.jsonl", [
+            _start(), _span("a", 0.5, 0.5), _end(3)])
+        manifest = load_manifest(path)
+        assert isinstance(manifest, Manifest)
+        assert manifest.complete
+        assert manifest.truncation_reason is None
+        assert manifest.schema == OBS_SCHEMA
+        assert manifest.wall_seconds == 1.0
+        assert manifest.metrics == {"counters": {}, "gauges": {},
+                                    "histograms": {}}
+        assert manifest.run == {"test": True}
+        assert manifest.type_counts() == {
+            "manifest_end": 1, "manifest_start": 1, "span": 1}
+
+    def test_missing_end_frame_is_truncated_not_error(self, tmp_path):
+        path = _write(tmp_path / "m.jsonl", [
+            _start(), _span("a", 0.5, 0.5)])
+        manifest = load_manifest(path)
+        assert not manifest.complete
+        assert "missing manifest_end" in manifest.truncation_reason
+        assert manifest.metrics is None
+        # Truncated wall time: the last observed timestamp.
+        assert manifest.wall_seconds == 0.5
+        assert len(manifest.events) == 2
+
+    def test_partial_final_line_is_truncated(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        lines = [json.dumps(_start()), json.dumps(_span("a", 0.5, 0.5))]
+        # A SIGKILL mid-write leaves a partial JSON fragment on the
+        # final line; everything before it must still be returned.
+        path.write_text("\n".join(lines) + "\n"
+                        + '{"type": "span", "t": 0.9, "na',
+                        encoding="utf-8")
+        manifest = load_manifest(path)
+        assert not manifest.complete
+        assert "partial write" in manifest.truncation_reason
+        assert [e["type"] for e in manifest.events] == \
+            ["manifest_start", "span"]
+
+    def test_strict_mode_refuses_truncation(self, tmp_path):
+        path = _write(tmp_path / "m.jsonl", [_start()])
+        with pytest.raises(ParameterError, match="truncated"):
+            load_manifest(path, strict=True)
+
+    def test_midstream_bad_line_raises_even_tolerant(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text(json.dumps(_start()) + "\n"
+                        + "not json at all\n"
+                        + json.dumps(_end(3)) + "\n", encoding="utf-8")
+        with pytest.raises(ParameterError, match="invalid JSON"):
+            load_manifest(path)
+
+    def test_unknown_event_type_is_schema_drift(self, tmp_path):
+        path = _write(tmp_path / "m.jsonl", [
+            _start(), {"type": "mystery", "t": 0.1}, _end(3)])
+        with pytest.raises(ParameterError, match="unknown event type"):
+            load_manifest(path)
+
+    def test_event_count_mismatch_raises(self, tmp_path):
+        path = _write(tmp_path / "m.jsonl", [
+            _start(), _span("a", 0.5, 0.5), _end(99)])
+        with pytest.raises(ParameterError, match="reports 99 events"):
+            load_manifest(path)
+
+    def test_unsupported_schema_raises(self, tmp_path):
+        path = _write(tmp_path / "m.jsonl", [
+            _start(schema="repro-obs/99"), _end(2)])
+        with pytest.raises(ParameterError, match="unsupported"):
+            load_manifest(path)
+
+    def test_must_open_with_manifest_start(self, tmp_path):
+        path = _write(tmp_path / "m.jsonl", [
+            _span("a", 0.5, 0.5), _end(2)])
+        with pytest.raises(ParameterError, match="manifest_start"):
+            load_manifest(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(ParameterError, match="empty"):
+            load_manifest(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ParameterError, match="not found"):
+            load_manifest(tmp_path / "nope.jsonl")
+
+    def test_v1_manifest_accepted(self, tmp_path):
+        path = _write(tmp_path / "m.jsonl", [
+            _start(schema=OBS_SCHEMA_V1), _span("a", 0.5, 0.5), _end(3)])
+        manifest = load_manifest(path)
+        assert manifest.complete
+        assert manifest.schema == OBS_SCHEMA_V1
+
+    def test_v1_manifest_rejects_v2_event_types(self, tmp_path):
+        resource = {"type": "resource", "t": 0.5, "name": "a",
+                    "seconds": 0.5, "tracemalloc_peak_bytes": 10,
+                    "ru_maxrss_kb": 100}
+        path = _write(tmp_path / "m.jsonl", [
+            _start(schema=OBS_SCHEMA_V1), resource, _end(3)])
+        with pytest.raises(ParameterError, match="v2-only"):
+            load_manifest(path)
+        # The same events under a repro-obs/2 declaration are fine.
+        path2 = _write(tmp_path / "m2.jsonl", [
+            _start(), resource, _end(3)])
+        assert load_manifest(path2).complete
+
+
+class TestSpanTree:
+    def _nested_manifest(self, tmp_path):
+        # Real timeline: outer [0.0, 1.0] containing inner1 [0.1, 0.4]
+        # (which contains grand [0.15, 0.3]) and inner2 [0.5, 0.9].
+        # Spans are emitted at *exit*, so the stream is in completion
+        # order: grand, inner1, inner2, outer.
+        return _write(tmp_path / "m.jsonl", [
+            _start(),
+            _span("grand", 0.3, 0.15),
+            _span("inner", 0.4, 0.3),
+            _span("inner", 0.9, 0.4),
+            _span("outer", 1.0, 1.0),
+            _end(6),
+        ])
+
+    def test_nesting_recovered_by_containment(self, tmp_path):
+        roots = load_manifest(self._nested_manifest(tmp_path)).span_tree()
+        assert [r.name for r in roots] == ["outer"]
+        outer = roots[0]
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+        first, second = outer.children
+        assert first.start < second.start  # ordered by start time
+        assert [g.name for g in first.children] == ["grand"]
+        assert second.children == []
+
+    def test_self_and_cumulative_seconds(self, tmp_path):
+        roots = load_manifest(self._nested_manifest(tmp_path)).span_tree()
+        outer = roots[0]
+        assert outer.seconds == pytest.approx(1.0)
+        # outer self = 1.0 - (0.3 + 0.4) children.
+        assert outer.self_seconds == pytest.approx(0.3)
+        inner1 = outer.children[0]
+        assert inner1.self_seconds == pytest.approx(0.3 - 0.15)
+
+    def test_walk_is_depth_first(self, tmp_path):
+        roots = load_manifest(self._nested_manifest(tmp_path)).span_tree()
+        walked = [(depth, node.name) for depth, node in roots[0].walk()]
+        assert walked == [(0, "outer"), (1, "inner"), (2, "grand"),
+                          (1, "inner")]
+
+    def test_rollup_groups_by_name(self, tmp_path):
+        manifest = load_manifest(self._nested_manifest(tmp_path))
+        rollup = manifest.span_rollup()
+        assert set(rollup) == {"outer", "inner", "grand"}
+        inner = rollup["inner"]
+        assert inner["count"] == 2
+        assert inner["seconds"] == pytest.approx(0.7)
+        assert inner["self_seconds"] == pytest.approx(0.55)
+        assert inner["max_seconds"] == pytest.approx(0.4)
+        # Sorted by descending self time.
+        assert list(rollup) == ["inner", "outer", "grand"]
+
+    def test_sibling_spans_stay_roots(self, tmp_path):
+        path = _write(tmp_path / "m.jsonl", [
+            _start(),
+            _span("a", 0.4, 0.4),
+            _span("b", 0.9, 0.4),  # starts at 0.5, after a ended
+            _end(4),
+        ])
+        roots = load_manifest(path).span_tree()
+        assert [r.name for r in roots] == ["a", "b"]
+        assert all(not r.children for r in roots)
+
+    def test_rounding_slack_at_boundaries(self, tmp_path):
+        # Emission rounds t/seconds to 1e-6; a child whose recon-
+        # structed start lands 2 µs before the parent's must still
+        # be adopted.
+        path = _write(tmp_path / "m.jsonl", [
+            _start(),
+            _span("child", 0.500001, 0.400003),
+            _span("parent", 1.0, 0.9),  # starts at 0.1 > 0.099998
+            _end(4),
+        ])
+        roots = load_manifest(path).span_tree()
+        assert [r.name for r in roots] == ["parent"]
+        assert [c.name for c in roots[0].children] == ["child"]
+
+    def test_error_spans_carry_error(self, tmp_path):
+        event = _span("boom", 0.5, 0.5)
+        event["error"] = "ValueError"
+        path = _write(tmp_path / "m.jsonl", [_start(), event, _end(3)])
+        roots = load_manifest(path).span_tree()
+        assert roots[0].error == "ValueError"
+
+    def test_spannode_direct_construction(self):
+        node = SpanNode("x", 0.0, 2.0,
+                        children=[SpanNode("y", 0.5, 1.5)])
+        assert node.seconds == 2.0
+        assert node.self_seconds == 1.0
+
+
+class TestManifestAccessors:
+    def test_of_type_filters_in_order(self, tmp_path):
+        path = _write(tmp_path / "m.jsonl", [
+            _start(), _span("a", 0.1, 0.1), _span("b", 0.2, 0.1),
+            _end(4)])
+        manifest = load_manifest(path)
+        assert [e["name"] for e in manifest.of_type("span")] == ["a", "b"]
+        assert manifest.of_type("solver") == []
+
+    def test_real_observer_manifest_round_trips(self, tmp_path):
+        from repro.obs.trace import observing
+
+        path = tmp_path / "real.jsonl"
+        with observing(path, run={"case": "round-trip"}) as observer:
+            with observer.span("outer"):
+                with observer.span("inner"):
+                    pass
+            observer.metrics.inc("work.units", 3)
+        manifest = load_manifest(path, strict=True)
+        assert manifest.complete
+        assert manifest.run == {"case": "round-trip"}
+        assert manifest.metrics["counters"] == {"work.units": 3}
+        roots = manifest.span_tree()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner"]

@@ -1,0 +1,265 @@
+"""Tests for the manifest analyzer (:mod:`repro.obs.report`).
+
+The section functions are exercised on synthetic manifests with known
+numbers; the acceptance test runs a real FBSM solve under a JSONL
+observer and checks ``repro obs report`` renders the run correctly
+(iteration count, convergence verdict, solver accounting) from disk.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.events import OBS_SCHEMA
+from repro.obs.reader import load_manifest
+from repro.obs.report import (
+    executor_summary,
+    fbsm_summary,
+    render_report,
+    report_text,
+    resource_summary,
+    solver_rollup,
+)
+from repro.obs.trace import observing, uninstall
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    uninstall()
+    yield
+    uninstall()
+
+
+def _start():
+    return {"type": "manifest_start", "t": 0.0, "schema": OBS_SCHEMA,
+            "created_utc": "2026-08-06T00:00:00+00:00", "run": {}}
+
+
+def _end(count, wall=1.0):
+    return {"type": "manifest_end", "t": wall, "events": count,
+            "wall_seconds": wall,
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}}}
+
+
+def _solver(t, nfev, accepted, rejected, wall, solver="dopri45"):
+    return {"type": "solver", "t": t, "solver": solver, "dim": 30,
+            "nfev": nfev, "accepted": accepted, "rejected": rejected,
+            "wall_seconds": wall}
+
+
+def _manifest(tmp_path, events, name="m.jsonl"):
+    body = [_start(), *events]
+    body.append(_end(len(body) + 1))
+    path = tmp_path / name
+    path.write_text("".join(json.dumps(e) + "\n" for e in body),
+                    encoding="utf-8")
+    return load_manifest(path)
+
+
+class TestSolverRollup:
+    def test_sums_and_rejection_rate(self, tmp_path):
+        manifest = _manifest(tmp_path, [
+            _solver(0.1, 100, 10, 2, 0.05),
+            _solver(0.2, 60, 8, 0, 0.03),
+            _solver(0.3, 40, 5, 5, 0.02, solver="rk4"),
+        ])
+        rollup = solver_rollup(manifest)
+        assert rollup["runs"] == 3
+        assert rollup["nfev"] == 200
+        assert rollup["accepted"] == 23
+        assert rollup["rejected"] == 7
+        assert rollup["wall_seconds"] == pytest.approx(0.10)
+        assert rollup["rejection_rate"] == pytest.approx(7 / 30)
+        assert set(rollup["by_solver"]) == {"dopri45", "rk4"}
+        assert rollup["by_solver"]["dopri45"]["runs"] == 2
+        assert rollup["by_solver"]["dopri45"]["nfev"] == 160
+
+    def test_empty_manifest_rolls_up_to_zero(self, tmp_path):
+        rollup = solver_rollup(_manifest(tmp_path, []))
+        assert rollup["runs"] == 0
+        assert rollup["rejection_rate"] == 0.0
+
+
+class TestFbsmSummary:
+    def _iteration(self, i, cost, change):
+        return {"type": "fbsm_iteration", "t": 0.1 * i, "iteration": i,
+                "cost": cost, "control_change": change,
+                "forward_seconds": 0.02, "backward_seconds": 0.03}
+
+    def test_none_without_trace(self, tmp_path):
+        assert fbsm_summary(_manifest(tmp_path, [])) is None
+
+    def test_trajectory_and_solve_span_attrs(self, tmp_path):
+        solve_span = {"type": "span", "t": 0.4, "name": "fbsm.solve",
+                      "seconds": 0.4,
+                      "attrs": {"iterations": 3, "converged": True,
+                                "reason": "controls", "n_grid": 41}}
+        manifest = _manifest(tmp_path, [
+            self._iteration(1, 10.0, 0.5),
+            self._iteration(2, 6.0, 0.1),
+            self._iteration(3, 5.5, 0.01),
+            solve_span,
+        ])
+        summary = fbsm_summary(manifest)
+        assert summary["iterations"] == 3
+        assert summary["first_cost"] == 10.0
+        assert summary["final_cost"] == 5.5
+        assert summary["costs"] == [10.0, 6.0, 5.5]
+        assert summary["control_changes"] == [0.5, 0.1, 0.01]
+        assert summary["final_control_change"] == 0.01
+        assert summary["forward_seconds"] == pytest.approx(0.06)
+        assert summary["backward_seconds"] == pytest.approx(0.09)
+        assert summary["converged"] is True
+        assert summary["convergence_reason"] == "controls"
+
+    def test_without_solve_span_verdict_unknown(self, tmp_path):
+        summary = fbsm_summary(_manifest(tmp_path, [
+            self._iteration(1, 10.0, 0.5)]))
+        assert summary["converged"] is None
+
+
+class TestExecutorSummary:
+    def test_straggler_ratio(self, tmp_path):
+        tasks = [{"type": "task", "t": 0.1 * (i + 1), "name": "sweep",
+                  "index": i, "seconds": s, "ok": True}
+                 for i, s in enumerate([0.1, 0.1, 0.4])]
+        manifest = _manifest(tmp_path, tasks)
+        summary = executor_summary(manifest)
+        assert summary["tasks"] == 3
+        assert summary["errors"] == 0
+        assert summary["task_seconds_mean"] == pytest.approx(0.2)
+        assert summary["task_seconds_max"] == pytest.approx(0.4)
+        assert summary["straggler_ratio"] == pytest.approx(2.0)
+
+    def test_progress_summaries_mapped(self, tmp_path):
+        summary_event = {
+            "type": "progress_summary", "t": 0.9, "name": "sweep",
+            "tasks": 8, "errors": 1, "wall_seconds": 0.8, "workers": 2,
+            "utilization": 0.9,
+            "slowest": [{"index": 5, "seconds": 0.3}]}
+        summary = executor_summary(_manifest(tmp_path, [summary_event]))
+        assert summary["maps"] == [{
+            "name": "sweep", "tasks": 8, "errors": 1,
+            "wall_seconds": 0.8, "workers": 2, "utilization": 0.9,
+            "slowest": [{"index": 5, "seconds": 0.3}]}]
+
+    def test_none_without_telemetry(self, tmp_path):
+        assert executor_summary(_manifest(tmp_path, [])) is None
+
+
+class TestResourceSummary:
+    def test_peaks_rolled_up_by_name(self, tmp_path):
+        def resource(t, name, peak, rss):
+            return {"type": "resource", "t": t, "name": name,
+                    "seconds": 0.1, "tracemalloc_peak_bytes": peak,
+                    "ru_maxrss_kb": rss}
+        manifest = _manifest(tmp_path, [
+            resource(0.1, "phase.a", 1000, 5000),
+            resource(0.2, "phase.a", 3000, 5100),
+            resource(0.3, "phase.b", 2000, 5200),
+        ])
+        summary = resource_summary(manifest)
+        assert summary["spans"] == 3
+        assert summary["ru_maxrss_kb"] == 5200
+        assert summary["by_name"]["phase.a"]["count"] == 2
+        assert summary["by_name"]["phase.a"]["tracemalloc_peak_bytes"] \
+            == 3000
+        # Ordered by descending peak.
+        assert list(summary["by_name"]) == ["phase.a", "phase.b"]
+
+    def test_none_without_resource_events(self, tmp_path):
+        assert resource_summary(_manifest(tmp_path, [])) is None
+
+
+class TestReportText:
+    def test_truncated_manifest_reported_as_such(self, tmp_path):
+        path = tmp_path / "dead.jsonl"
+        path.write_text(json.dumps(_start()) + "\n", encoding="utf-8")
+        text = render_report(path)
+        assert "TRUNCATED" in text
+        assert "missing manifest_end" in text
+
+    def test_sections_present_for_synthetic_run(self, tmp_path):
+        manifest = _manifest(tmp_path, [
+            {"type": "span", "t": 0.5, "name": "work", "seconds": 0.5,
+             "attrs": {}},
+            _solver(0.4, 100, 10, 2, 0.05),
+        ])
+        text = report_text(manifest)
+        assert "[COMPLETE]" in text
+        assert "phase timing" in text
+        assert "solver step accounting" in text
+        assert "nfev: 100" in text
+        assert "work" in text
+        # No FBSM/executor/resource sections for this manifest.
+        assert "FBSM" not in text
+        assert "executor" not in text
+        assert "resources" not in text
+
+
+@pytest.fixture(scope="module")
+def fbsm_manifest(tmp_path_factory):
+    """A real (small) FBSM solve traced to a JSONL manifest on disk."""
+    from repro.control.admissible import ControlBounds
+    from repro.control.objective import CostParameters
+    from repro.control.pontryagin import solve_optimal_control
+    from repro.core.parameters import RumorModelParameters
+    from repro.core.state import SIRState
+    from repro.core.threshold import calibrate_acceptance_scale
+    from repro.networks.degree import power_law_distribution
+
+    uninstall()
+    path = tmp_path_factory.mktemp("fbsm") / "fbsm.jsonl"
+    base = RumorModelParameters(power_law_distribution(1, 5, 2.0),
+                                alpha=0.01)
+    params = calibrate_acceptance_scale(base, 0.2, 0.05, 3.0)
+    initial = SIRState.initial(params.n_groups, 0.05)
+    with observing(path, run={"case": "fbsm-report"}):
+        result = solve_optimal_control(
+            params, initial, t_final=20.0,
+            bounds=ControlBounds(1.0, 1.0),
+            costs=CostParameters(5.0, 10.0), n_grid=41,
+            max_iterations=60)
+    uninstall()
+    return path, result
+
+
+class TestFbsmAcceptance:
+    def test_report_matches_real_solve(self, fbsm_manifest):
+        """Acceptance: `repro obs report` is correct on a real FBSM
+        manifest — iteration count, convergence verdict, costs and
+        solver totals all agree with the in-memory solve."""
+        path, result = fbsm_manifest
+        manifest = load_manifest(path, strict=True)
+        summary = fbsm_summary(manifest)
+        assert summary["iterations"] == result.iterations
+        assert summary["final_cost"] == pytest.approx(result.cost.total)
+        assert summary["converged"] is True
+        assert summary["convergence_reason"] == \
+            result.convergence_reason
+        assert summary["first_cost"] >= summary["final_cost"]
+
+        rollup = solver_rollup(manifest)
+        # Every FBSM sweep is one forward + one backward integration,
+        # plus the initial forward pass and the final cost evaluation's
+        # trajectory (already counted): 2 * iterations + 1 runs.
+        assert rollup["runs"] == 2 * result.iterations + 1
+        assert rollup["nfev"] > 0
+
+        text = report_text(manifest)
+        assert f"iterations: {result.iterations}   converged" in text
+        assert "objective per FBSM sweep" in text
+        assert "fbsm.solve" in text
+
+    def test_cli_report_runs_on_real_manifest(self, fbsm_manifest,
+                                              capsys):
+        from repro.cli import main
+
+        path, result = fbsm_manifest
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "FBSM convergence" in out
+        assert f"iterations: {result.iterations}" in out
+        assert "[COMPLETE]" in out

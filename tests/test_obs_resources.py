@@ -1,0 +1,252 @@
+"""Tests for opt-in resource profiling (:mod:`repro.obs.resources`) and
+manifest durability (:mod:`repro.obs.manifest` exit hooks).
+
+The contract under test: with profiling *available but disabled* (the
+default) results stay bitwise identical to uninstrumented runs; with it
+enabled, ``resource``/``profile`` events land in the manifest and
+validate under ``repro-obs/2``; and a run killed by SIGTERM still
+leaves a parseable (truncated) manifest because the sink flushes and
+closes from the signal handler.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.sweep import sweep_grid
+from repro.bench.workloads import severity_axes, smoke_threshold_point
+from repro.obs.events import OBS_SCHEMA, validate_manifest
+from repro.obs.manifest import MemorySink
+from repro.obs.reader import load_manifest
+from repro.obs.resources import (
+    ResourceSample,
+    maybe_profiled,
+    profile_top,
+    sample_block,
+    start_tracing,
+    stop_tracing,
+)
+from repro.obs.trace import observing, uninstall
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    uninstall()
+    yield
+    uninstall()
+    stop_tracing()
+
+
+class TestResourceSampling:
+    def test_sample_block_reports_allocation_peak(self):
+        started = start_tracing()
+        try:
+            with sample_block() as fields:
+                blob = [0] * 200_000
+            assert fields["tracemalloc_peak_bytes"] > 8 * 200_000 // 2
+            assert fields["seconds"] >= 0.0
+            assert fields["ru_maxrss_kb"] > 0
+            del blob
+        finally:
+            if started:
+                stop_tracing()
+
+    def test_resource_sample_without_tracing_prestarted(self):
+        # ResourceSample starts tracing itself when nothing did.
+        stop_tracing()
+        sample = ResourceSample()
+        assert sample.started_tracing
+        fields = sample.finish()
+        assert fields["tracemalloc_peak_bytes"] >= 0
+        stop_tracing()
+
+    def test_observer_spans_emit_resource_events(self):
+        sink = MemorySink()
+        with observing(sink=sink, resources=True) as observer:
+            with observer.span("alloc.phase"):
+                blob = [0] * 100_000
+            del blob
+        resources = sink.of_type("resource")
+        assert len(resources) == 1
+        event = resources[0]
+        assert event["name"] == "alloc.phase"
+        assert event["tracemalloc_peak_bytes"] > 0
+        assert event["seconds"] >= 0.0
+
+    def test_resource_events_validate_as_v2(self, tmp_path):
+        path = tmp_path / "resources.jsonl"
+        with observing(path, resources=True) as observer:
+            with observer.span("phase"):
+                pass
+        events = validate_manifest(path)
+        assert events[0]["schema"] == OBS_SCHEMA
+        assert any(e["type"] == "resource" for e in events)
+        manifest = load_manifest(path, strict=True)
+        assert manifest.complete
+
+    def test_resources_off_emits_no_resource_events(self):
+        sink = MemorySink()
+        with observing(sink=sink) as observer:
+            with observer.span("phase"):
+                pass
+        assert sink.of_type("resource") == []
+        assert not __import__("tracemalloc").is_tracing()
+
+    def test_resource_event_on_raising_span(self):
+        sink = MemorySink()
+        with observing(sink=sink, resources=True) as observer:
+            with pytest.raises(ValueError):
+                with observer.span("boom"):
+                    raise ValueError("x")
+        assert len(sink.of_type("resource")) == 1
+
+
+class TestPhaseProfiling:
+    def test_maybe_profiled_emits_profile_event(self):
+        sink = MemorySink()
+        with observing(sink=sink, profile=True):
+            with maybe_profiled("phase.test", case="unit"):
+                sum(i * i for i in range(20_000))
+        profiles = sink.of_type("profile")
+        assert len(profiles) == 1
+        event = profiles[0]
+        assert event["name"] == "phase.test"
+        assert event["case"] == "unit"
+        assert event["top"]
+        entry = event["top"][0]
+        assert set(entry) == {"function", "ncalls", "tottime", "cumtime"}
+
+    def test_maybe_profiled_noop_when_disabled(self):
+        sink = MemorySink()
+        with observing(sink=sink):  # profile defaults to False
+            with maybe_profiled("phase.test"):
+                pass
+        assert sink.of_type("profile") == []
+
+    def test_maybe_profiled_noop_without_observer(self):
+        # Must not raise and must not profile.
+        with maybe_profiled("phase.test"):
+            pass
+
+    def test_profile_top_sorted_by_cumtime(self):
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        sorted(range(1000))
+        profiler.disable()
+        entries = profile_top(profiler, top=3)
+        assert len(entries) <= 3
+        cumtimes = [entry["cumtime"] for entry in entries]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+
+    def test_profile_events_validate_as_v2(self, tmp_path):
+        path = tmp_path / "profile.jsonl"
+        with observing(path, profile=True):
+            with maybe_profiled("phase"):
+                pass
+        events = validate_manifest(path)
+        assert any(e["type"] == "profile" for e in events)
+
+
+class TestBitwiseIdentity:
+    def test_results_identical_with_profiling_available_but_off(self):
+        """The acceptance invariant: installing an observer with the
+        resource-profiling machinery importable but disabled (the
+        default) cannot perturb sweep results."""
+        axes = severity_axes(2, 2)
+        plain = sweep_grid(axes, smoke_threshold_point, executor="serial")
+        with observing():  # resources=False, profile=False
+            observed = sweep_grid(axes, smoke_threshold_point,
+                                  executor="serial")
+        assert plain.bitwise_equal(observed)
+
+    def test_results_identical_even_with_resources_on(self):
+        # tracemalloc slows allocation but must not change numbers.
+        axes = severity_axes(2, 2)
+        plain = sweep_grid(axes, smoke_threshold_point, executor="serial")
+        with observing(resources=True, profile=True):
+            observed = sweep_grid(axes, smoke_threshold_point,
+                                  executor="serial")
+        assert plain.bitwise_equal(observed)
+
+
+class TestSigtermDurability:
+    def test_sigterm_leaves_parseable_truncated_manifest(self, tmp_path):
+        """Kill a tracing run with SIGTERM mid-flight: the exit hook
+        flushes and closes the sink, so the manifest on disk parses as
+        truncated with every pre-kill event intact."""
+        path = tmp_path / "killed.jsonl"
+        script = textwrap.dedent("""
+            import sys, time
+            from repro.obs.trace import observing
+            with observing(sys.argv[1], run={"case": "sigterm"}) as ob:
+                for i in range(5):
+                    ob.emit("span", name=f"s{i}", seconds=0.01,
+                            attrs={})
+                print("READY", flush=True)
+                time.sleep(30)
+        """)
+        env = dict(os.environ, PYTHONPATH=SRC_DIR)
+        proc = subprocess.Popen([sys.executable, "-c", script, str(path)],
+                                stdout=subprocess.PIPE, env=env,
+                                text=True)
+        try:
+            assert proc.stdout.readline().strip() == "READY"
+            proc.send_signal(signal.SIGTERM)
+            returncode = proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup path
+                proc.kill()
+                proc.wait()
+        # Default disposition is re-delivered, so the exit status still
+        # reports death by SIGTERM.
+        assert returncode == -signal.SIGTERM
+
+        manifest = load_manifest(path)
+        assert not manifest.complete
+        assert "manifest_end" not in manifest.type_counts()
+        spans = manifest.of_type("span")
+        assert [e["name"] for e in spans] == [f"s{i}" for i in range(5)]
+
+    def test_atexit_closes_unclosed_sink(self, tmp_path):
+        """A run that exits without closing the observer still flushes
+        its manifest through the atexit hook."""
+        path = tmp_path / "leaked.jsonl"
+        script = textwrap.dedent("""
+            import sys
+            from repro.obs.manifest import JsonlSink
+            sink = JsonlSink(sys.argv[1])
+            sink.write({"type": "manifest_start", "t": 0.0,
+                        "schema": "repro-obs/2",
+                        "created_utc": "x", "run": {}})
+            # Exit without sink.close(): atexit must cover it.
+        """)
+        env = dict(os.environ, PYTHONPATH=SRC_DIR)
+        subprocess.run([sys.executable, "-c", script, str(path)],
+                       check=True, env=env, timeout=60)
+        manifest = load_manifest(path)
+        assert not manifest.complete
+        assert manifest.events[0]["type"] == "manifest_start"
+
+    def test_close_is_idempotent(self, tmp_path):
+        from repro.obs.manifest import JsonlSink
+
+        sink = JsonlSink(tmp_path / "m.jsonl")
+        sink.write({"type": "span", "t": 0.1, "name": "a",
+                    "seconds": 0.1})
+        sink.close()
+        sink.close()  # second close must not raise
+        sink.write({"type": "span", "t": 0.2, "name": "b",
+                    "seconds": 0.1})  # post-close writes are dropped
+        lines = (tmp_path / "m.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 1

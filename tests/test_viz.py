@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ParameterError
-from repro.viz.ascii import line_chart, multi_line_chart
+from repro.viz.ascii import bar_chart, line_chart, multi_line_chart
 from repro.viz.export import read_series_csv, write_series_csv
 
 
@@ -63,6 +63,43 @@ class TestAsciiCharts:
         x = np.linspace(0, 1, 5)
         with pytest.raises(ParameterError):
             line_chart(x, np.full(5, np.nan))
+
+
+class TestBarChart:
+    def test_bars_scale_to_peak(self):
+        chart = bar_chart({"long": 2.0, "short": 1.0}, width=10,
+                          unit="s")
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 10  # peak fills the width
+        assert lines[1].count("#") == 5
+        assert "2s" in lines[0]
+        assert "1s" in lines[1]
+
+    def test_labels_right_justified_to_common_width(self):
+        chart = bar_chart({"a": 1.0, "longer": 1.0}, width=8)
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_title_prepended(self):
+        chart = bar_chart({"a": 1.0}, title="my title")
+        assert chart.splitlines()[0] == "my title"
+
+    def test_all_zero_values_render_empty_bars(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0}, width=10)
+        assert "#" not in chart
+
+    def test_empty_mapping_raises(self):
+        with pytest.raises(ParameterError):
+            bar_chart({})
+
+    def test_negative_value_raises(self):
+        with pytest.raises(ParameterError):
+            bar_chart({"a": -1.0})
+
+    def test_too_small_width_raises(self):
+        with pytest.raises(ParameterError):
+            bar_chart({"a": 1.0}, width=4)
 
 
 class TestCsvExport:
