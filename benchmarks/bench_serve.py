@@ -1,0 +1,308 @@
+"""Scenario-service load benchmark → ``BENCH_serve.json``.
+
+Two measurements of the serving subsystem (``src/repro/serve/``):
+
+* ``http_closed_loop`` — K concurrent closed-loop clients fire a mixed
+  stream of duplicate and distinct scenario POSTs at a live
+  ``ScenarioHTTPServer`` (real sockets, stdlib ``http.client``) and
+  every per-request latency is recorded: p50/p95 latency, throughput,
+  and the cache hit rate land in the record metadata.  Duplicates
+  exercise the content-addressed cache and in-flight coalescing;
+  distinct compatible specs exercise window stacking.
+* ``scenario_batch`` — the same B distinct compatible specs evaluated
+  sequentially (B scalar integrations) versus as one stacked
+  ``(B, 3n)`` :class:`~repro.core.batched.BatchedHeterogeneousSIR`
+  system — the speedup micro-batching buys before any HTTP overhead.
+
+Usage::
+
+    python benchmarks/bench_serve.py            # full load, 8 clients
+    python benchmarks/bench_serve.py --smoke    # seconds, CI
+    python benchmarks/bench_serve.py --clients 16 --requests 64
+
+Also collectable by pytest (``test_bench_serve_smoke``) so the suite
+exercises the server + load generator end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if "repro" not in sys.modules:  # allow `python benchmarks/bench_serve.py`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.timing import (  # noqa: E402
+    BenchRecord,
+    time_call_samples,
+    write_bench_json,
+)
+from repro.obs.trace import observing  # noqa: E402
+from repro.serve.http import ScenarioHTTPServer  # noqa: E402
+from repro.serve.service import ScenarioService  # noqa: E402
+from repro.serve.spec import (  # noqa: E402
+    ScenarioSpec,
+    execute_scenario,
+    execute_scenario_batch,
+)
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_serve.json"
+
+#: Stacked results must match the sequential reference this tightly.
+ACCURACY_RTOL = 1e-8
+
+
+def _base_spec(smoke: bool) -> ScenarioSpec:
+    """The benchmark's scenario family (smoke: tiny cache-resident)."""
+    if smoke:
+        return ScenarioSpec(
+            network={"kind": "power_law", "k_min": 1, "k_max": 30,
+                     "exponent": 2.0},
+            t_final=20.0, n_samples=21)
+    return ScenarioSpec(
+        network={"kind": "power_law", "k_min": 1, "k_max": 100,
+                 "exponent": 2.0},
+        t_final=60.0, n_samples=61)
+
+
+def _spec_pool(base: ScenarioSpec, distinct: int) -> list[ScenarioSpec]:
+    """``distinct`` compatible what-if policies over one base scenario."""
+    eps1_values = np.linspace(0.05, 0.5, distinct)
+    return [base.with_policy(float(eps1), 0.05) for eps1 in eps1_values]
+
+
+def _run_http_load(*, clients: int, requests_per_client: int,
+                   distinct: int, smoke: bool,
+                   window_seconds: float) -> dict[str, object]:
+    """Closed-loop load against a live server; returns the measurements.
+
+    Each client walks the shared spec pool starting at a different
+    offset, so at any instant the in-flight mix holds duplicates (hit
+    or coalesce) and distinct compatible specs (stack).
+    """
+    service = ScenarioService(window_seconds=window_seconds,
+                              max_batch=max(distinct, clients))
+    server = ScenarioHTTPServer(("127.0.0.1", 0), service)
+    port = server.server_address[1]
+    accept = threading.Thread(target=server.serve_forever, daemon=True)
+    accept.start()
+
+    pool = _spec_pool(_base_spec(smoke), distinct)
+    bodies = [json.dumps(spec.as_payload()).encode() for spec in pool]
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[BaseException] = []
+
+    def client_loop(index: int) -> None:
+        connection = http.client.HTTPConnection("127.0.0.1", port,
+                                                timeout=120)
+        try:
+            for i in range(requests_per_client):
+                body = bodies[(index + i) % len(bodies)]
+                started = time.perf_counter()
+                connection.request("POST", "/scenario", body=body,
+                                   headers={"Content-Type":
+                                            "application/json"})
+                response = connection.getresponse()
+                payload = response.read()
+                latencies[index].append(time.perf_counter() - started)
+                if response.status != 200:
+                    raise RuntimeError(
+                        f"client {index}: HTTP {response.status}: "
+                        f"{payload[:200]!r}")
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+        finally:
+            connection.close()
+
+    threads = [threading.Thread(target=client_loop, args=(i,))
+               for i in range(clients)]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - wall_start
+    server.shutdown()
+    server.server_close()
+    service.close()
+    if errors:
+        raise errors[0]
+
+    flat = sorted(lat for per_client in latencies for lat in per_client)
+    stats = service.cache.stats()
+    total = stats["hits"] + stats["misses"]
+    return {
+        "wall_seconds": wall_seconds,
+        "requests": len(flat),
+        "requests_per_second": len(flat) / wall_seconds,
+        "p50_ms": 1e3 * flat[len(flat) // 2],
+        "p95_ms": 1e3 * flat[min(len(flat) - 1, int(0.95 * len(flat)))],
+        "max_ms": 1e3 * flat[-1],
+        "cache_hit_rate": stats["hits"] / total if total else 0.0,
+        "cache": stats,
+    }
+
+
+def _bench_batch_speedup(distinct: int, smoke: bool, repeat: int,
+                         records: list[BenchRecord],
+                         derived: dict[str, object]) -> None:
+    """Sequential vs stacked evaluation of the same distinct specs."""
+    specs = _spec_pool(_base_spec(smoke), distinct)
+
+    sequential, sequential_raw = time_call_samples(
+        lambda: [execute_scenario(spec) for spec in specs], repeat=repeat)
+    stacked, stacked_raw = time_call_samples(
+        lambda: execute_scenario_batch(specs), repeat=repeat)
+    sequential_seconds = min(sequential_raw)
+    stacked_seconds = min(stacked_raw)
+
+    worst = 0.0
+    for row_a, row_b in zip(sequential, stacked):
+        ref = np.asarray(row_a["infected"], dtype=float)
+        got = np.asarray(row_b["infected"], dtype=float)
+        denom = np.maximum(np.abs(ref), 1e-30)
+        worst = max(worst, float(np.max(np.abs(got - ref) / denom)))
+    speedup = sequential_seconds / stacked_seconds
+
+    records.append(BenchRecord("scenario_batch/sequential",
+                               sequential_seconds, {
+                                   "backend": "serial", "specs": distinct,
+                                   "repeat": repeat,
+                                   "raw_seconds": [round(s, 6)
+                                                   for s in sequential_raw],
+                               }))
+    records.append(BenchRecord("scenario_batch/stacked", stacked_seconds, {
+        "backend": "batched", "specs": distinct,
+        "speedup_vs_sequential": speedup,
+        "max_rel_diff_vs_sequential": worst,
+        "repeat": repeat,
+        "raw_seconds": [round(s, 6) for s in stacked_raw],
+    }))
+    derived["batch_speedup_vs_sequential"] = speedup
+    derived["batch_max_rel_diff"] = worst
+
+
+def run_benchmark(*, clients: int = 8, requests_per_client: int = 16,
+                  distinct: int = 8, window_seconds: float = 0.01,
+                  smoke: bool = False, repeat: int = 3,
+                  out: str | Path | None = DEFAULT_OUT) -> dict[str, object]:
+    """Run both measurements; return (and optionally write) the payload."""
+    if smoke:
+        clients = min(clients, 4)
+        requests_per_client = min(requests_per_client, 6)
+        distinct = min(distinct, 4)
+        repeat = min(repeat, 2)
+    workload_meta = {
+        "name": "serve_load",
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "distinct_specs": distinct,
+        "window_seconds": window_seconds,
+        "accuracy_rtol": ACCURACY_RTOL,
+        "repeat": repeat,
+    }
+
+    records: list[BenchRecord] = []
+    derived: dict[str, object] = {}
+    # Run under an observer so serve.* and solver counters accumulate
+    # and write_bench_json stamps a populated metrics snapshot.
+    with observing(run={"bench": "serve", "clients": clients}) as observer:
+        load = _run_http_load(clients=clients,
+                              requests_per_client=requests_per_client,
+                              distinct=distinct, smoke=smoke,
+                              window_seconds=window_seconds)
+        records.append(BenchRecord("http_closed_loop",
+                                   load.pop("wall_seconds"), load))
+        _bench_batch_speedup(distinct, smoke, repeat, records, derived)
+        metrics_snapshot = observer.metrics.snapshot()
+    derived["cache_hit_rate"] = records[0].meta["cache_hit_rate"]
+    derived["p50_ms"] = records[0].meta["p50_ms"]
+    derived["p95_ms"] = records[0].meta["p95_ms"]
+    derived["note"] = (
+        "closed-loop latency includes the micro-batching window, so p50 "
+        "for cache-missing requests has a floor of window_seconds; "
+        "duplicates answered from cache or coalesced into an in-flight "
+        "integration dodge the integration cost entirely"
+    )
+
+    if out is not None:
+        path = write_bench_json(out, records, workload=workload_meta,
+                                derived=derived, metrics=metrics_snapshot)
+        print(f"wrote {path}")
+    http_record = records[0]
+    print(f"http_closed_loop: {http_record.meta['requests']} requests, "
+          f"{http_record.meta['requests_per_second']:.1f} req/s, "
+          f"p50 {http_record.meta['p50_ms']:.1f} ms, "
+          f"p95 {http_record.meta['p95_ms']:.1f} ms, "
+          f"hit rate {http_record.meta['cache_hit_rate']:.2f}")
+    print(f"scenario_batch: stacked speedup "
+          f"{derived['batch_speedup_vs_sequential']:.2f}x "
+          f"(max rel diff {derived['batch_max_rel_diff']:.2e})")
+
+    if derived["batch_max_rel_diff"] > ACCURACY_RTOL:
+        raise SystemExit(
+            f"stacked scenario batch diverged from sequential beyond "
+            f"rtol={ACCURACY_RTOL}: {derived['batch_max_rel_diff']:.3e}")
+    return {"workload": workload_meta,
+            "records": [record.as_dict() for record in records],
+            "derived": derived,
+            "metrics": metrics_snapshot}
+
+
+def test_bench_serve_smoke(tmp_path) -> None:
+    """Pytest hook: load generator + server + batch speedup end to end."""
+    from repro.bench.timing import read_bench_json
+
+    out = tmp_path / "BENCH_serve.json"
+    payload = run_benchmark(smoke=True, out=out)
+    assert payload["derived"]["batch_max_rel_diff"] <= ACCURACY_RTOL
+    on_disk = read_bench_json(out)  # validates the repro-bench/1 schema
+    names = [record["name"] for record in on_disk["records"]]
+    assert names == ["http_closed_loop", "scenario_batch/sequential",
+                     "scenario_batch/stacked"]
+    # The mixed duplicate/distinct stream must have produced cache hits
+    # and the serve counters must be in the metrics snapshot.
+    assert on_disk["records"][0]["meta"]["cache_hit_rate"] > 0
+    counters = on_disk["metrics"]["counters"]
+    assert counters.get("serve.requests", 0) > 0
+    assert counters.get("serve.cache.hits", 0) > 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Scenario-service load benchmark "
+                    "(writes BENCH_serve.json)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent closed-loop clients (default 8)")
+    parser.add_argument("--requests", type=int, default=16,
+                        help="requests per client (default 16)")
+    parser.add_argument("--distinct", type=int, default=8,
+                        help="distinct compatible specs in the pool "
+                             "(default 8)")
+    parser.add_argument("--window", type=float, default=0.01,
+                        help="micro-batching window seconds (default 0.01)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload for CI")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repeats for the batch measurement "
+                             "(default 3)")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+    run_benchmark(clients=args.clients, requests_per_client=args.requests,
+                  distinct=args.distinct, window_seconds=args.window,
+                  smoke=args.smoke, repeat=args.repeat, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,7 +48,8 @@ from repro.parallel.executor import (
 )
 from repro.parallel.seeding import spawn_seeds, task_rng
 
-__all__ = ["SweepResult", "sweep_1d", "sweep_grid", "grid_points"]
+__all__ = ["SweepResult", "sweep_1d", "sweep_grid", "grid_points",
+           "scenario_sweep"]
 
 
 @dataclass(frozen=True)
@@ -263,4 +264,42 @@ def sweep_grid(axes: Mapping[str, Sequence[object]],
              for point, task_seed in zip(points, seeds)]
     rows = _dispatch(executor, _run_point_task, tasks, points, chunk_size,
                      run=run, seeded=seed is not None)
+    return SweepResult(tuple(axes), tuple(rows))
+
+
+def scenario_sweep(base: object, axes: Mapping[str, Sequence[object]], *,
+                   service: object) -> SweepResult:
+    """What-if sweep over scenario fields, served by a scenario service.
+
+    ``base`` is a :class:`~repro.serve.spec.ScenarioSpec`; each grid
+    point (row-major, like :func:`sweep_grid`) overrides spec fields via
+    ``dataclasses.replace`` — e.g. ``axes={"eps1": [...], "eps2":
+    [...]}`` maps the countermeasure plane.  All points are submitted
+    through :meth:`ScenarioService.query_many
+    <repro.serve.service.ScenarioService.query_many>` before any is
+    awaited, so cache-missing points land in one micro-batching window
+    and compatible ones integrate as a single stacked system; repeated
+    points (across calls, or with a shared cache) are answered from the
+    content-addressed cache instead of re-integrating.
+
+    Rows carry the axis values plus the scalar result fields
+    (``r0``/``verdict``/``peak_infected``/``final_infected`` for
+    trajectory scenarios) and the per-point serving telemetry
+    (``spec_hash``, ``cache``, ``stacked``) — full time series stay
+    available via ``service.cache.get(spec_hash)``.
+    """
+    from dataclasses import replace as dataclass_replace
+
+    points = grid_points(axes)
+    specs = [dataclass_replace(base, **point) for point in points]
+    responses = service.query_many(specs)
+    rows = []
+    for point, response in zip(points, responses):
+        row = dict(point)
+        row.update({key: value for key, value in response.result.items()
+                    if isinstance(value, (int, float, str, bool))})
+        row["spec_hash"] = response.spec_hash
+        row["cache"] = response.cache
+        row["stacked"] = response.stacked
+        rows.append(row)
     return SweepResult(tuple(axes), tuple(rows))

@@ -7,6 +7,9 @@ Subcommands:
 * ``threshold`` — compute r0 and the critical countermeasure surface for
   given rates on the Digg-compatible network;
 * ``dataset`` — print the Digg2009(-compatible) network summary;
+* ``presets list`` — enumerate the network presets a
+  :class:`~repro.serve.spec.ScenarioSpec` may reference;
+* ``serve`` — run the scenario query daemon (``docs/SERVICE.md``);
 * ``obs {report, compare, validate}`` — the telemetry consumption
   side: analyze a run manifest, diff two manifests or bench files with
   regression gating (nonzero exit on regression — the CI perf gate),
@@ -111,6 +114,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="uncontrolled severity at the (0.2, 0.05) "
                            "reference rates")
 
+    presets = sub.add_parser(
+        "presets", help="discover ScenarioSpec network presets")
+    presets_sub = presets.add_subparsers(dest="presets_command",
+                                         required=True)
+    presets_sub.add_parser(
+        "list", help="list preset names with degree-distribution summaries")
+
+    serve = sub.add_parser(
+        "serve", help="run the scenario query daemon (see docs/SERVICE.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8722,
+                       help="bind port; 0 picks an ephemeral port, "
+                            "announced on stdout (default 8722)")
+    serve.add_argument("--batch-window", type=float, default=0.01,
+                       metavar="SECONDS",
+                       help="micro-batching window: how long the first "
+                            "cache-missing request waits for compatible "
+                            "company (default 0.01)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="dispatch a window early at this many requests "
+                            "(default 64)")
+    serve.add_argument("--cache-entries", type=int, default=1024,
+                       help="in-memory result-cache capacity (default 1024)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persist results as DIR/<hash>.json blobs "
+                            "(default: memory only)")
+
     obs = sub.add_parser(
         "obs", help="analyze run manifests and bench files")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -159,15 +190,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_threshold(args: argparse.Namespace) -> int:
     from repro.core import (
-        RumorModelParameters,
         basic_reproduction_number,
         critical_eps1,
         critical_eps2,
     )
-    from repro.datasets import synthesize_digg2009
+    from repro.serve.spec import ScenarioSpec, scenario_parameters
 
-    params = RumorModelParameters(synthesize_digg2009().distribution,
-                                  alpha=args.alpha)
+    spec = ScenarioSpec(network="digg2009", alpha=args.alpha,
+                        eps1=args.eps1, eps2=args.eps2)
+    params = scenario_parameters(spec)
     r0 = basic_reproduction_number(params, args.eps1, args.eps2)
     verdict = "EXTINCT (r0 <= 1)" if r0 <= 1 else "SPREADING (r0 > 1)"
     print(f"r0 = {r0:.6f}  ->  {verdict}")
@@ -195,12 +226,11 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.analysis import threshold_report
-    from repro.core import RumorModelParameters
-    from repro.datasets import load_preset, synthesize_digg2009
+    from repro.serve.spec import ScenarioSpec, scenario_parameters
 
-    dataset = (load_preset(args.preset) if args.preset
-               else synthesize_digg2009())
-    params = RumorModelParameters(dataset.distribution, alpha=args.alpha)
+    spec = ScenarioSpec(network=args.preset or "digg2009", alpha=args.alpha,
+                        eps1=args.eps1, eps2=args.eps2)
+    params = scenario_parameters(spec)
     print(threshold_report(params, args.eps1, args.eps2))
     return 0
 
@@ -231,6 +261,34 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     )
     print(campaign_report(result))
     return 0
+
+
+def _cmd_presets(args: argparse.Namespace) -> int:
+    from repro.datasets.presets import preset_summaries
+
+    for entry in preset_summaries():
+        print(f"{entry['name']}: {entry['description']}")
+        print(f"  source: {entry['source']}  users: {entry['n_users']}")
+        for key, value in entry["summary"].items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import NullSink
+    from repro.obs.trace import get_observer, observing
+    from repro.serve.http import run_server
+
+    kwargs = dict(window_seconds=args.batch_window,
+                  max_batch=args.max_batch,
+                  cache_entries=args.cache_entries,
+                  cache_dir=args.cache_dir)
+    if get_observer() is not None:
+        return run_server(args.host, args.port, **kwargs)
+    # No --trace-out/--progress: install a metrics-only observer (events
+    # dropped) so GET /metrics works on a bare `repro serve`.
+    with observing(None, sink=NullSink(), run={"command": "serve"}):
+        return run_server(args.host, args.port, **kwargs)
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -281,6 +339,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "dataset": _cmd_dataset,
         "report": _cmd_report,
         "plan": _cmd_plan,
+        "presets": _cmd_presets,
+        "serve": _cmd_serve,
         "obs": _cmd_obs,
     }
     set_level(args.log_level)

@@ -32,7 +32,26 @@ from repro.core.state import RumorTrajectory, SIRState
 from repro.exceptions import ParameterError
 from repro.numerics.ode_batched import BatchedOdeSolution, integrate_batched
 
-__all__ = ["BatchedHeterogeneousSIR"]
+__all__ = ["BatchedHeterogeneousSIR", "stackable"]
+
+
+def stackable(a: RumorModelParameters, b: RumorModelParameters) -> bool:
+    """Whether two parameter sets may ride as rows of one stacked batch.
+
+    Rows of a batch share the network *structure* — the degree support
+    ``k_i``, its distribution ``P(k)``, the infectivity profile ``φ(k)``
+    and the forgetting rates ``ω(k)`` — while the per-row knobs the
+    constructor accepts (``eps1``, ``eps2``, ``alpha``, ``lambda_k``)
+    may differ freely.  Structure is compared exactly (``==``, not
+    allclose): a batch whose rows disagree structurally would silently
+    integrate the wrong model for all but one of them.
+    """
+    if a.n_groups != b.n_groups:
+        return False
+    return (np.array_equal(a.degrees, b.degrees)
+            and np.array_equal(a.pmf, b.pmf)
+            and np.array_equal(a.phi_k, b.phi_k)
+            and np.array_equal(a.omega_k, b.omega_k))
 
 
 def _per_point(name: str, values: object, batch: int | None) -> np.ndarray:

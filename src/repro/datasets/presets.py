@@ -23,7 +23,7 @@ from repro.datasets.digg import DiggDataset
 from repro.exceptions import ParameterError
 from repro.networks.degree import power_law_distribution
 
-__all__ = ["PresetSpec", "OSN_PRESETS", "load_preset"]
+__all__ = ["PresetSpec", "OSN_PRESETS", "load_preset", "preset_summaries"]
 
 
 @dataclass(frozen=True)
@@ -73,3 +73,38 @@ def load_preset(name: str) -> DiggDataset:
             f"unknown preset {name!r}; choose from {sorted(OSN_PRESETS)}"
         ) from None
     return spec.build()
+
+
+def preset_summaries(include_digg: bool = True) -> list[dict[str, object]]:
+    """Every valid ``ScenarioSpec.network`` preset, with its statistics.
+
+    The discovery payload behind ``repro presets list`` and the server's
+    ``GET /presets``: one entry per name a spec may reference, carrying
+    the dataset provenance and the
+    :func:`~repro.networks.statistics.summarize_distribution` summary
+    (group count, degree range/moments, tail shares).  ``digg2009`` —
+    the paper's calibration network — leads the list when included.
+    """
+    from repro.networks.statistics import summarize_distribution
+
+    datasets = []
+    if include_digg:
+        from repro.datasets.digg import synthesize_digg2009
+
+        datasets.append(("digg2009", "paper calibration network "
+                         "(synthesized Digg 2009 substitute)",
+                         synthesize_digg2009()))
+    for name in sorted(OSN_PRESETS):
+        spec = OSN_PRESETS[name]
+        datasets.append((name, spec.description, spec.build()))
+    return [
+        {
+            "name": name,
+            "description": description,
+            "source": dataset.source,
+            "n_users": dataset.n_users,
+            "summary": summarize_distribution(dataset.distribution,
+                                              dataset.n_users).as_dict(),
+        }
+        for name, description, dataset in datasets
+    ]

@@ -33,9 +33,7 @@ from dataclasses import dataclass
 from repro.control.admissible import ControlBounds
 from repro.control.objective import CostParameters
 from repro.core.parameters import RumorModelParameters
-from repro.core.threshold import calibrate_acceptance_scale
-from repro.datasets.digg import synthesize_digg2009
-from repro.networks.degree import power_law_distribution
+from repro.serve.spec import CalibrationSpec, ControlSpec, ScenarioSpec
 
 __all__ = ["Fig2Config", "Fig3Config", "Fig4Config"]
 
@@ -55,12 +53,20 @@ class Fig2Config:
     #: paper plots groups i = 1, 50, 100, …, 800 (1-based)
     plot_groups: tuple[int, ...] = tuple(range(0, 800, 50)) + (799,)
 
+    def scenario_spec(self) -> ScenarioSpec:
+        """The figure's run as a canonical scenario (see docs/SERVICE.md)."""
+        return ScenarioSpec(
+            network="digg2009", alpha=self.alpha, eps1=self.eps1,
+            eps2=self.eps2, t_final=self.t_final, n_samples=self.n_samples,
+            calibration=CalibrationSpec(self.eps1, self.eps2,
+                                        self.target_r0),
+        )
+
     def build_parameters(self) -> RumorModelParameters:
         """Digg-distribution parameters calibrated to the target r0."""
-        distribution = synthesize_digg2009().distribution
-        params = RumorModelParameters(distribution, alpha=self.alpha)
-        return calibrate_acceptance_scale(params, self.eps1, self.eps2,
-                                          self.target_r0)
+        from repro.serve.spec import scenario_parameters
+
+        return scenario_parameters(self.scenario_spec())
 
 
 @dataclass(frozen=True)
@@ -79,12 +85,22 @@ class Fig3Config:
     seed: int = 2015
     plot_groups: tuple[int, ...] = tuple(range(20))
 
+    def scenario_spec(self) -> ScenarioSpec:
+        """The figure's run as a canonical scenario (see docs/SERVICE.md)."""
+        return ScenarioSpec(
+            network={"kind": "power_law", "k_min": 1, "k_max": self.n_groups,
+                     "exponent": self.exponent},
+            alpha=self.alpha, eps1=self.eps1, eps2=self.eps2,
+            t_final=self.t_final, n_samples=self.n_samples,
+            calibration=CalibrationSpec(self.eps1, self.eps2,
+                                        self.target_r0),
+        )
+
     def build_parameters(self) -> RumorModelParameters:
         """20-group power-law parameters calibrated to the target r0."""
-        distribution = power_law_distribution(1, self.n_groups, self.exponent)
-        params = RumorModelParameters(distribution, alpha=self.alpha)
-        return calibrate_acceptance_scale(params, self.eps1, self.eps2,
-                                          self.target_r0)
+        from repro.serve.spec import scenario_parameters
+
+        return scenario_parameters(self.scenario_spec())
 
 
 @dataclass(frozen=True)
@@ -111,12 +127,25 @@ class Fig4Config:
     sweep_n_grid: int = 101
     max_iterations: int = 150
 
+    def scenario_spec(self) -> ScenarioSpec:
+        """The control run as a canonical scenario (see docs/SERVICE.md)."""
+        return ScenarioSpec(
+            network={"kind": "power_law", "k_min": 1, "k_max": self.n_groups,
+                     "exponent": self.exponent},
+            alpha=self.alpha, eps1=self.ref_eps1, eps2=self.ref_eps2,
+            t_final=self.t_final, n_samples=self.n_grid,
+            initial_infected=self.initial_infected,
+            calibration=CalibrationSpec(self.ref_eps1, self.ref_eps2,
+                                        self.target_r0),
+            control=ControlSpec(self.c1, self.c2, self.eps1_max,
+                                self.eps2_max, self.n_grid),
+        )
+
     def build_parameters(self) -> RumorModelParameters:
         """20-group power-law parameters with a supercritical calibration."""
-        distribution = power_law_distribution(1, self.n_groups, self.exponent)
-        params = RumorModelParameters(distribution, alpha=self.alpha)
-        return calibrate_acceptance_scale(params, self.ref_eps1, self.ref_eps2,
-                                          self.target_r0)
+        from repro.serve.spec import scenario_parameters
+
+        return scenario_parameters(self.scenario_spec())
 
     def bounds(self) -> ControlBounds:
         """Admissible control box."""

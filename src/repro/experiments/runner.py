@@ -23,7 +23,8 @@ from repro.obs.resources import maybe_profiled
 from repro.obs.trace import get_observer
 from repro.parallel.executor import ParallelExecutor, resolve_executor
 
-__all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment", "run_all"]
+__all__ = ["ExperimentReport", "EXPERIMENTS", "experiment_scenario",
+           "run_experiment", "run_all"]
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,36 @@ EXPERIMENTS: dict[str, Callable[[Path], ExperimentReport]] = {
 }
 
 
+def experiment_scenario(experiment_id: str):
+    """The :class:`~repro.serve.spec.ScenarioSpec` behind an experiment.
+
+    Every figure's model is built through the scenario registry (the
+    configs' ``scenario_spec()``), so each experiment has a canonical
+    content address; ``run_experiment`` stamps it into the ``run_start``
+    manifest event, tying experiment manifests to the same key space
+    the scenario service caches under.  (The figure pipelines run more
+    than the single trajectory the spec names — ensembles, horizon
+    sweeps — so the spec identifies the *model configuration*, not the
+    full artifact set.)
+    """
+    from repro.experiments.config import Fig2Config, Fig3Config, Fig4Config
+
+    configs = {
+        "fig2": Fig2Config,
+        "fig3": Fig3Config,
+        "fig4ab": Fig4Config,
+        "fig4c": Fig4Config,
+    }
+    try:
+        config = configs[experiment_id]
+    except KeyError:
+        raise ParameterError(
+            f"unknown experiment {experiment_id!r}; choose from "
+            f"{sorted(configs)}"
+        ) from None
+    return config().scenario_spec()
+
+
 def run_experiment(experiment_id: str,
                    out_dir: str | Path = "results") -> ExperimentReport:
     """Run one registered experiment, writing artifacts under ``out_dir``.
@@ -116,7 +147,8 @@ def run_experiment(experiment_id: str,
     if observer is None:
         return runner(Path(out_dir))
     observer.emit("run_start", experiment=experiment_id,
-                  out_dir=str(out_dir))
+                  out_dir=str(out_dir),
+                  spec_hash=experiment_scenario(experiment_id).spec_hash())
     start = time.perf_counter()
     with observer.span(f"experiment.{experiment_id}"):
         with maybe_profiled(f"experiment.{experiment_id}"):

@@ -29,6 +29,11 @@ from repro.exceptions import ParameterError
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
+def _metric_name(name: str) -> str:
+    """Exposition-format metric name (dots become underscores)."""
+    return name.replace(".", "_").replace("-", "_")
+
+
 class Counter:
     """Monotonically increasing total; negative increments are rejected."""
 
@@ -208,6 +213,35 @@ class MetricsRegistry:
                 gauge.value = 0.0
             for histogram in self._histograms.values():
                 histogram.reset()
+
+    def render_text(self) -> str:
+        """Prometheus-style plain-text exposition of every instrument.
+
+        Metric names swap dots for underscores (``serve.cache.hits`` →
+        ``serve_cache_hits``); histograms expand to ``_count`` /
+        ``_sum`` / ``_min`` / ``_max`` / ``_mean`` lines plus
+        ``{quantile="…"}`` lines for p50/p95/p99.  This is the body of
+        the server's ``GET /metrics`` endpoint — text-tool friendly
+        (``curl | grep serve_cache``), stable ordering (sorted names).
+        """
+        with self._lock:
+            lines: list[str] = []
+            for name in sorted(self._counters):
+                lines.append(f"{_metric_name(name)} "
+                             f"{self._counters[name].value:g}")
+            for name in sorted(self._gauges):
+                lines.append(f"{_metric_name(name)} "
+                             f"{self._gauges[name].value:g}")
+            for name in sorted(self._histograms):
+                histogram = self._histograms[name]
+                base = _metric_name(name)
+                summary = histogram.summary()
+                for stat in ("count", "sum", "min", "max", "mean"):
+                    lines.append(f"{base}_{stat} {summary[stat]:g}")
+                for q in (0.5, 0.95, 0.99):
+                    lines.append(f'{base}{{quantile="{q:g}"}} '
+                                 f"{histogram.quantile(q):g}")
+            return "\n".join(lines) + "\n"
 
     def snapshot(self) -> dict[str, dict[str, object]]:
         """JSON-ready snapshot of every instrument.

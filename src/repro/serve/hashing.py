@@ -1,0 +1,94 @@
+"""Canonical JSON serialization and content-address hashing.
+
+The scenario cache (:mod:`repro.serve.cache`) is keyed on the *content*
+of a :class:`~repro.serve.spec.ScenarioSpec`, so two clients asking the
+same question — however they formatted their request — must produce the
+same key.  Canonicalization guarantees that:
+
+* **key order** — objects serialize with sorted keys, so
+  ``{"eps1": …, "eps2": …}`` and ``{"eps2": …, "eps1": …}`` hash
+  identically;
+* **float formatting** — values pass through Python ``float`` before
+  serialization, so ``0.10``, ``1e-1`` and ``0.1`` all canonicalize to
+  the shortest round-tripping repr (``0.1``).  Integral *types* are
+  preserved (``61`` is not ``61.0``); the spec layer owns coercing each
+  field to its declared type before hashing;
+* **no whitespace variance** — compact separators, no indentation;
+* **no NaN/Inf** — non-finite numbers have no canonical JSON form and
+  are rejected loudly rather than hashed inconsistently.
+
+The content address is the SHA-256 hex digest of the canonical UTF-8
+bytes.  The scheme is frozen by the golden-hash test
+(``tests/test_serve_spec.py``): any accidental change to
+canonicalization breaks stored cache keys and must fail loudly there.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Mapping
+
+from repro.exceptions import ParameterError
+
+__all__ = ["canonical_json", "content_hash", "short_hash"]
+
+#: Length of the abbreviated hash used in spans and log lines.
+SHORT_HASH_LEN = 12
+
+
+def _canonical_value(value: object, path: str) -> object:
+    """Normalize one value tree for canonical serialization."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ParameterError(
+                f"non-finite number at {path!r} has no canonical JSON form")
+        return value
+    if isinstance(value, Mapping):
+        out = {}
+        for key in value:
+            if not isinstance(key, str):
+                raise ParameterError(
+                    f"non-string key {key!r} at {path!r} cannot be "
+                    f"canonicalized")
+            out[key] = _canonical_value(value[key], f"{path}.{key}")
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(item, f"{path}[{index}]")
+                for index, item in enumerate(value)]
+    raise ParameterError(
+        f"value of type {type(value).__name__} at {path!r} is not "
+        f"JSON-serializable")
+
+
+def canonical_json(payload: Mapping[str, object]) -> str:
+    """The unique canonical JSON text of a JSON-ready payload.
+
+    Sorted keys, compact separators, shortest-repr floats, finite
+    numbers only.  Equal payloads (up to key order and float formatting)
+    produce byte-identical text.
+    """
+    normalized = _canonical_value(payload, "$")
+    return json.dumps(normalized, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False, ensure_ascii=True)
+
+
+def content_hash(payload: Mapping[str, object] | str) -> str:
+    """SHA-256 hex digest of a payload's canonical JSON.
+
+    Accepts either a JSON-ready mapping or pre-canonicalized text (the
+    latter is *not* re-canonicalized — pass text only when it came from
+    :func:`canonical_json`).
+    """
+    text = payload if isinstance(payload, str) else canonical_json(payload)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def short_hash(digest: str) -> str:
+    """Abbreviated content hash for spans, logs, and human output."""
+    return digest[:SHORT_HASH_LEN]

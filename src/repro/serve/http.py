@@ -1,0 +1,273 @@
+"""Zero-dependency HTTP front end: the ``repro serve`` daemon.
+
+Stdlib only (:class:`http.server.ThreadingHTTPServer` + ``json``), so
+the service runs anywhere the repo does.  Endpoints (protocol details
+in ``docs/SERVICE.md``):
+
+* ``POST /scenario`` — body is a :class:`~repro.serve.spec.ScenarioSpec`
+  JSON payload.  Synchronous by default (the response carries the
+  result plus cache/batching telemetry); ``?mode=async`` answers
+  ``202 Accepted`` immediately with a poll path.
+* ``GET /scenario/<hash>`` — poll a submitted scenario: ``200`` with
+  the result once cached, ``202`` while in flight, ``404`` otherwise.
+* ``GET /presets`` — the valid ``network`` preset names with their
+  degree-distribution summaries.
+* ``GET /healthz`` — liveness + cache statistics.
+* ``GET /metrics`` — plain-text dump of the obs
+  :class:`~repro.obs.metrics.MetricsRegistry` (cache counters, request
+  latency histograms, solver metrics).
+
+Each request handler thread pushes queries through the shared
+:class:`~repro.serve.service.ScenarioService`, so concurrent client
+requests coalesce and stack exactly like library callers.
+
+Graceful shutdown: SIGTERM/SIGINT stop the accept loop, drain in-flight
+batches (:meth:`ScenarioService.close`), and return control to the CLI,
+whose ``observing()`` context closes the JSONL manifest through the
+normal :class:`~repro.obs.manifest.JsonlSink` path — the process exits
+0 with a complete, validatable manifest.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.exceptions import ParameterError
+from repro.obs.trace import get_observer
+from repro.serve.service import ScenarioService
+from repro.serve.spec import ScenarioSpec
+
+__all__ = ["ScenarioHTTPServer", "run_server"]
+
+#: Hex-digit length of a full spec hash (SHA-256).
+_HASH_LEN = 64
+
+
+class ScenarioHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`ScenarioService`."""
+
+    daemon_threads = True  # handler threads never block shutdown
+
+    def __init__(self, address: tuple[str, int],
+                 service: ScenarioService) -> None:
+        super().__init__(address, _ScenarioRequestHandler)
+        self.service = service
+
+
+class _ScenarioRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests into the scenario service (one thread each)."""
+
+    server: ScenarioHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- routing -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parts = urlsplit(self.path)
+        route = parts.path.rstrip("/") or "/"
+        if route == "/healthz":
+            self._respond_json(200, {
+                "status": "ok",
+                "cache": self.server.service.cache.stats(),
+            })
+        elif route == "/metrics":
+            self._respond_text(200, _render_metrics())
+        elif route == "/presets":
+            from repro.datasets.presets import preset_summaries
+
+            self._respond_json(200, {"presets": preset_summaries()})
+        elif route.startswith("/scenario/"):
+            self._poll_scenario(route.removeprefix("/scenario/"))
+        else:
+            self._respond_json(404, {"error": f"unknown path {route!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        parts = urlsplit(self.path)
+        route = parts.path.rstrip("/")
+        if route != "/scenario":
+            self._respond_json(404, {"error": f"unknown path {route!r}"})
+            return
+        try:
+            spec = self._read_spec()
+        except ParameterError as error:
+            self._respond_json(400, {"error": str(error)})
+            return
+        query = parse_qs(parts.query)
+        if query.get("mode", [""])[0] == "async":
+            self._submit_async(spec)
+        else:
+            self._run_sync(spec)
+
+    # -- handlers ----------------------------------------------------------
+    def _read_spec(self) -> ScenarioSpec:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise ParameterError("invalid Content-Length header") from None
+        if length <= 0:
+            raise ParameterError("request body must be a scenario JSON "
+                                 "object")
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(f"invalid scenario JSON: {exc}") from None
+        return ScenarioSpec.from_payload(payload)
+
+    def _run_sync(self, spec: ScenarioSpec) -> None:
+        try:
+            response = self.server.service.query(spec)
+        except ParameterError as error:
+            self._respond_json(400, {"error": str(error)})
+            return
+        self._respond_json(200, {
+            "spec_hash": response.spec_hash,
+            "cache": response.cache,
+            "stacked": response.stacked,
+            "seconds": response.seconds,
+            "result": response.result,
+        })
+
+    def _submit_async(self, spec: ScenarioSpec) -> None:
+        """202 + poll path; a worker thread owns the actual query."""
+        service = self.server.service
+        spec_hash = spec.spec_hash()
+        worker = threading.Thread(
+            target=_swallow_errors(service.query), args=(spec,),
+            name="repro-serve-async", daemon=True)
+        worker.start()
+        self._respond_json(202, {
+            "spec_hash": spec_hash,
+            "status": "accepted",
+            "poll": f"/scenario/{spec_hash}",
+        })
+
+    def _poll_scenario(self, spec_hash: str) -> None:
+        if len(spec_hash) != _HASH_LEN or not all(
+                c in "0123456789abcdef" for c in spec_hash):
+            self._respond_json(400, {
+                "error": f"{spec_hash!r} is not a spec hash "
+                         f"({_HASH_LEN} lowercase hex digits)"})
+            return
+        service = self.server.service
+        result = service.cache.get(spec_hash)
+        if result is not None:
+            self._respond_json(200, {"spec_hash": spec_hash,
+                                     "cache": "hit", "result": result})
+        elif service.pending(spec_hash) is not None:
+            self._respond_json(202, {"spec_hash": spec_hash,
+                                     "status": "pending"})
+        else:
+            self._respond_json(404, {
+                "spec_hash": spec_hash,
+                "error": "unknown scenario (never submitted, evicted, or "
+                         "failed — resubmit via POST /scenario)"})
+
+    # -- response / logging plumbing ---------------------------------------
+    def _respond_json(self, status: int, payload: dict[str, object]) -> None:
+        self._respond_bytes(status, json.dumps(payload).encode("utf-8"),
+                            "application/json")
+
+    def _respond_text(self, status: int, text: str) -> None:
+        self._respond_bytes(status, text.encode("utf-8"),
+                            "text/plain; charset=utf-8")
+
+    def _respond_bytes(self, status: int, body: bytes,
+                       content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Route access logs into the manifest instead of stderr."""
+        observer = get_observer()
+        if observer is not None:
+            observer.emit("log", level="debug", event="serve.http",
+                          fields={"client": self.address_string(),
+                                  "line": format % args})
+
+
+def _swallow_errors(fn):
+    """Async workers surface failures via the poll 404, not a traceback."""
+    def runner(*args: object) -> None:
+        try:
+            fn(*args)
+        except Exception:
+            pass
+    return runner
+
+
+def _render_metrics() -> str:
+    """The /metrics body: the obs registry, or a hint when absent."""
+    observer = get_observer()
+    if observer is None:
+        return "# no observer installed (run repro serve under observing())\n"
+    return observer.metrics.render_text()
+
+
+def run_server(host: str = "127.0.0.1", port: int = 8722, *,
+               service: ScenarioService | None = None,
+               window_seconds: float = 0.01, max_batch: int = 64,
+               cache_entries: int = 1024, cache_dir: str | None = None,
+               install_signal_handlers: bool = True,
+               ready: threading.Event | None = None,
+               stop: threading.Event | None = None) -> int:
+    """Serve until SIGTERM/SIGINT (or ``stop``), then drain and return 0.
+
+    ``port=0`` binds an ephemeral port; the announcement line (printed
+    to stdout, flushed) carries the resolved port so scripts and the CI
+    smoke step can parse it.  ``ready``/``stop`` exist for in-process
+    tests: ``ready`` is set once the socket listens, ``stop`` requests
+    shutdown without a signal.  Signal handlers are installed last, so
+    they take precedence over the :class:`~repro.obs.manifest.JsonlSink`
+    SIGTERM hook — the sink still flushes, via the graceful return path.
+    """
+    own_service = service is None
+    if own_service:
+        service = ScenarioService(window_seconds=window_seconds,
+                                  max_batch=max_batch,
+                                  cache_entries=cache_entries,
+                                  cache_dir=cache_dir)
+    stop = stop if stop is not None else threading.Event()
+    server = ScenarioHTTPServer((host, port), service)
+    actual_port = server.server_address[1]
+    if install_signal_handlers:
+        def _request_stop(signum: int, frame: object) -> None:
+            stop.set()
+
+        try:
+            signal.signal(signal.SIGTERM, _request_stop)
+            signal.signal(signal.SIGINT, _request_stop)
+        except ValueError:
+            pass  # not the main thread (in-process tests drive `stop`)
+    # serve_forever runs in a helper thread: calling server.shutdown()
+    # from the thread running serve_forever() deadlocks, and this keeps
+    # the main thread free to wait on the stop event set by the signal
+    # handler.
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-serve-accept", daemon=True)
+    thread.start()
+    print(f"serving on http://{host}:{actual_port}", flush=True)
+    observer = get_observer()
+    if observer is not None:
+        observer.emit("log", level="info", event="serve.start",
+                      fields={"host": host, "port": actual_port})
+    if ready is not None:
+        ready.set()
+    try:
+        stop.wait()
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+        if own_service:
+            service.close()  # drain in-flight batches before returning
+        if observer is not None:
+            observer.emit("log", level="info", event="serve.stop",
+                          fields={"host": host, "port": actual_port})
+    return 0
