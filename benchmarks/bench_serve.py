@@ -133,6 +133,11 @@ def _run_http_load(*, clients: int, requests_per_client: int,
     wall_seconds = time.perf_counter() - wall_start
     server.shutdown()
     server.server_close()
+    # Snapshot the sliding-window SLOs before close() (close records the
+    # final window into the manifest; this copy goes into the bench
+    # record, and publish=True refreshes the serve.slo.* gauges that
+    # land in the payload's metrics snapshot).
+    slo = service.slo_snapshot()
     service.close()
     if errors:
         raise errors[0]
@@ -149,6 +154,7 @@ def _run_http_load(*, clients: int, requests_per_client: int,
         "max_ms": 1e3 * flat[-1],
         "cache_hit_rate": stats["hits"] / total if total else 0.0,
         "cache": stats,
+        "slo": slo,
     }
 
 
@@ -275,6 +281,12 @@ def test_bench_serve_smoke(tmp_path) -> None:
     counters = on_disk["metrics"]["counters"]
     assert counters.get("serve.requests", 0) > 0
     assert counters.get("serve.cache.hits", 0) > 0
+    # The sliding-window SLO summary rides along in the record meta and
+    # as serve.slo.* gauges in the metrics snapshot.
+    slo = on_disk["records"][0]["meta"]["slo"]
+    assert slo["requests"] > 0
+    assert slo["latency_p95"] >= slo["latency_p50"] > 0
+    assert on_disk["metrics"]["gauges"]["serve.slo.requests"] > 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:

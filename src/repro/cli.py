@@ -10,10 +10,11 @@ Subcommands:
 * ``presets list`` — enumerate the network presets a
   :class:`~repro.serve.spec.ScenarioSpec` may reference;
 * ``serve`` — run the scenario query daemon (``docs/SERVICE.md``);
-* ``obs {report, compare, validate}`` — the telemetry consumption
-  side: analyze a run manifest, diff two manifests or bench files with
+* ``obs {report, compare, validate, tail}`` — the telemetry
+  consumption side: analyze a run manifest (``--trace <id>`` narrows
+  to one request's path), diff two manifests or bench files with
   regression gating (nonzero exit on regression — the CI perf gate),
-  or validate a manifest's schema.
+  validate a manifest's schema, or follow a growing manifest live.
 
 Global observability flags (before the subcommand):
 
@@ -51,7 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: warning)")
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write a JSONL run manifest to PATH "
-                             "(schema repro-obs/2; see docs/OBSERVABILITY.md)")
+                             "(schema repro-obs/3; see docs/OBSERVABILITY.md)")
     parser.add_argument("--progress", action="store_true",
                         help="show live progress lines for sweeps/ensembles")
     parser.add_argument("--profile-resources", action="store_true",
@@ -141,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="persist results as DIR/<hash>.json blobs "
                             "(default: memory only)")
+    serve.add_argument("--status-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="log a one-line serve.status record (health "
+                            "+ SLO window) every SECONDS — visible at "
+                            "--log-level info, always in the manifest "
+                            "(default: off)")
 
     obs = sub.add_parser(
         "obs", help="analyze run manifests and bench files")
@@ -150,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
     obs_report.add_argument("manifest", help="JSONL run manifest path")
     obs_report.add_argument("--width", type=int, default=40,
                             help="bar chart width (default 40)")
+    obs_report.add_argument("--trace", default=None, metavar="ID",
+                            help="show only the events carrying this "
+                                 "trace id (an X-Trace-Id value) instead "
+                                 "of the full report")
     obs_compare = obs_sub.add_parser(
         "compare", help="diff two manifests or two BENCH_*.json files; "
                         "exits 1 on regression or shape drift")
@@ -166,9 +177,26 @@ def build_parser() -> argparse.ArgumentParser:
                                   "warnings (shape drift still fails) — "
                                   "for shared CI runners")
     obs_validate = obs_sub.add_parser(
-        "validate", help="validate a manifest against repro-obs/1|2; "
+        "validate", help="validate a manifest against repro-obs/1|2|3; "
                          "exit 0/1")
     obs_validate.add_argument("manifest", help="JSONL run manifest path")
+    obs_tail = obs_sub.add_parser(
+        "tail", help="render a manifest's events as one-line records, "
+                     "following growth with --follow (truncation-"
+                     "tolerant; stops at manifest_end)")
+    obs_tail.add_argument("manifest", help="JSONL run manifest path")
+    obs_tail.add_argument("--follow", "-f", action="store_true",
+                          help="keep polling for appended events instead "
+                               "of stopping at end of file")
+    obs_tail.add_argument("--interval", type=float, default=0.5,
+                          metavar="SECONDS",
+                          help="poll period in follow mode (default 0.5)")
+    obs_tail.add_argument("--max-events", type=int, default=None,
+                          metavar="N",
+                          help="stop after rendering N events")
+    obs_tail.add_argument("--types", default=None, metavar="T1,T2",
+                          help="comma-separated event types to render "
+                               "(e.g. health,slo,log); default: all")
     return parser
 
 
@@ -282,7 +310,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     kwargs = dict(window_seconds=args.batch_window,
                   max_batch=args.max_batch,
                   cache_entries=args.cache_entries,
-                  cache_dir=args.cache_dir)
+                  cache_dir=args.cache_dir,
+                  status_interval=args.status_interval)
     if get_observer() is not None:
         return run_server(args.host, args.port, **kwargs)
     # No --trace-out/--progress: install a metrics-only observer (events
@@ -296,9 +325,25 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
     try:
         if args.obs_command == "report":
+            if args.trace is not None:
+                from repro.obs.reader import load_manifest
+                from repro.obs.report import trace_report_text
+
+                print(trace_report_text(load_manifest(args.manifest),
+                                        args.trace))
+                return 0
             from repro.obs.report import render_report
 
             print(render_report(args.manifest, width=args.width))
+            return 0
+        if args.obs_command == "tail":
+            from repro.obs.tail import tail_manifest
+
+            types = (tuple(t for t in args.types.split(",") if t)
+                     if args.types else None)
+            tail_manifest(args.manifest, follow=args.follow,
+                          interval=args.interval,
+                          max_events=args.max_events, types=types)
             return 0
         if args.obs_command == "compare":
             from repro.obs.compare import (
@@ -330,7 +375,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     from repro.obs.log import set_level
-    from repro.obs.trace import observing
+    from repro.obs.trace import new_trace_id, observing, tracing
 
     args = build_parser().parse_args(argv)
     handlers = {
@@ -349,10 +394,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "obs" or not wants_observer:
         return handlers[args.command](args)
     run_info = {"command": args.command, "argv": list(argv or sys.argv[1:])}
+    run_trace = new_trace_id()
+    run_info["trace_id"] = run_trace
     with observing(args.trace_out, progress=args.progress, run=run_info,
                    resources=args.profile_resources,
                    profile=args.profile_phases):
-        return handlers[args.command](args)
+        # Run-scoped trace id: every event the run emits carries it, so
+        # `repro obs report --trace <id>` can reconstruct a whole run the
+        # same way it reconstructs one serve request.
+        with tracing(run_trace):
+            return handlers[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover - module execution path

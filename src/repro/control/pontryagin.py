@@ -343,6 +343,8 @@ def solve_optimal_control(params: RumorModelParameters, initial: SIRState, *,
         if observer is not None:
             observer.emit("fbsm_iteration", **record.as_dict())
             observer.metrics.inc("fbsm.iterations")
+            observer.health.check_fbsm(history, tol,
+                                       context={"iteration": iteration})
         if change < tol:
             reason = "controls"
             break
@@ -364,6 +366,7 @@ def solve_optimal_control(params: RumorModelParameters, initial: SIRState, *,
             seconds=round(time.perf_counter() - solve_start, 6),
             attrs={"iterations": iteration, "converged": converged,
                    "reason": reason, "n_grid": int(grid.size)})
+        observer.health.check_fbsm_outcome(converged, reason, iteration)
     if not converged and raise_on_failure:
         raise ConvergenceError(
             f"FBSM did not converge in {max_iterations} sweeps "

@@ -22,8 +22,9 @@ import numpy as np
 
 from repro.core.parameters import RumorModelParameters
 from repro.core.state import RumorTrajectory, SIRState
-from repro.exceptions import ParameterError
+from repro.exceptions import IntegrationError, ParameterError
 from repro.numerics.ode import integrate
+from repro.obs.trace import get_observer
 
 __all__ = ["HeterogeneousSIRModel", "as_control"]
 
@@ -170,8 +171,34 @@ class HeterogeneousSIRModel:
             f = lambda t, y: self.rhs(t, y, e1, e2)  # noqa: E731
         else:
             f = self.rhs_constant(float(eps1), float(eps2))
-        solution = integrate(f, initial.pack(), grid, method=method,
-                             **solver_options)
+        try:
+            solution = integrate(f, initial.pack(), grid, method=method,
+                                 **solver_options)
+        except IntegrationError as error:
+            # A blow-up unwinds before any trajectory exists, so the
+            # result-level checks below never see it; report it as its
+            # own alarm before propagating.
+            observer = get_observer()
+            if observer is not None:
+                observer.health.check_integration(
+                    str(method), error,
+                    context={"where": "model.simulate"})
+            raise
+        observer = get_observer()
+        if observer is not None:
+            observer.health.check_integration(
+                str(method), context={"where": "model.simulate"})
+            # Live invariant checks (read-only on the solution): per-group
+            # S+I+R mass must follow the d/dt = α growth law of System
+            # (1), and densities must stay (numerically) non-negative.
+            n = self.params.n_groups
+            masses = (solution.y[:, :n] + solution.y[:, n:2 * n]
+                      + solution.y[:, 2 * n:3 * n])
+            context = {"where": "model.simulate", "method": str(method)}
+            observer.health.check_conservation(
+                solution.t, masses, self.params.alpha, context=context)
+            observer.health.check_positivity(float(np.min(solution.y)),
+                                             context=context)
         return RumorTrajectory(self.params, solution.t, solution.y)
 
     # -- conveniences ------------------------------------------------------------

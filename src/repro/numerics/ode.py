@@ -101,6 +101,8 @@ def _emit_solver_event(solver: str, dim: int,
     if ob is None:
         return
     ob.emit("solver", solver=solver, dim=dim, **stats.as_dict())
+    ob.health.check_solver(solver, stats.accepted, stats.rejected,
+                           context={"dim": dim})
     metrics = ob.metrics
     metrics.inc("solver.runs")
     metrics.inc("solver.nfev", stats.nfev)

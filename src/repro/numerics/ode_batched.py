@@ -135,6 +135,9 @@ def _emit_batched_solver_event(solver: str, dim: int, batch: int,
     aggregate = stats.as_dict()
     ob.emit("solver", solver=solver, dim=dim, batch=batch,
             nfev=int(nfev_rows.sum()), **aggregate)
+    ob.health.check_solver(solver, aggregate["accepted"],
+                           aggregate["rejected"],
+                           context={"dim": dim, "batch": batch})
     metrics = ob.metrics
     metrics.inc("solver.runs")
     metrics.inc("solver.batched_rows", batch)

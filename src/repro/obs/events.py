@@ -26,26 +26,32 @@ from repro.exceptions import ParameterError
 __all__ = [
     "OBS_SCHEMA",
     "OBS_SCHEMA_V1",
+    "OBS_SCHEMA_V2",
     "SUPPORTED_SCHEMAS",
     "EVENT_TYPES",
     "V2_EVENT_TYPES",
+    "V3_EVENT_TYPES",
     "REQUIRED_FIELDS",
+    "disallowed_event_types",
     "validate_event",
     "validate_manifest",
     "read_manifest",
 ]
 
 #: Schema identifier written into every ``manifest_start`` event.
-#: ``repro-obs/2`` extends ``repro-obs/1`` additively with the opt-in
-#: resource-profiling event types (``resource``, ``profile``); every
-#: ``repro-obs/1`` manifest is also a valid ``repro-obs/2`` manifest.
-OBS_SCHEMA = "repro-obs/2"
+#: Each version extends the previous one additively: ``repro-obs/2``
+#: added the opt-in resource-profiling event types (``resource``,
+#: ``profile``); ``repro-obs/3`` adds the live-health event types
+#: (``health``, ``slo``).  Every older manifest is also a valid newer
+#: manifest.
+OBS_SCHEMA = "repro-obs/3"
 
-#: The previous schema identifier; still accepted by the validators.
+#: Older schema identifiers; still accepted by the validators.
 OBS_SCHEMA_V1 = "repro-obs/1"
+OBS_SCHEMA_V2 = "repro-obs/2"
 
 #: Schema identifiers :func:`validate_manifest` accepts.
-SUPPORTED_SCHEMAS = frozenset({OBS_SCHEMA_V1, OBS_SCHEMA})
+SUPPORTED_SCHEMAS = frozenset({OBS_SCHEMA_V1, OBS_SCHEMA_V2, OBS_SCHEMA})
 
 #: Required fields per event type (beyond the universal ``type``/``t``).
 REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
@@ -73,6 +79,10 @@ REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
     "resource": ("name", "seconds", "tracemalloc_peak_bytes",
                  "ru_maxrss_kb"),
     "profile": ("name", "seconds", "top"),
+    # Live numerical-health watchdogs (repro-obs/3; repro.obs.health).
+    "health": ("check", "severity"),
+    # Sliding-window serve SLO snapshots (repro-obs/3; repro.obs.slo).
+    "slo": ("window_seconds", "requests"),
 }
 
 #: The closed set of event types a manifest may contain.
@@ -81,6 +91,24 @@ EVENT_TYPES = frozenset(REQUIRED_FIELDS)
 #: Event types introduced by ``repro-obs/2``; invalid in a ``repro-obs/1``
 #: manifest.
 V2_EVENT_TYPES = frozenset({"resource", "profile"})
+
+#: Event types introduced by ``repro-obs/3``; invalid in older manifests.
+V3_EVENT_TYPES = frozenset({"health", "slo"})
+
+#: Event types each schema version may NOT contain (additive versioning:
+#: newer versions only ever remove entries from this map's sets).
+_DISALLOWED_BY_SCHEMA: dict[str, frozenset[str]] = {
+    OBS_SCHEMA_V1: V2_EVENT_TYPES | V3_EVENT_TYPES,
+    OBS_SCHEMA_V2: V3_EVENT_TYPES,
+    OBS_SCHEMA: frozenset(),
+}
+
+
+def disallowed_event_types(schema: str,
+                           events: "list[dict[str, object]]") -> list[str]:
+    """Event types present in ``events`` but newer than ``schema``."""
+    banned = _DISALLOWED_BY_SCHEMA.get(str(schema), frozenset())
+    return sorted({str(e["type"]) for e in events if e["type"] in banned})
 
 
 def validate_event(event: Mapping[str, object]) -> None:
@@ -126,13 +154,13 @@ def validate_manifest(path: str | Path) -> list[dict[str, object]]:
     """Load and fully validate a manifest; return its events.
 
     Checks, in order: the file parses as JSONL, the first event is a
-    ``manifest_start`` carrying a supported schema (``repro-obs/1`` or
-    ``repro-obs/2``), every event validates against
-    :data:`REQUIRED_FIELDS` (unknown types fail; the ``repro-obs/2``
-    event types are rejected in a ``repro-obs/1`` manifest), and the
-    last event is a ``manifest_end`` whose ``events`` count matches the
-    stream.  This is the check the CI observability smoke step runs
-    against a real ``--trace-out`` run.
+    ``manifest_start`` carrying a supported schema (``repro-obs/1``,
+    ``/2`` or ``/3``), every event validates against
+    :data:`REQUIRED_FIELDS` (unknown types fail; event types newer than
+    the declared schema version are rejected), and the last event is a
+    ``manifest_end`` whose ``events`` count matches the stream.  This
+    is the check the CI observability smoke step runs against a real
+    ``--trace-out`` run.
     """
     events = read_manifest(path)
     if not events:
@@ -147,13 +175,11 @@ def validate_manifest(path: str | Path) -> list[dict[str, object]]:
         raise ParameterError(
             f"unsupported manifest schema {first['schema']!r} "
             f"(supported: {sorted(SUPPORTED_SCHEMAS)})")
-    if first["schema"] == OBS_SCHEMA_V1:
-        v2_only = sorted({e["type"] for e in events
-                          if e["type"] in V2_EVENT_TYPES})
-        if v2_only:
-            raise ParameterError(
-                f"manifest declares {OBS_SCHEMA_V1!r} but contains "
-                f"{OBS_SCHEMA!r}-only event types {v2_only}")
+    too_new = disallowed_event_types(str(first["schema"]), events)
+    if too_new:
+        raise ParameterError(
+            f"manifest declares {first['schema']!r} but contains "
+            f"newer-schema event types {too_new}")
     if last["type"] != "manifest_end":
         raise ParameterError(
             f"manifest must close with manifest_end, got {last['type']!r} "

@@ -1,0 +1,381 @@
+"""Live numerical-health watchdogs: streaming invariant monitors.
+
+The paper's analytical invariants — mass conservation of System (1)
+(``d(S+I+R)/dt = α`` per group), compartment positivity, adaptive-step
+solvers making progress, FBSM sweeps converging — are asserted offline
+by the test suite.  This module is the *online* half: cheap streaming
+checks that instrumented code feeds through the global observer
+(``get_observer().health.check_…``), each maintaining a named alarm
+with a severity ladder (``ok`` → ``warn`` → ``critical``).
+
+Design constraints, in order:
+
+* **Zero cost when disabled.**  Every call site is already behind the
+  ``get_observer() is None`` fast path, so with observability off the
+  watchdogs add exactly the one pointer read the observer hook always
+  cost.  With observability *on*, checks only read solution arrays —
+  they can never perturb results (the bitwise-identity tests in
+  ``tests/test_obs_integration.py`` pin this).
+* **Flood-proof.**  A sick solver inside a parameter sweep can observe
+  the same violation thousands of times.  Alarms therefore emit a
+  ``health`` event (schema ``repro-obs/3``) only on severity
+  *transitions* plus a rate-limited heartbeat while a condition
+  persists, and the matching stderr lines go through
+  :func:`repro.obs.log.log` with ``min_interval=`` rate limiting.
+* **Self-healing.**  An alarm's ``severity`` tracks the *latest*
+  observation (a recovered solver reports ``ok`` again and emits a
+  recovery event); ``worst`` and ``trips`` latch the history for
+  ``/healthz`` and ``repro obs report``.
+
+Thresholds are keyword-overridable at construction for tests; the
+defaults are calibrated against the repository's property tests (mass
+drift stays under ``1e-6`` over the paper horizons when the solver is
+healthy, so ``warn`` at ``1e-5`` has real margin).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.obs import log as obslog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (see trace.py)
+    from repro.obs.trace import Observer
+
+__all__ = ["SEVERITIES", "AlarmState", "HealthMonitor"]
+
+#: Severity ladder, mildest first.
+SEVERITIES = ("ok", "warn", "critical")
+
+_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+_LOG_LEVELS = {"ok": "info", "warn": "warning", "critical": "error"}
+
+
+@dataclass
+class AlarmState:
+    """One named alarm: current severity plus latched history.
+
+    ``severity`` is the latest observation (self-healing); ``worst``
+    and ``trips`` only ever ratchet up, so a load balancer polling
+    ``/healthz`` sees the live state while ``repro obs report`` still
+    shows that a run *was* sick at some point.
+    """
+
+    check: str
+    severity: str = "ok"
+    worst: str = "ok"
+    trips: int = 0
+    observations: int = 0
+    value: float | None = None
+    detail: str = ""
+    last_emit_t: float = field(default=float("-inf"), repr=False)
+
+    def as_dict(self) -> dict[str, object]:
+        return {"severity": self.severity, "worst": self.worst,
+                "trips": self.trips, "observations": self.observations,
+                "value": self.value, "detail": self.detail}
+
+
+class HealthMonitor:
+    """Streaming invariant checks feeding named, rate-limited alarms.
+
+    Owned by an :class:`~repro.obs.trace.Observer` (``observer.health``)
+    and shared by every instrumented call site in the process.  All
+    ``check_*`` methods return the severity they assessed so call sites
+    and tests can branch without re-reading alarm state.
+    """
+
+    def __init__(self, observer: "Observer", *,
+                 conservation_warn: float = 1e-5,
+                 conservation_critical: float = 1e-2,
+                 positivity_warn: float = -1e-8,
+                 positivity_critical: float = -1e-3,
+                 rejection_warn: float = 0.5,
+                 rejection_critical: float = 0.85,
+                 rejection_min_steps: int = 16,
+                 fbsm_window: int = 10,
+                 fbsm_stall_factor: float = 0.95,
+                 fbsm_osc_amplitude: float = 1e-4,
+                 reemit_interval: float = 5.0) -> None:
+        self.observer = observer
+        self.conservation_warn = float(conservation_warn)
+        self.conservation_critical = float(conservation_critical)
+        self.positivity_warn = float(positivity_warn)
+        self.positivity_critical = float(positivity_critical)
+        self.rejection_warn = float(rejection_warn)
+        self.rejection_critical = float(rejection_critical)
+        self.rejection_min_steps = int(rejection_min_steps)
+        self.fbsm_window = int(fbsm_window)
+        self.fbsm_stall_factor = float(fbsm_stall_factor)
+        self.fbsm_osc_amplitude = float(fbsm_osc_amplitude)
+        self.reemit_interval = float(reemit_interval)
+        self._alarms: dict[str, AlarmState] = {}
+
+    # -- alarm bookkeeping -------------------------------------------------
+    def _observe(self, check: str, severity: str, *,
+                 value: float | None = None, detail: str = "",
+                 context: Mapping[str, object] | None = None) -> str:
+        """Record one observation; emit events/logs per the flood policy."""
+        alarm = self._alarms.get(check)
+        if alarm is None:
+            alarm = self._alarms[check] = AlarmState(check)
+        previous = alarm.severity
+        alarm.observations += 1
+        alarm.severity = severity
+        alarm.value = value
+        alarm.detail = detail
+        if _RANK[severity] > _RANK[alarm.worst]:
+            alarm.worst = severity
+        tripped = _RANK[severity] > _RANK[previous]
+        if tripped:
+            alarm.trips += 1
+            self.observer.metrics.inc("health.alarms")
+        transition = severity != previous
+        now = self.observer.now()
+        heartbeat = (severity != "ok"
+                     and now - alarm.last_emit_t >= self.reemit_interval)
+        if transition or heartbeat:
+            alarm.last_emit_t = now
+            event: dict[str, object] = {
+                "check": check, "severity": severity,
+                "transition": transition}
+            if value is not None:
+                event["value"] = float(value)
+            if detail:
+                event["detail"] = detail
+            if context:
+                event["context"] = dict(context)
+            self.observer.emit("health", **event)
+            obslog.log(
+                _LOG_LEVELS[severity], f"health.{check}",
+                min_interval=self.reemit_interval,
+                severity=severity, value=value,
+                **({"detail": detail} if detail else {}))
+        return severity
+
+    # -- reporting ----------------------------------------------------------
+    def alarms(self) -> dict[str, AlarmState]:
+        """Live alarm states by check name (shared, do not mutate)."""
+        return dict(self._alarms)
+
+    def overall_severity(self) -> str:
+        """Worst *current* severity across alarms (``ok`` when quiet)."""
+        rank = max((_RANK[a.severity] for a in self._alarms.values()),
+                   default=0)
+        return SEVERITIES[rank]
+
+    def status(self) -> dict[str, object]:
+        """JSON-ready summary for ``/healthz`` and ``obs report``."""
+        return {
+            "status": self.overall_severity(),
+            "alarms": {name: alarm.as_dict()
+                       for name, alarm in sorted(self._alarms.items())},
+        }
+
+    # -- invariant checks ----------------------------------------------------
+    def check_conservation(self, t: Sequence[float] | np.ndarray,
+                           totals: Sequence[float] | np.ndarray,
+                           alpha: float, *,
+                           context: Mapping[str, object] | None = None,
+                           ) -> str:
+        """Check ``S+I+R`` mass against the System (1) growth law.
+
+        The model is *not* mass-conserving in the naive sense: newcomer
+        inflow adds ``α`` per unit time to every group's mass (and to
+        the population aggregate, since the degree weights sum to 1).
+        The invariant is therefore ``totals(t) = totals(t0) + α·(t−t0)``
+        anchored at the trajectory's *actual* initial mass.  ``totals``
+        may be 1-D (population aggregate) or 2-D ``(m, n_groups)``
+        (per-group masses); the worst relative drift wins.
+        """
+        t = np.asarray(t, dtype=float)
+        totals = np.asarray(totals, dtype=float)
+        if t.size == 0 or totals.size == 0:
+            return self._observe("conservation", "ok", value=0.0,
+                                 context=context)
+        elapsed = t - t[0]
+        if totals.ndim == 2:
+            elapsed = elapsed[:, None]
+        expected = totals[0] + float(alpha) * elapsed
+        scale = max(1.0, float(np.max(np.abs(expected))))
+        drift = float(np.max(np.abs(totals - expected))) / scale
+        if not math.isfinite(drift):
+            return self._observe(
+                "conservation", "critical", value=drift,
+                detail="non-finite mass (solution blew up)",
+                context=context)
+        if drift >= self.conservation_critical:
+            severity = "critical"
+        elif drift >= self.conservation_warn:
+            severity = "warn"
+        else:
+            severity = "ok"
+        return self._observe(
+            "conservation", severity, value=drift,
+            detail="" if severity == "ok" else
+            f"relative mass drift {drift:.3g}", context=context)
+
+    def check_positivity(self, min_value: float, *,
+                         context: Mapping[str, object] | None = None) -> str:
+        """Check the most-negative compartment density seen.
+
+        Densities are proportions: a slightly negative value is solver
+        noise (``warn`` below ``-1e-8``), a substantially negative one
+        means the integration left the physical simplex (``critical``
+        below ``-1e-3``).  NaNs are critical — a comparison against a
+        NaN is silently false, so non-finite values are special-cased.
+        """
+        min_value = float(min_value)
+        if not math.isfinite(min_value):
+            return self._observe(
+                "positivity", "critical", value=min_value,
+                detail="non-finite compartment density", context=context)
+        if min_value < self.positivity_critical:
+            severity = "critical"
+        elif min_value < self.positivity_warn:
+            severity = "warn"
+        else:
+            severity = "ok"
+        return self._observe(
+            "positivity", severity, value=min_value,
+            detail="" if severity == "ok" else
+            f"min compartment density {min_value:.3g}", context=context)
+
+    def check_integration(self, solver: str,
+                          error: BaseException | None = None, *,
+                          context: Mapping[str, object] | None = None,
+                          ) -> str:
+        """Record an integration outcome: blow-up or clean completion.
+
+        A solver abort (``IntegrationError``) never reaches the
+        trajectory-level checks — the exception unwinds before a result
+        exists — so the failure path reports here instead.  ``error``
+        ``None`` marks a successful integration and self-heals the
+        alarm; the latched ``worst``/``trips`` history still shows the
+        blow-up happened.
+        """
+        merged = dict(context or ())
+        merged.setdefault("solver", str(solver))
+        if error is None:
+            return self._observe("integration", "ok", context=merged)
+        return self._observe(
+            "integration", "critical",
+            detail=f"{solver} aborted: {error}", context=merged)
+
+    def check_solver(self, solver: str, accepted: int, rejected: int, *,
+                     context: Mapping[str, object] | None = None) -> str:
+        """Check an adaptive integration for a step-rejection storm.
+
+        A healthy dopri45 run rejects a small fraction of steps; a
+        rejection rate near 1 means the controller is grinding against
+        a stiff or blowing-up problem.  Short integrations (fewer than
+        ``rejection_min_steps`` attempts) are skipped — a 3-step run
+        rejecting once is noise, not a storm.
+        """
+        accepted = int(accepted)
+        rejected = int(rejected)
+        total = accepted + rejected
+        if total < self.rejection_min_steps:
+            return "ok"
+        rate = rejected / total
+        if rate >= self.rejection_critical:
+            severity = "critical"
+        elif rate >= self.rejection_warn:
+            severity = "warn"
+        else:
+            severity = "ok"
+        merged = {"solver": str(solver), "steps": total}
+        if context:
+            merged.update(context)
+        return self._observe(
+            "solver_rejections", severity, value=rate,
+            detail="" if severity == "ok" else
+            f"{solver} rejected {rate:.0%} of {total} steps",
+            context=merged)
+
+    def check_fbsm(self, history: Sequence[object], tol: float, *,
+                   context: Mapping[str, object] | None = None) -> str:
+        """Check an FBSM sweep history for stall or limit-cycle oscillation.
+
+        Windowed over the last ``fbsm_window`` iterations of the live
+        ``history`` (items expose ``control_change`` and ``cost``,
+        matching :class:`repro.control.pontryagin.FBSMIteration`):
+
+        * **stall** — the control change has not meaningfully improved
+          across the window while still far from ``tol``;
+        * **oscillation** — the objective alternates direction nearly
+          every sweep with non-trivial relative amplitude (the
+          bound-riding limit cycle), amplitude-guarded so a healthy
+          run's float-noise wiggles below ``fbsm_osc_amplitude`` never
+          trip.
+
+        Both are ``warn``: FBSM has its own ``raise_on_failure``
+        escalation path for hard failures.
+        """
+        window = list(history)[-self.fbsm_window:]
+        if len(window) < self.fbsm_window:
+            return "ok"
+        changes = np.array([float(h.control_change) for h in window])
+        costs = np.array([float(h.cost) for h in window])
+        if not (np.isfinite(changes).all() and np.isfinite(costs).all()):
+            return self._observe(
+                "fbsm", "critical", detail="non-finite FBSM iterate",
+                context=context)
+        stalled = (changes[-1] > self.fbsm_stall_factor * changes[0]
+                   and changes[-1] > 10.0 * float(tol))
+        diffs = np.diff(costs)
+        flips = int(np.sum(np.sign(diffs[1:]) * np.sign(diffs[:-1]) < 0))
+        amplitude = float(np.max(np.abs(diffs))) / max(1.0,
+                                                       abs(float(costs[-1])))
+        oscillating = (flips >= diffs.size - 2
+                       and amplitude > self.fbsm_osc_amplitude)
+        if stalled and oscillating:
+            detail = (f"stalled and oscillating (change {changes[-1]:.3g}, "
+                      f"cost amplitude {amplitude:.3g})")
+        elif stalled:
+            detail = (f"stalled: control change {changes[-1]:.3g} after "
+                      f"{len(window)} sweeps (tol {tol:.3g})")
+        elif oscillating:
+            detail = f"cost oscillation, relative amplitude {amplitude:.3g}"
+        else:
+            detail = ""
+        severity = "warn" if detail else "ok"
+        return self._observe(
+            "fbsm", severity,
+            value=float(changes[-1]), detail=detail, context=context)
+
+    def check_fbsm_outcome(self, converged: bool, reason: str,
+                           iterations: int, *,
+                           context: Mapping[str, object] | None = None,
+                           ) -> str:
+        """Record a finished FBSM solve: non-convergence is a warning."""
+        severity = "ok" if converged else "warn"
+        merged = {"reason": str(reason), "iterations": int(iterations)}
+        if context:
+            merged.update(context)
+        return self._observe(
+            "fbsm", severity,
+            detail="" if converged else
+            f"FBSM stopped without converging after {iterations} sweeps",
+            context=merged)
+
+    def check_cache_blob(self, ok: bool, *, path: str = "",
+                         detail: str = "") -> str:
+        """Record a disk-cache blob read: corruption is a warning.
+
+        A corrupt or unreadable blob self-heals (the entry is
+        recomputed and rewritten), so this never goes critical — but a
+        stream of warnings points at a failing disk or a concurrent
+        writer bug.
+        """
+        severity = "ok" if ok else "warn"
+        context = {"path": str(path)} if path else None
+        return self._observe(
+            "cache", severity,
+            detail="" if ok else (detail or "unreadable cache blob"),
+            context=context)

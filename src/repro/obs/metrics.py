@@ -160,6 +160,8 @@ class MetricsRegistry:
     Instruments are created on first use (``registry.counter("x").inc()``)
     and a name maps to exactly one instrument kind — reusing a counter
     name for a gauge raises :class:`~repro.exceptions.ParameterError`.
+    An optional ``help`` string (kept from the first registration that
+    provides one) becomes the ``# HELP`` line of the exposition format.
     """
 
     def __init__(self) -> None:
@@ -167,9 +169,13 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._help: dict[str, str] = {}
 
-    def _get(self, table: dict, name: str, factory, kind: str):
+    def _get(self, table: dict, name: str, factory, kind: str,
+             help: str | None = None):
         with self._lock:
+            if help is not None and name not in self._help:
+                self._help[name] = str(help)
             instrument = table.get(name)
             if instrument is None:
                 for other_kind, other in (("counter", self._counters),
@@ -182,14 +188,15 @@ class MetricsRegistry:
                 instrument = table[name] = factory(name)
             return instrument
 
-    def counter(self, name: str) -> Counter:
-        return self._get(self._counters, name, Counter, "counter")
+    def counter(self, name: str, help: str | None = None) -> Counter:
+        return self._get(self._counters, name, Counter, "counter", help)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(self._gauges, name, Gauge, "gauge")
+    def gauge(self, name: str, help: str | None = None) -> Gauge:
+        return self._get(self._gauges, name, Gauge, "gauge", help)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(self._histograms, name, Histogram, "histogram")
+    def histogram(self, name: str, help: str | None = None) -> Histogram:
+        return self._get(self._histograms, name, Histogram, "histogram",
+                         help)
 
     def inc(self, name: str, amount: float = 1.0) -> None:
         """Shorthand: ``registry.counter(name).inc(amount)``."""
@@ -215,32 +222,49 @@ class MetricsRegistry:
                 histogram.reset()
 
     def render_text(self) -> str:
-        """Prometheus-style plain-text exposition of every instrument.
+        """Prometheus exposition-format text of every instrument.
 
         Metric names swap dots for underscores (``serve.cache.hits`` →
-        ``serve_cache_hits``); histograms expand to ``_count`` /
-        ``_sum`` / ``_min`` / ``_max`` / ``_mean`` lines plus
-        ``{quantile="…"}`` lines for p50/p95/p99.  This is the body of
-        the server's ``GET /metrics`` endpoint — text-tool friendly
-        (``curl | grep serve_cache``), stable ordering (sorted names).
+        ``serve_cache_hits``) and every family gets ``# HELP`` /
+        ``# TYPE`` header lines so standard collectors can scrape the
+        output.  Counters render as ``counter`` families, gauges as
+        ``gauge``, histograms as ``summary`` families — p50/p95/p99
+        ``{quantile="…"}`` sample lines plus ``_sum`` and ``_count``
+        — with the min/max/mean extras exposed as companion ``gauge``
+        families (``<name>_min`` etc., not part of the summary type).
+        This is the body of the server's ``GET /metrics`` endpoint —
+        text-tool friendly (``curl | grep serve_cache``), stable
+        ordering (sorted names).
         """
         with self._lock:
             lines: list[str] = []
+
+            def header(base: str, name: str, kind: str) -> None:
+                text = self._help.get(name, f"repro metric {name}")
+                lines.append(f"# HELP {base} {text}")
+                lines.append(f"# TYPE {base} {kind}")
+
             for name in sorted(self._counters):
-                lines.append(f"{_metric_name(name)} "
-                             f"{self._counters[name].value:g}")
+                base = _metric_name(name)
+                header(base, name, "counter")
+                lines.append(f"{base} {self._counters[name].value:g}")
             for name in sorted(self._gauges):
-                lines.append(f"{_metric_name(name)} "
-                             f"{self._gauges[name].value:g}")
+                base = _metric_name(name)
+                header(base, name, "gauge")
+                lines.append(f"{base} {self._gauges[name].value:g}")
             for name in sorted(self._histograms):
                 histogram = self._histograms[name]
                 base = _metric_name(name)
                 summary = histogram.summary()
-                for stat in ("count", "sum", "min", "max", "mean"):
-                    lines.append(f"{base}_{stat} {summary[stat]:g}")
+                header(base, name, "summary")
                 for q in (0.5, 0.95, 0.99):
                     lines.append(f'{base}{{quantile="{q:g}"}} '
                                  f"{histogram.quantile(q):g}")
+                lines.append(f"{base}_sum {summary['sum']:g}")
+                lines.append(f"{base}_count {summary['count']:g}")
+                for stat in ("min", "max", "mean"):
+                    header(f"{base}_{stat}", name, "gauge")
+                    lines.append(f"{base}_{stat} {summary[stat]:g}")
             return "\n".join(lines) + "\n"
 
     def snapshot(self) -> dict[str, dict[str, object]]:

@@ -4,8 +4,8 @@ The write side of the observability layer (:mod:`repro.obs.trace`)
 produces JSONL run manifests; this module is the read side.
 :func:`load_manifest` streams a manifest line by line — it never holds
 the raw text in memory, only the parsed events — validates each event
-against the schema declared in ``manifest_start`` (``repro-obs/1`` or
-``repro-obs/2``), and returns a :class:`Manifest` that distinguishes
+against the schema declared in ``manifest_start`` (``repro-obs/1``,
+``/2`` or ``/3``), and returns a :class:`Manifest` that distinguishes
 
 * a **complete** run: properly framed, ``manifest_end`` present with a
   matching event count — ``manifest.complete`` is ``True``;
@@ -39,9 +39,8 @@ from typing import Iterator, Mapping
 
 from repro.exceptions import ParameterError
 from repro.obs.events import (
-    OBS_SCHEMA_V1,
     SUPPORTED_SCHEMAS,
-    V2_EVENT_TYPES,
+    disallowed_event_types,
     validate_event,
 )
 
@@ -145,6 +144,23 @@ class Manifest:
             key = str(event.get("type"))
             counts[key] = counts.get(key, 0) + 1
         return dict(sorted(counts.items()))
+
+    def for_trace(self, trace_id: str) -> list[dict[str, object]]:
+        """Events carrying ``trace_id``, in stream order.
+
+        Matches both single-request events (``trace_id`` field) and
+        stacked micro-batch events that record several member ids
+        (``trace_ids`` list) — how ``repro obs report --trace``
+        reconstructs one request's path through the daemon even when it
+        shared an integration with strangers.
+        """
+        matched = []
+        for event in self.events:
+            if event.get("trace_id") == trace_id:
+                matched.append(event)
+            elif trace_id in event.get("trace_ids", ()):  # type: ignore
+                matched.append(event)
+        return matched
 
     # -- span tree ----------------------------------------------------------
     def span_tree(self) -> list[SpanNode]:
@@ -272,13 +288,11 @@ def load_manifest(path: str | Path, *, strict: bool = False) -> Manifest:
         raise ParameterError(
             f"{path}: unsupported manifest schema {schema!r} "
             f"(supported: {sorted(SUPPORTED_SCHEMAS)})")
-    if schema == OBS_SCHEMA_V1:
-        v2_only = sorted({str(e["type"]) for e in events
-                          if e["type"] in V2_EVENT_TYPES})
-        if v2_only:
-            raise ParameterError(
-                f"{path}: manifest declares {OBS_SCHEMA_V1!r} but "
-                f"contains v2-only event types {v2_only}")
+    too_new = disallowed_event_types(schema, events)
+    if too_new:
+        raise ParameterError(
+            f"{path}: manifest declares {schema!r} but contains "
+            f"newer-schema event types {too_new}")
 
     last = events[-1]
     complete = truncation is None and last.get("type") == "manifest_end"

@@ -26,6 +26,9 @@ __all__ = [
     "fbsm_summary",
     "executor_summary",
     "resource_summary",
+    "health_summary",
+    "slo_summary",
+    "trace_report_text",
     "report_text",
     "render_report",
 ]
@@ -151,6 +154,79 @@ def resource_summary(manifest: Manifest) -> dict[str, object] | None:
     }
 
 
+def health_summary(manifest: Manifest) -> dict[str, object] | None:
+    """Watchdog rollup of ``health`` events (repro-obs/3), or ``None``.
+
+    Per check: the final (live) severity, the worst severity observed,
+    and the transition count — the manifest-side view of the alarm
+    states ``/healthz`` serves live.
+    """
+    events = manifest.of_type("health")
+    if not events:
+        return None
+    order = {"ok": 0, "warn": 1, "critical": 2}
+    by_check: dict[str, dict[str, object]] = {}
+    for event in events:
+        check = str(event["check"])
+        severity = str(event["severity"])
+        entry = by_check.setdefault(check, {
+            "severity": "ok", "worst": "ok", "events": 0, "transitions": 0,
+            "detail": ""})
+        entry["events"] += 1
+        entry["severity"] = severity
+        if order.get(severity, 0) > order.get(str(entry["worst"]), 0):
+            entry["worst"] = severity
+        if event.get("transition"):
+            entry["transitions"] += 1
+        if severity != "ok":
+            entry["detail"] = str(event.get("detail", ""))
+    worst = max((order.get(str(e["worst"]), 0) for e in by_check.values()),
+                default=0)
+    return {
+        "status": {0: "ok", 1: "warn", 2: "critical"}[worst],
+        "events": len(events),
+        "by_check": dict(sorted(by_check.items())),
+    }
+
+
+def slo_summary(manifest: Manifest) -> dict[str, object] | None:
+    """The final ``slo`` snapshot recorded in the manifest, or ``None``."""
+    events = manifest.of_type("slo")
+    if not events:
+        return None
+    final = dict(events[-1])
+    final.pop("type", None)
+    final.pop("t", None)
+    return {"snapshots": len(events), "final": final}
+
+
+def trace_report_text(manifest: Manifest, trace_id: str) -> str:
+    """Render one request's path through the run: ``--trace <id>``.
+
+    Shows every event carrying the id — directly (``trace_id``) or as
+    a member of a stacked micro-batch (``trace_ids``) — in stream
+    order, using the tail renderer so the output matches what ``repro
+    obs tail`` showed live.
+    """
+    from repro.obs.tail import render_event
+
+    events = manifest.for_trace(trace_id)
+    lines = [f"manifest: {manifest.path}",
+             f"trace:    {trace_id}   ({len(events)} events)"]
+    if not events:
+        lines.append("  no events carry this trace id "
+                     "(wrong manifest, or the request never reached "
+                     "an instrumented layer)")
+        return "\n".join(lines)
+    lines.append("")
+    for event in events:
+        shared = event.get("trace_ids")
+        marker = (f"  [shared with {len(shared) - 1} other]"  # type: ignore
+                  if isinstance(shared, list) and len(shared) > 1 else "")
+        lines.append(render_event(event) + marker)
+    return "\n".join(lines)
+
+
 def _fmt_bytes(n: float) -> str:
     for unit in ("B", "KiB", "MiB", "GiB"):
         if abs(n) < 1024.0 or unit == "GiB":
@@ -273,6 +349,36 @@ def report_text(manifest: Manifest, *, width: int = 40) -> str:
             for entry in list(event["top"])[:5]:
                 lines.append(f"    {entry['cumtime']:>8.3f}s "
                              f"{entry['ncalls']:>7}x  {entry['function']}")
+
+    health = health_summary(manifest)
+    if health is not None:
+        lines.append("")
+        lines.append("== numerical health (repro-obs/3) ==")
+        lines.append(f"  status: {health['status']}   "
+                     f"({health['events']} health events)")
+        for check, entry in health["by_check"].items():
+            detail = entry["detail"]
+            lines.append(f"    {check}: {entry['severity']} "
+                         f"(worst {entry['worst']}, "
+                         f"{int(entry['transitions'])} transition(s))"
+                         + (f" — {detail}" if detail else ""))
+
+    slo = slo_summary(manifest)
+    if slo is not None:
+        final = slo["final"]
+        lines.append("")
+        lines.append("== serve SLOs (repro-obs/3) ==")
+        lines.append(f"  snapshots: {slo['snapshots']}   final window "
+                     f"{float(final.get('window_seconds', 0)):g}s, "
+                     f"{int(final.get('requests', 0))} request(s)")
+        lines.append(f"  latency p50/p95/p99: "
+                     f"{float(final.get('latency_p50', 0)):.4f}s / "
+                     f"{float(final.get('latency_p95', 0)):.4f}s / "
+                     f"{float(final.get('latency_p99', 0)):.4f}s")
+        lines.append(f"  error rate: {float(final.get('error_rate', 0)):.1%}"
+                     f"   cache hit rate: "
+                     f"{float(final.get('cache_hit_rate', 0)):.1%}   "
+                     f"queue depth: {int(final.get('queue_depth', 0))}")
 
     logs = manifest.of_type("log")
     noisy = [e for e in logs if e["level"] in ("warning", "error")]

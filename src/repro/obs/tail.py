@@ -1,0 +1,178 @@
+"""Live manifest tailing: follow a growing JSONL stream, render lines.
+
+``repro obs report`` reads a *finished* manifest; this module is the
+live view.  :class:`ManifestTail` incrementally reads a JSONL manifest
+that another process is still writing, tolerating the two races a
+follow mode must survive:
+
+* a **partial final line** — the writer was mid-``write`` (or was
+  killed mid-write) when we polled; the fragment is buffered and the
+  byte offset only advances past *complete* lines, so the event is
+  parsed whole on a later poll (or never, if the writer died — the
+  fragment is simply ignored);
+* a **replaced file** — the path was truncated or rewritten (size
+  shrank below our offset); the tail resets to the start rather than
+  reading garbage from the middle of the new stream.
+
+Unparseable *complete* lines are skipped with a counter rather than
+raised: a live view must keep rendering what it can.
+:func:`tail_manifest` drives a tail loop for the CLI (``repro obs
+tail``): render events as they appear, stop on ``manifest_end``, an
+event budget (``--max-events``), or end-of-file when not following.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Iterable, TextIO
+
+from repro.exceptions import ParameterError
+
+__all__ = ["ManifestTail", "render_event", "tail_manifest"]
+
+
+class ManifestTail:
+    """Incremental, truncation-tolerant reader of a growing manifest.
+
+    Stateless on disk: keeps only a byte offset and a partial-line
+    buffer, re-opening the file on every :meth:`poll` so the writer's
+    file handle is never shared and a vanished file is just "no new
+    events yet".
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._fragment = b""
+        self.skipped_lines = 0
+
+    def poll(self) -> list[dict[str, object]]:
+        """Parse and return events appended since the last poll."""
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(0, 2)
+                size = handle.tell()
+                if size < self._offset:
+                    # File shrank: replaced or truncated. Start over.
+                    self._offset = 0
+                    self._fragment = b""
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        if not chunk:
+            return []
+        self._offset += len(chunk)
+        data = self._fragment + chunk
+        lines = data.split(b"\n")
+        # The final piece has no newline yet: keep it for the next poll.
+        self._fragment = lines.pop()
+        events: list[dict[str, object]] = []
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                self.skipped_lines += 1
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+            else:
+                self.skipped_lines += 1
+        return events
+
+
+def _compact(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_event(event: dict[str, object]) -> str:
+    """One human-oriented line per event, tail-friendly.
+
+    Health, SLO, and log events get first-class renderings (they are
+    what a live operator watches for); other types fall back to a
+    compact ``key=value`` dump of their scalar fields.
+    """
+    etype = str(event.get("type", "?"))
+    t = event.get("t", 0.0)
+    prefix = f"[{float(t):10.3f}] {etype:<16}"
+    trace = event.get("trace_id")
+    suffix = f" trace={trace}" if trace else ""
+    if etype == "health":
+        value = event.get("value")
+        detail = event.get("detail", "")
+        body = (f"{event.get('check')}: {event.get('severity')}"
+                + (f" value={_compact(value)}" if value is not None else "")
+                + (f" — {detail}" if detail else ""))
+        return prefix + body + suffix
+    if etype == "slo":
+        body = (f"window={_compact(event.get('window_seconds', 0))}s "
+                f"requests={event.get('requests', 0)} "
+                f"p50={_compact(event.get('latency_p50', 0))}s "
+                f"p95={_compact(event.get('latency_p95', 0))}s "
+                f"err={_compact(event.get('error_rate', 0))}")
+        return prefix + body + suffix
+    if etype == "log":
+        fields = event.get("fields", {})
+        rendered = " ".join(f"{k}={_compact(v)}"
+                            for k, v in fields.items())  # type: ignore
+        return (prefix + f"{event.get('level')} {event.get('event')}"
+                + (f" {rendered}" if rendered else "") + suffix)
+    if etype == "span":
+        return (prefix + f"{event.get('name')} "
+                f"{_compact(event.get('seconds', 0))}s" + suffix)
+    skip = {"type", "t", "trace_id", "trace_ids", "metrics", "run",
+            "attrs", "fields", "top", "summary", "artifacts", "slowest"}
+    scalars = " ".join(
+        f"{key}={_compact(value)}" for key, value in event.items()
+        if key not in skip and isinstance(value, (str, int, float, bool)))
+    return prefix + scalars + suffix
+
+
+def tail_manifest(path: str | Path, *,
+                  follow: bool = False,
+                  interval: float = 0.5,
+                  max_events: int | None = None,
+                  types: Iterable[str] | None = None,
+                  stream: TextIO | None = None,
+                  clock: Callable[[], float] | None = None,
+                  timeout: float | None = None) -> int:
+    """Render a manifest's events as they appear; return the count shown.
+
+    Stops when ``manifest_end`` is seen, when ``max_events`` lines have
+    been rendered, at end of file when ``follow`` is false, or after
+    ``timeout`` seconds of following (tests; ``None`` means forever).
+    ``types`` restricts rendering to the named event types, but the
+    stop conditions still see every event.
+    """
+    if interval <= 0:
+        raise ParameterError(f"interval must be positive, got {interval}")
+    if max_events is not None and max_events < 1:
+        raise ParameterError(f"max_events must be >= 1, got {max_events}")
+    out = stream if stream is not None else sys.stdout
+    now = clock if clock is not None else time.monotonic
+    wanted = set(types) if types is not None else None
+    tail = ManifestTail(path)
+    shown = 0
+    deadline = None if timeout is None else now() + timeout
+    while True:
+        for event in tail.poll():
+            etype = str(event.get("type"))
+            if wanted is None or etype in wanted:
+                print(render_event(event), file=out)
+                shown += 1
+                if max_events is not None and shown >= max_events:
+                    return shown
+            if etype == "manifest_end":
+                return shown
+        if not follow:
+            return shown
+        if deadline is not None and now() >= deadline:
+            return shown
+        time.sleep(interval)

@@ -29,8 +29,10 @@ structurally in chunk results and emitted parent-side (see
 
 from __future__ import annotations
 
+import contextvars
 import os
 import time
+import uuid
 from contextlib import contextmanager
 from datetime import datetime, timezone
 from typing import Iterator, Mapping
@@ -40,7 +42,47 @@ from repro.obs.manifest import EventSink, JsonlSink, MemorySink, NullSink
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["Observer", "get_observer", "install", "uninstall",
-           "observing", "span"]
+           "observing", "span", "tracing", "new_trace_id",
+           "current_trace_ids"]
+
+#: Trace ids attached to the current logical context.  A context
+#: variable (not a thread-local): the serve daemon copies it when
+#: handing work to the micro-batcher, so a request's id follows the
+#: work across the thread hop.
+_TRACE_IDS: contextvars.ContextVar[tuple[str, ...]] = contextvars.ContextVar(
+    "repro_obs_trace_ids", default=())
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (uuid4-derived)."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_ids() -> tuple[str, ...]:
+    """Trace ids attached to the current context (usually 0 or 1)."""
+    return _TRACE_IDS.get()
+
+
+@contextmanager
+def tracing(*trace_ids: str) -> Iterator[tuple[str, ...]]:
+    """Attach trace ids to the current context for the ``with`` block.
+
+    Ids merge with (rather than replace) any already-attached ids —
+    order-preserving, deduplicated — so a micro-batch dispatch can
+    carry the union of its member requests' ids while each member
+    keeps its own.  Every event the observer emits inside the block is
+    stamped with the active ids (``trace_id`` when single,
+    ``trace_ids`` when several).
+    """
+    merged = list(_TRACE_IDS.get())
+    for trace_id in trace_ids:
+        if trace_id and trace_id not in merged:
+            merged.append(str(trace_id))
+    token = _TRACE_IDS.set(tuple(merged))
+    try:
+        yield tuple(merged)
+    finally:
+        _TRACE_IDS.reset(token)
 
 
 class Observer:
@@ -86,6 +128,10 @@ class Observer:
         if self.resources:
             from repro.obs.resources import start_tracing
             self._started_tracing = start_tracing()
+        # Local import: health.py needs the observer types from this
+        # module, so importing it at module level would be a cycle.
+        from repro.obs.health import HealthMonitor
+        self.health = HealthMonitor(self)
 
     # -- clock -------------------------------------------------------------
     def now(self) -> float:
@@ -104,6 +150,12 @@ class Observer:
         event: dict[str, object] = {"type": event_type,
                                     "t": round(self.now(), 6)}
         event.update(fields)
+        ids = _TRACE_IDS.get()
+        if ids:
+            if len(ids) == 1:
+                event.setdefault("trace_id", ids[0])
+            else:
+                event.setdefault("trace_ids", list(ids))
         self.sink.write(event)
         self.events_written += 1
 

@@ -33,7 +33,7 @@ import threading
 import time
 from typing import Callable, Sequence
 
-from repro.obs.trace import get_observer
+from repro.obs.trace import current_trace_ids, get_observer, tracing
 from repro.serve.spec import (
     ScenarioSpec,
     execute_scenario,
@@ -59,6 +59,10 @@ class PendingResult:
         self.spec = spec
         self.spec_hash = spec.spec_hash()
         self.stacked = False
+        # Trace ids are context-local and the dispatcher runs on its own
+        # thread, so capture them at submission time; the dispatcher
+        # re-establishes the window's union around the integration.
+        self.trace_ids = current_trace_ids()
         self._done = threading.Event()
         self._result: dict[str, object] | None = None
         self._error: BaseException | None = None
@@ -125,6 +129,7 @@ class MicroBatcher:
         self._run_one = run_one
         self._run_batch = run_batch
         self._queue: queue.Queue[PendingResult] = queue.Queue()
+        self._in_flight = 0
         self._closed = threading.Event()
         self._thread = threading.Thread(target=self._dispatch_loop,
                                         name="repro-serve-batcher",
@@ -150,6 +155,10 @@ class MicroBatcher:
         """Enqueue a spec and block until its result is ready."""
         return self.submit_nowait(spec).wait(timeout)
 
+    def depth(self) -> int:
+        """Requests queued or currently dispatching (SLO queue depth)."""
+        return self._queue.qsize() + self._in_flight
+
     # -- dispatcher thread -------------------------------------------------
     def _dispatch_loop(self) -> None:
         while True:
@@ -169,7 +178,11 @@ class MicroBatcher:
                     window.append(self._queue.get(timeout=remaining))
                 except queue.Empty:
                     break
-            self._dispatch(window)
+            self._in_flight = len(window)
+            try:
+                self._dispatch(window)
+            finally:
+                self._in_flight = 0
 
     def _dispatch(self, window: list[PendingResult]) -> None:
         """Coalesce + partition one window and run each group."""
@@ -193,11 +206,24 @@ class MicroBatcher:
         observer = get_observer()
         for group in groups.values():
             stacked = len(group) > 1
+            # Union of the group's member trace ids (owners + coalesced
+            # followers, submission order): the batch span, the solver
+            # events under it, and any health events all get stamped
+            # with every request they served.
+            group_ids: list[str] = []
+            for owner in group:
+                for member in (owner, *followers[owner.spec_hash]):
+                    for trace_id in member.trace_ids:
+                        if trace_id not in group_ids:
+                            group_ids.append(trace_id)
             try:
                 if observer is not None:
-                    with observer.span("serve.batch", size=len(group),
-                                       stacked=stacked):
-                        results = self._run_group(group, stacked)
+                    # tracing() wraps the span so the span event —
+                    # emitted when the block exits — is stamped too.
+                    with tracing(*group_ids):
+                        with observer.span("serve.batch", size=len(group),
+                                           stacked=stacked):
+                            results = self._run_group(group, stacked)
                     observer.metrics.inc("serve.batch.dispatches")
                     observer.metrics.observe("serve.batch.size", len(group))
                 else:

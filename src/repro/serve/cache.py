@@ -63,6 +63,7 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._disk_errors = 0
 
     # -- storage -----------------------------------------------------------
     def get(self, key: str) -> dict[str, object] | None:
@@ -134,6 +135,26 @@ class ResultCache:
                 "entries": len(self._entries),
             }
 
+    def disk_status(self) -> dict[str, object]:
+        """Disk-tier summary for ``/healthz``.
+
+        ``tier`` is ``"disabled"`` (no ``disk_dir``), ``"ok"``, or
+        ``"degraded"`` (at least one unreadable blob observed).  Blob
+        counting only happens when a directory exists; a missing
+        directory just means nothing has been written yet.
+        """
+        with self._lock:
+            errors = self._disk_errors
+        if self.disk_dir is None:
+            return {"tier": "disabled", "blobs": 0, "read_errors": errors}
+        try:
+            blobs = sum(1 for _ in self.disk_dir.glob("*.json"))
+        except OSError:
+            return {"tier": "degraded", "blobs": 0,
+                    "read_errors": errors + 1}
+        return {"tier": "degraded" if errors else "ok", "blobs": blobs,
+                "read_errors": errors}
+
     @staticmethod
     def _inc(metric: str) -> None:
         observer = get_observer()
@@ -152,9 +173,24 @@ class ResultCache:
         if path is None:
             return None
         try:
-            return json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            return None  # a torn blob is just a miss
+            result = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            # A torn blob is just a miss (it will be recomputed and
+            # rewritten), but it is also a cache-integrity signal the
+            # health watchdog should see: a stream of them points at a
+            # failing disk or an unsafe concurrent writer.
+            with self._lock:
+                self._disk_errors += 1
+            observer = get_observer()
+            if observer is not None:
+                observer.health.check_cache_blob(
+                    False, path=str(path),
+                    detail=f"{type(exc).__name__}: {exc}")
+            return None
+        observer = get_observer()
+        if observer is not None:
+            observer.health.check_cache_blob(True, path=str(path))
+        return result
 
     def _write_disk(self, key: str, result: dict[str, object]) -> None:
         if self.disk_dir is None:

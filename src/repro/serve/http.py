@@ -12,14 +12,27 @@ in ``docs/SERVICE.md``):
   the result once cached, ``202`` while in flight, ``404`` otherwise.
 * ``GET /presets`` — the valid ``network`` preset names with their
   degree-distribution summaries.
-* ``GET /healthz`` — liveness + cache statistics.
-* ``GET /metrics`` — plain-text dump of the obs
+* ``GET /healthz`` — load-balancer health: overall status (``ok`` /
+  ``warn`` / ``critical``, from the numerical-health watchdogs;
+  critical answers **503**), uptime, version, spec-registry size,
+  cache statistics + disk-tier status, live alarm states, and the
+  sliding-window SLO snapshot.
+* ``GET /metrics`` — Prometheus exposition-format dump of the obs
   :class:`~repro.obs.metrics.MetricsRegistry` (cache counters, request
-  latency histograms, solver metrics).
+  latency histograms, solver metrics, refreshed ``serve.slo.*``
+  gauges).
 
 Each request handler thread pushes queries through the shared
 :class:`~repro.serve.service.ScenarioService`, so concurrent client
 requests coalesce and stack exactly like library callers.
+
+Trace correlation: a client may send ``X-Trace-Id`` (1–64 chars of
+``[A-Za-z0-9_.-]``; anything else is a 400) on ``POST /scenario``;
+absent, one is generated.  The id is echoed in the response header and
+payload and stamped on every manifest event the request produces —
+the ``serve.request`` span, the micro-batch span (which records every
+member id), solver events, and health events — so ``repro obs report
+--trace <id>`` reconstructs the request's path afterwards.
 
 Graceful shutdown: SIGTERM/SIGINT stop the accept loop, drain in-flight
 batches (:meth:`ScenarioService.close`), and return control to the CLI,
@@ -31,20 +44,27 @@ normal :class:`~repro.obs.manifest.JsonlSink` path — the process exits
 from __future__ import annotations
 
 import json
+import re
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.exceptions import ParameterError
-from repro.obs.trace import get_observer
+from repro import __version__
+from repro.exceptions import ParameterError, ReproError
+from repro.obs import log as obslog
+from repro.obs.trace import get_observer, new_trace_id, tracing
 from repro.serve.service import ScenarioService
-from repro.serve.spec import ScenarioSpec
+from repro.serve.spec import MODEL_FAMILIES, ScenarioSpec
 
 __all__ = ["ScenarioHTTPServer", "run_server"]
 
 #: Hex-digit length of a full spec hash (SHA-256).
 _HASH_LEN = 64
+
+#: Accepted ``X-Trace-Id`` values: short, header-safe, log-greppable.
+_TRACE_ID_RE = re.compile(r"[A-Za-z0-9_.\-]{1,64}")
 
 
 class ScenarioHTTPServer(ThreadingHTTPServer):
@@ -56,6 +76,7 @@ class ScenarioHTTPServer(ThreadingHTTPServer):
                  service: ScenarioService) -> None:
         super().__init__(address, _ScenarioRequestHandler)
         self.service = service
+        self.started = time.monotonic()
 
 
 class _ScenarioRequestHandler(BaseHTTPRequestHandler):
@@ -66,14 +87,16 @@ class _ScenarioRequestHandler(BaseHTTPRequestHandler):
 
     # -- routing -----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if not self._accept_trace_header(generate=False):
+            return
         parts = urlsplit(self.path)
         route = parts.path.rstrip("/") or "/"
         if route == "/healthz":
-            self._respond_json(200, {
-                "status": "ok",
-                "cache": self.server.service.cache.stats(),
-            })
+            self._respond_healthz()
         elif route == "/metrics":
+            # Refresh the serve.slo.* gauges so the scrape reports the
+            # current window, not the window of the previous scrape.
+            self.server.service.slo_snapshot()
             self._respond_text(200, _render_metrics())
         elif route == "/presets":
             from repro.datasets.presets import preset_summaries
@@ -90,6 +113,8 @@ class _ScenarioRequestHandler(BaseHTTPRequestHandler):
         if route != "/scenario":
             self._respond_json(404, {"error": f"unknown path {route!r}"})
             return
+        if not self._accept_trace_header(generate=True):
+            return
         try:
             spec = self._read_spec()
         except ParameterError as error:
@@ -102,6 +127,48 @@ class _ScenarioRequestHandler(BaseHTTPRequestHandler):
             self._run_sync(spec)
 
     # -- handlers ----------------------------------------------------------
+    def _accept_trace_header(self, *, generate: bool) -> bool:
+        """Validate ``X-Trace-Id``; 400 + ``False`` on a bad value.
+
+        ``generate=True`` (scenario submissions) mints an id when the
+        client sent none, so every request is traceable; read-only
+        endpoints only echo a client-supplied id.
+        """
+        header = self.headers.get("X-Trace-Id")
+        if header is not None and not _TRACE_ID_RE.fullmatch(header):
+            self._trace_id = None
+            self._respond_json(400, {
+                "error": "invalid X-Trace-Id: need 1-64 characters of "
+                         "[A-Za-z0-9_.-]"})
+            return False
+        self._trace_id = header or (new_trace_id() if generate else None)
+        return True
+
+    def _respond_healthz(self) -> None:
+        """Load-balancer health summary; 503 only when critical.
+
+        ``warn`` still answers 200 — a degraded-but-serving node should
+        stay in rotation while operators look at ``alarms``; only
+        ``critical`` (non-finite results, storming solvers) pulls it.
+        """
+        service = self.server.service
+        observer = get_observer()
+        health = (observer.health.status() if observer is not None
+                  else {"status": "ok", "alarms": {}})
+        status = str(health["status"])
+        payload = {
+            "status": status,
+            "uptime_seconds": round(time.monotonic() - self.server.started,
+                                    3),
+            "version": __version__,
+            "spec_families": len(MODEL_FAMILIES),
+            "cache": service.cache.stats(),
+            "cache_disk": service.cache.disk_status(),
+            "alarms": health["alarms"],
+            "slo": service.slo_snapshot(),
+        }
+        self._respond_json(503 if status == "critical" else 200, payload)
+
     def _read_spec(self) -> ScenarioSpec:
         try:
             length = int(self.headers.get("Content-Length", "0"))
@@ -119,12 +186,21 @@ class _ScenarioRequestHandler(BaseHTTPRequestHandler):
 
     def _run_sync(self, spec: ScenarioSpec) -> None:
         try:
-            response = self.server.service.query(spec)
+            with tracing(self._trace_id or ""):
+                response = self.server.service.query(spec)
         except ParameterError as error:
             self._respond_json(400, {"error": str(error)})
             return
+        except ReproError as error:
+            # Numerical failures (e.g. an integration blow-up) are the
+            # request's fault domain, not the connection's: answer with
+            # a JSON error so the client and its trace survive.
+            self._respond_json(500, {"error": str(error),
+                                     "trace_id": self._trace_id})
+            return
         self._respond_json(200, {
             "spec_hash": response.spec_hash,
+            "trace_id": self._trace_id,
             "cache": response.cache,
             "stacked": response.stacked,
             "seconds": response.seconds,
@@ -135,12 +211,21 @@ class _ScenarioRequestHandler(BaseHTTPRequestHandler):
         """202 + poll path; a worker thread owns the actual query."""
         service = self.server.service
         spec_hash = spec.spec_hash()
+        trace_id = self._trace_id
+
+        def traced_query(spec: ScenarioSpec) -> None:
+            # Context variables do not cross threads: re-establish the
+            # request's trace id inside the worker.
+            with tracing(trace_id or ""):
+                service.query(spec)
+
         worker = threading.Thread(
-            target=_swallow_errors(service.query), args=(spec,),
+            target=_swallow_errors(traced_query), args=(spec,),
             name="repro-serve-async", daemon=True)
         worker.start()
         self._respond_json(202, {
             "spec_hash": spec_hash,
+            "trace_id": trace_id,
             "status": "accepted",
             "poll": f"/scenario/{spec_hash}",
         })
@@ -180,6 +265,9 @@ class _ScenarioRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id:
+            self.send_header("X-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -214,6 +302,7 @@ def run_server(host: str = "127.0.0.1", port: int = 8722, *,
                service: ScenarioService | None = None,
                window_seconds: float = 0.01, max_batch: int = 64,
                cache_entries: int = 1024, cache_dir: str | None = None,
+               status_interval: float | None = None,
                install_signal_handlers: bool = True,
                ready: threading.Event | None = None,
                stop: threading.Event | None = None) -> int:
@@ -221,11 +310,15 @@ def run_server(host: str = "127.0.0.1", port: int = 8722, *,
 
     ``port=0`` binds an ephemeral port; the announcement line (printed
     to stdout, flushed) carries the resolved port so scripts and the CI
-    smoke step can parse it.  ``ready``/``stop`` exist for in-process
-    tests: ``ready`` is set once the socket listens, ``stop`` requests
-    shutdown without a signal.  Signal handlers are installed last, so
-    they take precedence over the :class:`~repro.obs.manifest.JsonlSink`
-    SIGTERM hook — the sink still flushes, via the graceful return path.
+    smoke step can parse it.  ``status_interval`` (seconds, CLI
+    ``--status-interval``) enables a periodic one-line ``serve.status``
+    log record — health status plus the SLO window — visible on stderr
+    at ``--log-level info`` and always recorded in the manifest.
+    ``ready``/``stop`` exist for in-process tests: ``ready`` is set
+    once the socket listens, ``stop`` requests shutdown without a
+    signal.  Signal handlers are installed last, so they take
+    precedence over the :class:`~repro.obs.manifest.JsonlSink` SIGTERM
+    hook — the sink still flushes, via the graceful return path.
     """
     own_service = service is None
     if own_service:
@@ -259,6 +352,23 @@ def run_server(host: str = "127.0.0.1", port: int = 8722, *,
                       fields={"host": host, "port": actual_port})
     if ready is not None:
         ready.set()
+    if status_interval is not None and status_interval > 0:
+        def _status_loop() -> None:
+            while not stop.wait(status_interval):
+                snapshot = service.slo_snapshot()
+                ob = get_observer()
+                status = (ob.health.overall_severity()
+                          if ob is not None else "ok")
+                obslog.info(
+                    "serve.status", status=status,
+                    requests=snapshot["requests"],
+                    errors=snapshot["errors"],
+                    p95=round(float(snapshot["latency_p95"]), 4),
+                    hit_rate=round(float(snapshot["cache_hit_rate"]), 3),
+                    queue=snapshot["queue_depth"])
+
+        threading.Thread(target=_status_loop, name="repro-serve-status",
+                         daemon=True).start()
     try:
         stop.wait()
     finally:

@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.obs.slo import SLOTracker
 from repro.obs.trace import get_observer
 from repro.serve.batcher import MicroBatcher, PendingResult
 from repro.serve.cache import ResultCache
@@ -83,21 +84,28 @@ class ScenarioService:
     def __init__(self, cache: ResultCache | None = None, *,
                  window_seconds: float = 0.01, max_batch: int = 64,
                  cache_entries: int = 1024,
-                 cache_dir: str | None = None) -> None:
+                 cache_dir: str | None = None,
+                 slo_window_seconds: float = 60.0) -> None:
         self.cache = cache if cache is not None else ResultCache(
             cache_entries, cache_dir)
         self.batcher = MicroBatcher(window_seconds, max_batch)
+        self.slo = SLOTracker(slo_window_seconds)
         self._inflight: dict[str, PendingResult] = {}
         self._lock = threading.Lock()
         self._closed = False
         observer = get_observer()
         if observer is not None:
             # Pre-register the serve metrics so /metrics shows zeros
-            # before the first query rather than nothing.
+            # before the first query rather than nothing.  The initial
+            # SLO publish registers the serve.slo.* gauge family the
+            # same way, keeping the metric key set stable from the
+            # first scrape.
             for name in ("serve.cache.hits", "serve.cache.misses",
-                         "serve.cache.evictions", "serve.requests"):
+                         "serve.cache.evictions", "serve.requests",
+                         "serve.errors"):
                 observer.metrics.counter(name)
             observer.metrics.histogram("serve.request.seconds")
+            self.slo.publish(observer.metrics)
 
     # -- queries -----------------------------------------------------------
     def query(self, spec: ScenarioSpec,
@@ -148,6 +156,10 @@ class ScenarioService:
                 if status == "miss":
                     with self._lock:
                         self._inflight.pop(key, None)
+                self.slo.record(time.perf_counter() - started, error=True)
+                observer = get_observer()
+                if observer is not None:
+                    observer.metrics.inc("serve.errors")
                 if first_error is None:
                     first_error = error
                 continue
@@ -169,6 +181,8 @@ class ScenarioService:
     def _respond(self, key: str, result: dict[str, object], status: str,
                  stacked: bool, started: float) -> ScenarioResponse:
         seconds = time.perf_counter() - started
+        self.slo.record(seconds, cache_hit=status == "hit",
+                        coalesced=status == "coalesced", stacked=stacked)
         observer = get_observer()
         if observer is not None:
             observer.emit("span", name="serve.request", seconds=seconds,
@@ -178,14 +192,38 @@ class ScenarioService:
             observer.metrics.observe("serve.request.seconds", seconds)
         return ScenarioResponse(key, result, status, stacked, seconds)
 
+    # -- health/SLO --------------------------------------------------------
+    def slo_snapshot(self, *, publish: bool = True) -> dict[str, float | int]:
+        """Current sliding-window SLO summary (see :class:`SLOTracker`).
+
+        With ``publish`` (the default) the snapshot is also written to
+        the observer's ``serve.slo.*`` gauges, so a ``/metrics`` scrape
+        refreshes what it reports.
+        """
+        observer = get_observer()
+        depth = self.batcher.depth()
+        if publish and observer is not None:
+            return self.slo.publish(observer.metrics, queue_depth=depth)
+        return self.slo.snapshot(queue_depth=depth)
+
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
-        """Refuse new queries and drain in-flight batches."""
+        """Refuse new queries, drain in-flight batches, record final SLOs.
+
+        The last sliding-window snapshot is emitted into the manifest
+        as an ``slo`` event (schema ``repro-obs/3``) so a finished
+        serve run's manifest carries the service's closing state.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
         self.batcher.close()
+        observer = get_observer()
+        if observer is not None:
+            snapshot = self.slo.publish(observer.metrics,
+                                        queue_depth=self.batcher.depth())
+            observer.emit("slo", **snapshot)
 
     def __enter__(self) -> "ScenarioService":
         return self

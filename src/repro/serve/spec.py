@@ -51,7 +51,8 @@ from repro.core.threshold import (
 )
 from repro.exceptions import ParameterError
 from repro.networks.degree import DegreeDistribution, power_law_distribution
-from repro.serve.hashing import canonical_json, content_hash
+from repro.obs.trace import get_observer
+from repro.serve.hashing import canonical_json, content_hash, short_hash
 
 __all__ = [
     "CalibrationSpec",
@@ -613,9 +614,38 @@ register_family(ModelFamily(
 
 
 # -- execution entry points ---------------------------------------------------
+def _check_result_health(spec: ScenarioSpec,
+                         result: dict[str, object]) -> None:
+    """Feed a trajectory result through the numerical-health watchdogs.
+
+    Runs at the execution choke point rather than inside any one model,
+    so *every* registered family's trajectory payloads are checked —
+    including third-party families that never touch
+    :class:`HeterogeneousSIRModel`.  No observer → no work (the caller
+    already paid the single pointer read).
+    """
+    observer = get_observer()
+    if observer is None or result.get("kind") != "trajectory":
+        return
+    t = np.asarray(result.get("t", ()), dtype=float)
+    s = np.asarray(result.get("susceptible", ()), dtype=float)
+    i = np.asarray(result.get("infected", ()), dtype=float)
+    r = np.asarray(result.get("recovered", ()), dtype=float)
+    if t.size == 0 or s.size != t.size or i.size != t.size \
+            or r.size != t.size:
+        return
+    context = {"spec": short_hash(spec.spec_hash()), "model": spec.model}
+    observer.health.check_conservation(t, s + i + r, spec.alpha,
+                                       context=context)
+    observer.health.check_positivity(
+        float(min(s.min(), i.min(), r.min())), context=context)
+
+
 def execute_scenario(spec: ScenarioSpec) -> dict[str, object]:
     """Evaluate one spec on its family's scalar path."""
-    return get_family(spec.model).run(spec)
+    result = get_family(spec.model).run(spec)
+    _check_result_health(spec, result)
+    return result
 
 
 def execute_scenario_batch(
@@ -637,4 +667,7 @@ def execute_scenario_batch(
             "batch_key; got mixed or unbatchable specs")
     family = get_family(specs[0].model)
     assert family.run_batch is not None  # guaranteed by batch_key()
-    return family.run_batch(specs)
+    results = family.run_batch(specs)
+    for spec, result in zip(specs, results):
+        _check_result_health(spec, result)
+    return results

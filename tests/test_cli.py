@@ -164,7 +164,7 @@ class TestObsSubcommand:
         assert main(["obs", "validate", str(path)]) == 0
         out = capsys.readouterr().out
         assert "valid" in out
-        assert "repro-obs/2" in out
+        assert "repro-obs/3" in out
 
     def test_validate_exit_one_on_truncated(self, tmp_path: Path,
                                             capsys):

@@ -377,6 +377,57 @@ class TestLogging:
         assert events[0]["event"] == "trace.me"
         assert events[0]["fields"] == {"detail": 1}
 
+    def test_every_n_passes_first_then_every_nth(self):
+        stream = io.StringIO()
+        emitted = [warning("flood.event", every_n=3, stream=stream)
+                   for _ in range(7)]
+        # Occurrences 1, 4, 7 pass: first always, then every 3rd miss.
+        assert emitted == [True, False, False, True, False, False, True]
+        assert stream.getvalue().count("flood.event") == 3
+
+    def test_suppressed_count_stamped_on_reemission(self):
+        stream = io.StringIO()
+        with observing() as observer:
+            for _ in range(5):
+                warning("flood.event", every_n=4, stream=stream)
+            events = observer.sink.of_type("log")
+        # Emits at occurrence 1 and at occurrence 5 (4 misses later),
+        # the second stamped with how many records it stands for.
+        assert len(events) == 2
+        assert "suppressed" not in events[0]["fields"]
+        assert events[1]["fields"]["suppressed"] == 4
+        assert "suppressed=4" in stream.getvalue()
+
+    def test_min_interval_rate_limits_by_time(self):
+        stream = io.StringIO()
+        assert warning("tick.event", min_interval=3600.0, stream=stream)
+        assert not warning("tick.event", min_interval=3600.0,
+                           stream=stream)
+        assert not warning("tick.event", min_interval=3600.0,
+                           stream=stream)
+        assert stream.getvalue().count("tick.event") == 1
+        # A zero interval always passes (elapsed >= 0).
+        assert warning("tick.event", min_interval=0.0, stream=stream)
+
+    def test_rate_limit_keys_are_per_event_and_level(self):
+        stream = io.StringIO()
+        assert warning("a.event", every_n=10, stream=stream)
+        assert warning("b.event", every_n=10, stream=stream)
+        assert not warning("a.event", every_n=10, stream=stream)
+
+    def test_rate_limit_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            log("warning", "x", every_n=0)
+        with pytest.raises(ParameterError):
+            log("warning", "x", min_interval=-1.0)
+
+    def test_reset_once_clears_rate_state(self):
+        stream = io.StringIO()
+        assert warning("r.event", every_n=5, stream=stream)
+        assert not warning("r.event", every_n=5, stream=stream)
+        reset_once()
+        assert warning("r.event", every_n=5, stream=stream)
+
 
 # -- progress --------------------------------------------------------------
 

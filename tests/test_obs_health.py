@@ -1,0 +1,288 @@
+"""Unit tests for the numerical-health watchdogs (:mod:`repro.obs.health`).
+
+Each check is exercised directly against a :class:`HealthMonitor`
+attached to a real :class:`Observer` over a :class:`MemorySink`, so
+the tests pin both the severity logic *and* the flood policy (health
+events only on transitions plus rate-limited heartbeats).  End-to-end
+coverage — watchdogs firing from inside ``simulate``/FBSM/serve — lives
+in ``tests/test_obs_integration.py`` and ``tests/test_serve_http.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.health import SEVERITIES, AlarmState, HealthMonitor
+from repro.obs.log import reset_once, set_level
+from repro.obs.manifest import MemorySink
+from repro.obs.trace import Observer, uninstall
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    uninstall()
+    set_level("warning")
+    reset_once()
+    yield
+    uninstall()
+    set_level("warning")
+    reset_once()
+
+
+def _monitor(**overrides):
+    """Fresh observer + monitor; clock is the observer's real one."""
+    observer = Observer(MemorySink())
+    monitor = HealthMonitor(observer, **overrides)
+    observer.health = monitor
+    return observer, monitor
+
+
+def _health_events(observer):
+    return [e for e in observer.sink.events if e.get("type") == "health"]
+
+
+class TestAlarmState:
+    def test_defaults(self):
+        alarm = AlarmState("conservation")
+        assert alarm.severity == "ok"
+        assert alarm.worst == "ok"
+        assert alarm.trips == 0
+        assert alarm.as_dict()["observations"] == 0
+
+    def test_severity_ladder_order(self):
+        assert SEVERITIES == ("ok", "warn", "critical")
+
+
+class TestConservation:
+    def test_exact_growth_law_is_ok(self):
+        _, monitor = _monitor()
+        t = np.linspace(0.0, 50.0, 11)
+        totals = 1.0 + 0.1 * t
+        assert monitor.check_conservation(t, totals, 0.1) == "ok"
+
+    def test_anchored_at_actual_initial_mass(self):
+        # A constant offset (e.g. densities summing to 1+1e-4 at t=0)
+        # must NOT trip: the law is anchored at totals[0].
+        _, monitor = _monitor()
+        t = np.linspace(0.0, 50.0, 11)
+        totals = (1.0 + 1e-4) + 0.1 * t
+        assert monitor.check_conservation(t, totals, 0.1) == "ok"
+
+    def test_drift_crosses_warn_then_critical(self):
+        _, monitor = _monitor()
+        t = np.linspace(0.0, 10.0, 5)
+        base = 1.0 + 0.1 * t
+        scale = max(1.0, float(base.max()))
+        warn = base.copy()
+        warn[-1] += 1e-4 * scale      # relative drift 1e-4 in [1e-5, 1e-2)
+        assert monitor.check_conservation(t, warn, 0.1) == "warn"
+        bad = base.copy()
+        bad[-1] += 0.1 * scale
+        assert monitor.check_conservation(t, bad, 0.1) == "critical"
+
+    def test_per_group_2d_totals(self):
+        _, monitor = _monitor()
+        t = np.linspace(0.0, 10.0, 4)
+        masses = np.tile(0.5 + 0.05 * t[:, None], (1, 3))
+        assert monitor.check_conservation(t, masses, 0.05) == "ok"
+        masses[-1, 1] += 1.0   # one sick group out of three
+        assert monitor.check_conservation(t, masses, 0.05) == "critical"
+
+    def test_non_finite_mass_is_critical(self):
+        # NaN comparisons are silently False; must be special-cased.
+        _, monitor = _monitor()
+        t = np.array([0.0, 1.0, 2.0])
+        totals = np.array([1.0, 1.1, float("nan")])
+        assert monitor.check_conservation(t, totals, 0.1) == "critical"
+        assert "non-finite" in monitor.alarms()["conservation"].detail
+
+    def test_empty_input_is_ok(self):
+        _, monitor = _monitor()
+        assert monitor.check_conservation([], [], 0.1) == "ok"
+
+
+class TestPositivity:
+    def test_thresholds(self):
+        _, monitor = _monitor()
+        assert monitor.check_positivity(0.0) == "ok"
+        assert monitor.check_positivity(-1e-9) == "ok"
+        assert monitor.check_positivity(-1e-6) == "warn"
+        assert monitor.check_positivity(-1e-2) == "critical"
+
+    def test_nan_is_critical(self):
+        _, monitor = _monitor()
+        assert monitor.check_positivity(float("nan")) == "critical"
+        assert monitor.check_positivity(float("-inf")) == "critical"
+
+
+class TestSolverRejections:
+    def test_short_runs_skipped(self):
+        _, monitor = _monitor()
+        # 3 attempts, 2 rejected: a storm by rate, but too short to judge.
+        assert monitor.check_solver("dopri45", 1, 2) == "ok"
+        assert "solver_rejections" not in monitor.alarms()
+
+    def test_rates(self):
+        _, monitor = _monitor()
+        assert monitor.check_solver("dopri45", 90, 10) == "ok"
+        assert monitor.check_solver("dopri45", 40, 60) == "warn"
+        assert monitor.check_solver("dopri45", 10, 90) == "critical"
+        alarm = monitor.alarms()["solver_rejections"]
+        assert alarm.value == pytest.approx(0.9)
+        assert "dopri45" in alarm.detail
+
+
+class _Sweep:
+    def __init__(self, control_change, cost):
+        self.control_change = control_change
+        self.cost = cost
+
+
+class TestFBSM:
+    def test_window_not_full_is_silent(self):
+        _, monitor = _monitor(fbsm_window=5)
+        history = [_Sweep(1.0, 10.0)] * 4
+        assert monitor.check_fbsm(history, 1e-6) == "ok"
+        assert "fbsm" not in monitor.alarms()
+
+    def test_healthy_contraction_is_ok(self):
+        _, monitor = _monitor(fbsm_window=5)
+        history = [_Sweep(0.5 ** k, 10.0 - 0.1 * k) for k in range(8)]
+        assert monitor.check_fbsm(history, 1e-6) == "ok"
+
+    def test_stall_detected(self):
+        _, monitor = _monitor(fbsm_window=5)
+        # Change stuck at 0.1 >> tol across the whole window.
+        history = [_Sweep(0.1, 10.0 - 0.01 * k) for k in range(6)]
+        assert monitor.check_fbsm(history, 1e-6) == "warn"
+        assert "stalled" in monitor.alarms()["fbsm"].detail
+
+    def test_oscillation_detected_with_amplitude_guard(self):
+        _, monitor = _monitor(fbsm_window=6)
+        # Cost alternates up/down with relative amplitude ~0.05.
+        history = [_Sweep(0.5 ** k, 10.0 + (0.5 if k % 2 else -0.5))
+                   for k in range(6)]
+        assert monitor.check_fbsm(history, 1e-6) == "warn"
+        assert "oscillation" in monitor.alarms()["fbsm"].detail
+        # Same flip pattern but float-noise amplitude: stays quiet.
+        _, quiet = _monitor(fbsm_window=6)
+        tiny = [_Sweep(0.5 ** k, 10.0 + (1e-9 if k % 2 else -1e-9))
+                for k in range(6)]
+        assert quiet.check_fbsm(tiny, 1e-6) == "ok"
+
+    def test_non_finite_iterate_is_critical(self):
+        _, monitor = _monitor(fbsm_window=3)
+        history = [_Sweep(0.1, 1.0), _Sweep(0.1, math.nan),
+                   _Sweep(0.1, 1.0)]
+        assert monitor.check_fbsm(history, 1e-6) == "critical"
+
+    def test_outcome_records_non_convergence_as_warn(self):
+        _, monitor = _monitor()
+        assert monitor.check_fbsm_outcome(True, "controls", 12) == "ok"
+        assert monitor.check_fbsm_outcome(False, "max_iterations",
+                                          200) == "warn"
+        assert monitor.alarms()["fbsm"].severity == "warn"
+
+
+class TestIntegration:
+    def test_blowup_is_critical_with_solver_detail(self):
+        observer, monitor = _monitor()
+        error = RuntimeError("rk4 produced non-finite state values")
+        assert monitor.check_integration("rk4", error) == "critical"
+        alarm = monitor.alarms()["integration"]
+        assert alarm.trips == 1
+        assert "rk4 aborted" in alarm.detail
+        events = _health_events(observer)
+        assert len(events) == 1
+        assert events[0]["check"] == "integration"
+        assert events[0]["context"]["solver"] == "rk4"
+
+    def test_success_self_heals_but_worst_latches(self):
+        _, monitor = _monitor()
+        monitor.check_integration("rk4", RuntimeError("boom"))
+        assert monitor.check_integration("rk4") == "ok"
+        alarm = monitor.alarms()["integration"]
+        assert alarm.severity == "ok"
+        assert alarm.worst == "critical"
+        assert alarm.trips == 1
+
+    def test_clean_runs_stay_silent(self):
+        observer, monitor = _monitor()
+        for _ in range(5):
+            assert monitor.check_integration("dopri45") == "ok"
+        assert _health_events(observer) == []
+
+
+class TestCacheBlob:
+    def test_corrupt_blob_warns_then_self_heals(self):
+        _, monitor = _monitor()
+        assert monitor.check_cache_blob(False, path="x.json",
+                                        detail="bad json") == "warn"
+        assert monitor.overall_severity() == "warn"
+        assert monitor.check_cache_blob(True, path="x.json") == "ok"
+        assert monitor.overall_severity() == "ok"
+        assert monitor.alarms()["cache"].worst == "warn"
+
+
+class TestFloodPolicyAndStatus:
+    def test_events_only_on_transitions(self):
+        observer, monitor = _monitor(reemit_interval=3600.0)
+        for _ in range(5):
+            monitor.check_positivity(0.0)       # ok -> ok: silent
+        assert _health_events(observer) == []
+        monitor.check_positivity(-1e-6)         # ok -> warn
+        for _ in range(10):
+            monitor.check_positivity(-1e-6)     # warn -> warn: suppressed
+        monitor.check_positivity(0.0)           # warn -> ok: recovery
+        events = _health_events(observer)
+        assert [e["severity"] for e in events] == ["warn", "ok"]
+        assert all(e["transition"] for e in events)
+
+    def test_heartbeat_while_sick(self):
+        observer, monitor = _monitor(reemit_interval=0.0)
+        monitor.check_positivity(-1e-6)
+        monitor.check_positivity(-1e-6)
+        monitor.check_positivity(-1e-6)
+        events = _health_events(observer)
+        assert len(events) == 3                 # transition + 2 heartbeats
+        assert [e["transition"] for e in events] == [True, False, False]
+
+    def test_trips_count_rank_increases_only(self):
+        observer, monitor = _monitor()
+        monitor.check_positivity(-1e-6)         # ok -> warn: trip
+        monitor.check_positivity(-1e-2)         # warn -> critical: trip
+        monitor.check_positivity(0.0)           # recovery: not a trip
+        monitor.check_positivity(-1e-6)         # ok -> warn: trip
+        alarm = monitor.alarms()["positivity"]
+        assert alarm.trips == 3
+        assert alarm.worst == "critical"
+        assert alarm.severity == "warn"
+        assert observer.metrics.snapshot()["counters"]["health.alarms"] == 3
+
+    def test_status_overall_severity_is_worst_current(self):
+        _, monitor = _monitor()
+        monitor.check_positivity(0.0)
+        monitor.check_cache_blob(False)
+        status = monitor.status()
+        assert status["status"] == "warn"
+        assert set(status["alarms"]) == {"positivity", "cache"}
+        monitor.check_cache_blob(True)
+        assert monitor.status()["status"] == "ok"
+
+    def test_context_carried_into_event(self):
+        observer, monitor = _monitor()
+        monitor.check_positivity(-1e-6, context={"where": "test"})
+        (event,) = _health_events(observer)
+        assert event["context"] == {"where": "test"}
+        assert event["check"] == "positivity"
+
+    def test_health_events_validate_under_v3(self):
+        from repro.obs.events import validate_event
+
+        observer, monitor = _monitor()
+        monitor.check_positivity(-1e-6)
+        (event,) = _health_events(observer)
+        validate_event(event)  # raises on schema violation

@@ -171,6 +171,36 @@ class TestBitwiseIdentity:
         assert np.array_equal(plain.y, observed.y)
         assert plain.nfev == observed.nfev
 
+    def test_fig2_identical_with_observability(self, tmp_path):
+        """The paper's fig2 experiment — including the live health
+        watchdogs reading every trajectory — must not perturb a single
+        bit, and the manifest it writes must be a valid repro-obs/3
+        stream."""
+        from repro.experiments.config import Fig2Config
+        from repro.experiments.fig2 import run_fig2
+        from repro.obs.events import OBS_SCHEMA
+
+        config = Fig2Config(t_final=150.0, n_samples=51,
+                            n_initial_conditions=3)
+        plain = run_fig2(config)
+        path = tmp_path / "fig2.jsonl"
+        with observing(path, run={"command": "fig2"}):
+            observed = run_fig2(config)
+        assert np.array_equal(plain.trajectory.susceptible,
+                              observed.trajectory.susceptible)
+        assert np.array_equal(plain.trajectory.infected,
+                              observed.trajectory.infected)
+        assert np.array_equal(plain.trajectory.recovered,
+                              observed.trajectory.recovered)
+        assert np.array_equal(plain.dist0, observed.dist0)
+        assert plain.r0 == observed.r0
+        events = validate_manifest(path)
+        assert OBS_SCHEMA == "repro-obs/3"
+        assert events[0]["schema"] == OBS_SCHEMA
+        # A healthy fig2 run keeps every watchdog quiet: transitions
+        # never fire, so no health events pollute the manifest.
+        assert [e for e in events if e["type"] == "health"] == []
+
     def test_fbsm_identical_with_observability(self):
         base = RumorModelParameters(power_law_distribution(1, 5, 2.0),
                                     alpha=0.01)

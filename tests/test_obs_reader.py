@@ -143,7 +143,7 @@ class TestLoadManifest:
                     "ru_maxrss_kb": 100}
         path = _write(tmp_path / "m.jsonl", [
             _start(schema=OBS_SCHEMA_V1), resource, _end(3)])
-        with pytest.raises(ParameterError, match="v2-only"):
+        with pytest.raises(ParameterError, match="newer-schema"):
             load_manifest(path)
         # The same events under a repro-obs/2 declaration are fine.
         path2 = _write(tmp_path / "m2.jsonl", [

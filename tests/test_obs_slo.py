@@ -1,0 +1,169 @@
+"""Unit tests for serve SLO tracking and the exposition format.
+
+Covers :class:`repro.obs.slo.SLOTracker` (sliding window, quantiles,
+ratios, gauge publishing) and pins the *exact* Prometheus exposition
+format of :meth:`MetricsRegistry.render_text` — ``# HELP``/``# TYPE``
+headers, summary-type histograms with ``{quantile=…}`` sample lines —
+so a format regression fails loudly instead of silently breaking
+scrapers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOTracker
+
+
+class _Clock:
+    """Deterministic monotonic clock for window tests."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestSLOTracker:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            SLOTracker(0.0)
+        with pytest.raises(ParameterError):
+            SLOTracker(60.0, capacity=0)
+
+    def test_empty_snapshot_is_full_key_set_of_zeros(self):
+        snap = SLOTracker(60.0, clock=_Clock()).snapshot()
+        assert snap == {
+            "window_seconds": 60.0, "requests": 0, "errors": 0,
+            "error_rate": 0.0, "latency_p50": 0.0, "latency_p95": 0.0,
+            "latency_p99": 0.0, "cache_hit_rate": 0.0,
+            "coalesce_ratio": 0.0, "stack_ratio": 0.0, "queue_depth": 0,
+        }
+
+    def test_quantiles_exact_over_window(self):
+        clock = _Clock()
+        tracker = SLOTracker(60.0, clock=clock)
+        for ms in range(1, 101):            # 1..100 ms
+            tracker.record(ms / 1000.0)
+        snap = tracker.snapshot(queue_depth=3)
+        assert snap["requests"] == 100
+        assert snap["latency_p50"] == pytest.approx(0.0505)
+        assert snap["latency_p95"] == pytest.approx(0.09505)
+        assert snap["latency_p99"] == pytest.approx(0.09901)
+        assert snap["queue_depth"] == 3
+
+    def test_old_samples_roll_out_of_window(self):
+        clock = _Clock()
+        tracker = SLOTracker(10.0, clock=clock)
+        tracker.record(1.0, error=True)
+        clock.t = 5.0
+        tracker.record(0.5)
+        assert tracker.snapshot()["requests"] == 2
+        clock.t = 12.0                      # first sample now 12s old
+        snap = tracker.snapshot()
+        assert snap["requests"] == 1
+        assert snap["errors"] == 0
+        assert snap["latency_p50"] == pytest.approx(0.5)
+
+    def test_rates_and_ratios(self):
+        clock = _Clock()
+        tracker = SLOTracker(60.0, clock=clock)
+        tracker.record(0.01, cache_hit=True)
+        tracker.record(0.01, cache_hit=True)
+        tracker.record(0.02, coalesced=True)
+        tracker.record(0.10, stacked=True)       # a miss, batched stacked
+        tracker.record(0.10)                     # a plain miss
+        tracker.record(0.50, error=True)         # a miss that failed
+        snap = tracker.snapshot()
+        assert snap["requests"] == 6
+        assert snap["error_rate"] == pytest.approx(1 / 6)
+        assert snap["cache_hit_rate"] == pytest.approx(2 / 6)
+        assert snap["coalesce_ratio"] == pytest.approx(1 / 6)
+        # stack_ratio is over misses: 6 - 2 hits - 1 coalesced = 3.
+        assert snap["stack_ratio"] == pytest.approx(1 / 3)
+
+    def test_capacity_bounds_ring(self):
+        clock = _Clock()
+        tracker = SLOTracker(60.0, clock=clock, capacity=4)
+        for _ in range(10):
+            tracker.record(0.01)
+        assert tracker.snapshot()["requests"] == 4
+
+    def test_publish_sets_gauges_and_returns_snapshot(self):
+        registry = MetricsRegistry()
+        tracker = SLOTracker(60.0, clock=_Clock())
+        tracker.record(0.25)
+        snap = tracker.publish(registry, queue_depth=2)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["serve.slo.requests"] == 1.0
+        assert gauges["serve.slo.latency_p50"] == pytest.approx(0.25)
+        assert gauges["serve.slo.queue_depth"] == 2.0
+        assert snap["requests"] == 1
+
+
+class TestExpositionFormat:
+    def test_exact_render_with_headers_and_quantiles(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests",
+                         help="total requests").inc(3)
+        registry.gauge("queue.depth").set(2)
+        hist = registry.histogram("req.seconds", help="request wall time")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            hist.observe(value)
+        assert registry.render_text() == (
+            "# HELP serve_requests total requests\n"
+            "# TYPE serve_requests counter\n"
+            "serve_requests 3\n"
+            "# HELP queue_depth repro metric queue.depth\n"
+            "# TYPE queue_depth gauge\n"
+            "queue_depth 2\n"
+            "# HELP req_seconds request wall time\n"
+            "# TYPE req_seconds summary\n"
+            'req_seconds{quantile="0.5"} 0.25\n'
+            'req_seconds{quantile="0.95"} 0.385\n'
+            'req_seconds{quantile="0.99"} 0.397\n'
+            "req_seconds_sum 1\n"
+            "req_seconds_count 4\n"
+            "# HELP req_seconds_min request wall time\n"
+            "# TYPE req_seconds_min gauge\n"
+            "req_seconds_min 0.1\n"
+            "# HELP req_seconds_max request wall time\n"
+            "# TYPE req_seconds_max gauge\n"
+            "req_seconds_max 0.4\n"
+            "# HELP req_seconds_mean request wall time\n"
+            "# TYPE req_seconds_mean gauge\n"
+            "req_seconds_mean 0.25\n"
+        )
+
+    def test_every_family_has_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.inc("a.count")
+        registry.gauge("b.level").set(1)
+        registry.observe("c.seconds", 0.5)
+        lines = registry.render_text().splitlines()
+        families = [line.split()[3] for line in lines
+                    if line.startswith("# TYPE")]
+        assert families == ["counter", "gauge", "summary", "gauge",
+                            "gauge", "gauge"]
+        sample_names = {line.split("{")[0].split()[0] for line in lines
+                        if not line.startswith("#")}
+        helped = {line.split()[2] for line in lines
+                  if line.startswith("# HELP")}
+        # Every sample line belongs to a family announced by a HELP
+        # header — either under its own name, or (for the summary's
+        # _sum/_count samples) under the summary family's name.
+        for name in sample_names:
+            bases = {name}
+            for suffix in ("_sum", "_count"):
+                if name.endswith(suffix):
+                    bases.add(name[: -len(suffix)])
+            assert bases & helped, name
+
+    def test_help_kept_from_first_registration(self):
+        registry = MetricsRegistry()
+        registry.counter("x", help="first")
+        registry.counter("x", help="second")
+        assert "# HELP x first" in registry.render_text()

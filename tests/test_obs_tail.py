@@ -1,0 +1,189 @@
+"""Tests for live manifest tailing (:mod:`repro.obs.tail`).
+
+The interesting cases are the races a follow mode must survive: a
+writer caught mid-line (partial final line), a replaced/truncated file,
+and garbage embedded in an otherwise healthy stream.  One test runs a
+real subprocess writer that emits events with deliberate mid-line
+pauses while the parent tails the file — the end-to-end version of the
+truncation story.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs.tail import ManifestTail, render_event, tail_manifest
+
+
+def _append(path, text):
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+class TestManifestTail:
+    def test_reads_incrementally(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"type": "a", "t": 1.0}\n', encoding="utf-8")
+        tail = ManifestTail(path)
+        assert [e["type"] for e in tail.poll()] == ["a"]
+        assert tail.poll() == []
+        _append(path, '{"type": "b", "t": 2.0}\n')
+        assert [e["type"] for e in tail.poll()] == ["b"]
+
+    def test_partial_final_line_buffered_until_complete(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"type": "a", "t": 1.0}\n{"type": "b",',
+                        encoding="utf-8")
+        tail = ManifestTail(path)
+        assert [e["type"] for e in tail.poll()] == ["a"]
+        _append(path, ' "t": 2.0}\n')
+        events = tail.poll()
+        assert [e["type"] for e in events] == ["b"]
+        assert events[0]["t"] == 2.0
+        assert tail.skipped_lines == 0
+
+    def test_shrunk_file_resets_to_start(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"type": "a", "t": 1.0}\n' * 5, encoding="utf-8")
+        tail = ManifestTail(path)
+        assert len(tail.poll()) == 5
+        path.write_text('{"type": "fresh", "t": 0.1}\n', encoding="utf-8")
+        events = tail.poll()
+        assert [e["type"] for e in events] == ["fresh"]
+
+    def test_garbage_lines_counted_not_raised(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"type": "a", "t": 1.0}\n'
+                        'this is not json\n'
+                        '[1, 2, 3]\n'
+                        '{"type": "b", "t": 2.0}\n', encoding="utf-8")
+        tail = ManifestTail(path)
+        assert [e["type"] for e in tail.poll()] == ["a", "b"]
+        assert tail.skipped_lines == 2
+
+    def test_missing_file_is_no_events(self, tmp_path):
+        assert ManifestTail(tmp_path / "nope.jsonl").poll() == []
+
+
+class TestRenderEvent:
+    def test_health_event_rendering(self):
+        line = render_event({"type": "health", "t": 1.5,
+                             "check": "conservation", "severity": "warn",
+                             "value": 1e-4, "detail": "drift",
+                             "trace_id": "abc123"})
+        assert "health" in line
+        assert "conservation: warn" in line
+        assert "0.0001" in line
+        assert "drift" in line
+        assert "trace=abc123" in line
+
+    def test_slo_and_log_and_span_renderings(self):
+        slo = render_event({"type": "slo", "t": 2.0, "window_seconds": 60,
+                            "requests": 10, "latency_p50": 0.01,
+                            "latency_p95": 0.05, "error_rate": 0.1})
+        assert "requests=10" in slo and "p95=0.05s" in slo
+        log = render_event({"type": "log", "t": 3.0, "level": "warning",
+                            "event": "serve.status",
+                            "fields": {"queue": 2}})
+        assert "warning serve.status queue=2" in log
+        span = render_event({"type": "span", "t": 4.0, "name": "solve",
+                             "seconds": 0.25})
+        assert "solve 0.25s" in span
+
+    def test_fallback_renders_scalars_only(self):
+        line = render_event({"type": "solver", "t": 1.0, "nfev": 100,
+                             "attrs": {"nested": True}})
+        assert "nfev=100" in line
+        assert "nested" not in line
+
+
+class TestTailManifest:
+    def test_validates_parameters(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(ParameterError):
+            tail_manifest(path, interval=0.0)
+        with pytest.raises(ParameterError):
+            tail_manifest(path, max_events=0)
+
+    def test_stops_at_eof_when_not_following(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"type": "a", "t": 1.0}\n'
+                        '{"type": "b", "t": 2.0}\n', encoding="utf-8")
+        out = io.StringIO()
+        assert tail_manifest(path, stream=out) == 2
+        assert len(out.getvalue().splitlines()) == 2
+
+    def test_stops_at_manifest_end_even_when_filtered(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"type": "a", "t": 1.0}\n'
+                        '{"type": "manifest_end", "t": 2.0}\n'
+                        '{"type": "after", "t": 3.0}\n', encoding="utf-8")
+        out = io.StringIO()
+        # Filter hides manifest_end from the output but it still stops
+        # the loop: the "after" event is never rendered.
+        shown = tail_manifest(path, follow=True, types=("a",), stream=out,
+                              timeout=5.0, interval=0.01)
+        assert shown == 1
+        assert "after" not in out.getvalue()
+
+    def test_max_events_budget(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text("".join(f'{{"type": "e", "t": {i}.0}}\n'
+                                for i in range(10)), encoding="utf-8")
+        out = io.StringIO()
+        assert tail_manifest(path, max_events=3, stream=out) == 3
+
+    def test_follow_times_out_without_end(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"type": "a", "t": 1.0}\n', encoding="utf-8")
+        out = io.StringIO()
+        shown = tail_manifest(path, follow=True, stream=out,
+                              interval=0.01, timeout=0.05)
+        assert shown == 1
+
+    def test_follow_subprocess_writer_race(self, tmp_path):
+        """A real writer process emitting with mid-line pauses.
+
+        The writer splits one JSON line across two writes with a flush
+        and a sleep between them, so the reader's polls genuinely
+        observe a torn line; the tail must reassemble every event and
+        stop cleanly at manifest_end.
+        """
+        path = tmp_path / "live.jsonl"
+        writer = textwrap.dedent("""
+            import json, sys, time
+            path = sys.argv[1]
+            with open(path, "a", encoding="utf-8") as f:
+                for i in range(20):
+                    line = json.dumps({"type": "tick", "t": float(i),
+                                       "i": i}) + "\\n"
+                    f.write(line[:7]); f.flush()
+                    time.sleep(0.002)
+                    f.write(line[7:]); f.flush()
+                f.write(json.dumps({"type": "manifest_end", "t": 99.0,
+                                    "n_events": 21}) + "\\n")
+        """)
+        proc = subprocess.Popen([sys.executable, "-c", writer, str(path)],
+                                env={**os.environ, "PYTHONPATH": "src"})
+        try:
+            out = io.StringIO()
+            shown = tail_manifest(path, follow=True, stream=out,
+                                  interval=0.005, timeout=30.0)
+        finally:
+            assert proc.wait(timeout=30) == 0
+        # Every tick plus manifest_end, each reassembled whole.
+        assert shown == 21
+        lines = out.getvalue().splitlines()
+        ticks = [line for line in lines if "tick" in line]
+        assert len(ticks) == 20
+        for i, line in enumerate(ticks):
+            assert f"i={i}" in line

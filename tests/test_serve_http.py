@@ -75,16 +75,24 @@ def live_server(**service_kwargs):
 
 def request(port: int, method: str, path: str, body: dict | None = None):
     """One HTTP round trip; returns (status, decoded body)."""
+    status, decoded, _headers = request_full(port, method, path, body)
+    return status, decoded
+
+
+def request_full(port: int, method: str, path: str,
+                 body: dict | None = None,
+                 headers: dict[str, str] | None = None):
+    """One round trip keeping response headers: (status, body, headers)."""
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
     try:
         payload = json.dumps(body) if body is not None else None
-        conn.request(method, path, body=payload)
+        conn.request(method, path, body=payload, headers=headers or {})
         response = conn.getresponse()
         raw = response.read()
         content_type = response.getheader("Content-Type", "")
         decoded = (json.loads(raw) if "json" in content_type
                    else raw.decode("utf-8"))
-        return response.status, decoded
+        return response.status, decoded, dict(response.getheaders())
     finally:
         conn.close()
 
@@ -207,6 +215,228 @@ class TestEndpoints:
                 assert again["cache"] == "hit"
 
 
+class TestHealthzEnrichment:
+    def test_healthz_runtime_identity_fields(self):
+        """Regression: /healthz must keep the operator-facing fields."""
+        from repro import __version__
+
+        with live_server() as port:
+            status, body = request(port, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["uptime_seconds"] >= 0.0
+        assert body["version"] == __version__
+        assert body["spec_families"] >= 1
+        assert body["alarms"] == {}
+        assert body["cache_disk"] == {"tier": "disabled", "blobs": 0,
+                                      "read_errors": 0}
+        assert set(body["slo"]) >= {"window_seconds", "requests",
+                                    "errors", "error_rate", "latency_p50",
+                                    "latency_p95", "latency_p99",
+                                    "cache_hit_rate", "queue_depth"}
+
+    def test_healthz_disk_tier_status(self, tmp_path):
+        with live_server(cache_dir=str(tmp_path / "blobs")) as port:
+            request(port, "POST", "/scenario", small_payload())
+            status, body = request(port, "GET", "/healthz")
+        assert status == 200
+        assert body["cache_disk"]["tier"] == "ok"
+        assert body["cache_disk"]["blobs"] == 1
+        assert body["cache_disk"]["read_errors"] == 0
+
+
+class TestTraceIds:
+    def test_client_trace_id_echoed_and_propagated(self, tmp_path,
+                                                   capsys):
+        """One X-Trace-Id threads header -> payload -> span -> solver
+        -> batch events, and `repro obs report --trace` finds them."""
+        manifest = tmp_path / "serve.jsonl"
+        trace_id = "e2e-trace.test_01"
+        with observing(str(manifest), run={"case": "trace"}):
+            with live_server(window_seconds=0.005) as port:
+                status, body, headers = request_full(
+                    port, "POST", "/scenario", small_payload(),
+                    headers={"X-Trace-Id": trace_id})
+        assert status == 200
+        assert headers["X-Trace-Id"] == trace_id
+        assert body["trace_id"] == trace_id
+
+        loaded = load_manifest(manifest)
+        traced = loaded.for_trace(trace_id)
+        by_type = {}
+        for event in traced:
+            by_type.setdefault(event["type"], []).append(event)
+        request_spans = [e for e in by_type.get("span", ())
+                         if e["name"] == "serve.request"]
+        batch_spans = [e for e in by_type.get("span", ())
+                       if e["name"] == "serve.batch"]
+        assert len(request_spans) == 1
+        assert len(batch_spans) == 1
+        assert len(by_type.get("solver", ())) == 1
+
+        from repro.cli import main
+
+        assert main(["obs", "report", str(manifest),
+                     "--trace", trace_id]) == 0
+        out = capsys.readouterr().out
+        assert trace_id in out
+        assert "serve.request" in out
+        assert "solver" in out
+
+    def test_trace_id_generated_when_absent(self):
+        with observing(None, sink=MemorySink(), run={"case": "gen"}):
+            with live_server(window_seconds=0.005) as port:
+                status, body, headers = request_full(
+                    port, "POST", "/scenario", small_payload())
+        assert status == 200
+        generated = headers["X-Trace-Id"]
+        assert len(generated) == 16
+        assert body["trace_id"] == generated
+
+    def test_async_submission_carries_trace_id(self):
+        sink = MemorySink()
+        trace_id = "async-trace-7"
+        with observing(None, sink=sink, run={"case": "async"}):
+            with live_server(window_seconds=0.005) as port:
+                status, accepted, headers = request_full(
+                    port, "POST", "/scenario?mode=async",
+                    small_payload(eps1=0.33),
+                    headers={"X-Trace-Id": trace_id})
+                assert status == 202
+                assert accepted["trace_id"] == trace_id
+                assert headers["X-Trace-Id"] == trace_id
+                deadline = time.monotonic() + 30.0
+                while request(port, "GET", accepted["poll"])[0] != 200:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.02)
+        # The worker thread re-established the contextvar: the span and
+        # solver events carry the client's id despite the thread hop.
+        traced = [e for e in sink.events
+                  if e.get("trace_id") == trace_id
+                  or trace_id in e.get("trace_ids", ())]
+        assert {e["type"] for e in traced} >= {"span", "solver"}
+
+    def test_invalid_trace_id_is_400(self):
+        with live_server() as port:
+            status, body, _headers = request_full(
+                port, "POST", "/scenario", small_payload(),
+                headers={"X-Trace-Id": "bad id with spaces"})
+            assert status == 400
+            assert "X-Trace-Id" in body["error"]
+            status, _body, _headers = request_full(
+                port, "GET", "/healthz",
+                headers={"X-Trace-Id": "x" * 65})
+            assert status == 400
+
+
+class TestHealthThroughServe:
+    def test_conservation_violation_flips_healthz(self):
+        """A mass-leaking model family trips the conservation watchdog
+        end-to-end: POST /scenario -> execute -> /healthz degrades."""
+        from repro.serve.spec import (
+            MODEL_FAMILIES,
+            ModelFamily,
+            get_family,
+        )
+
+        base = get_family("heterogeneous_sir")
+
+        def leaky_run(spec):
+            result = dict(base.run(spec))
+            t = [float(v) for v in result["t"]]
+            # Time-growing leak, relative size ~5e-4: inside the warn
+            # band [1e-5, 1e-2), and NOT absorbed by the check's
+            # anchoring at the actual initial mass.
+            leak = [5e-4 * v / t[-1] for v in t]
+            result["recovered"] = [
+                float(r) - d for r, d in zip(result["recovered"], leak)]
+            return result
+
+        MODEL_FAMILIES["leaky_sir"] = ModelFamily(
+            "leaky_sir", "test-only mass-leaking family",
+            base.build_parameters, leaky_run)
+        sink = MemorySink()
+        try:
+            with observing(None, sink=sink, run={"case": "leaky"}):
+                with live_server(window_seconds=0.005) as port:
+                    status, ok_body = request(port, "GET", "/healthz")
+                    assert ok_body["status"] == "ok"
+                    status, body = request(
+                        port, "POST", "/scenario",
+                        small_payload(model="leaky_sir"))
+                    assert status == 200  # leak is subtle: result served
+                    status, sick = request(port, "GET", "/healthz")
+                    # warn keeps the node in rotation (200, not 503).
+                    assert status == 200
+                    assert sick["status"] == "warn"
+                    alarm = sick["alarms"]["conservation"]
+                    assert alarm["severity"] == "warn"
+                    assert alarm["trips"] == 1
+                    assert "drift" in alarm["detail"]
+        finally:
+            MODEL_FAMILIES.pop("leaky_sir", None)
+        health_events = [e for e in sink.events if e["type"] == "health"]
+        assert any(e["check"] == "conservation"
+                   and e["severity"] == "warn" for e in health_events)
+
+    def test_integration_blowup_degrades_then_heals(self):
+        """An rk4 blow-up answers 500 JSON (not a dropped connection),
+        flips /healthz to critical/503, and a later good request heals
+        the live severity while ``worst`` stays latched."""
+        blowup = small_payload(
+            network={"kind": "power_law", "k_min": 1, "k_max": 30,
+                     "exponent": 2.0},
+            method="rk4", n_samples=6, t_final=200.0,
+            calibration={"eps1": 0.2, "eps2": 0.05, "r0": 8.0})
+        sink = MemorySink()
+        with observing(None, sink=sink, run={"case": "blowup"}):
+            with live_server(window_seconds=0.005) as port:
+                status, body, headers = request_full(
+                    port, "POST", "/scenario", blowup,
+                    {"X-Trace-Id": "blowup-trace-1"})
+                assert status == 500
+                assert "non-finite" in body["error"]
+                assert body["trace_id"] == "blowup-trace-1"
+                assert headers.get("X-Trace-Id") == "blowup-trace-1"
+                status, sick = request(port, "GET", "/healthz")
+                assert status == 503
+                assert sick["status"] == "critical"
+                alarm = sick["alarms"]["integration"]
+                assert alarm["severity"] == "critical"
+                assert alarm["trips"] == 1
+                assert "rk4 aborted" in alarm["detail"]
+                assert sick["slo"]["errors"] >= 1
+                status, _ = request(port, "POST", "/scenario",
+                                    small_payload())
+                assert status == 200
+                status, healed = request(port, "GET", "/healthz")
+                assert status == 200
+                assert healed["status"] == "ok"
+                assert healed["alarms"]["integration"]["worst"] == "critical"
+        health_events = [e for e in sink.events if e["type"] == "health"]
+        tripped = [e for e in health_events
+                   if e["check"] == "integration"
+                   and e["severity"] == "critical"]
+        assert len(tripped) == 1
+        assert tripped[0]["trace_id"] == "blowup-trace-1"
+
+    def test_status_interval_logs_serve_status(self):
+        sink = MemorySink()
+        with observing(None, sink=sink, run={"case": "status"}):
+            with live_server(window_seconds=0.005,
+                             status_interval=0.05) as port:
+                request(port, "POST", "/scenario", small_payload())
+                time.sleep(0.2)
+        status_logs = [e for e in sink.events
+                       if e["type"] == "log"
+                       and e["event"] == "serve.status"]
+        assert status_logs
+        fields = status_logs[-1]["fields"]
+        assert fields["status"] == "ok"
+        assert fields["requests"] >= 1
+        assert set(fields) >= {"errors", "p95", "hit_rate", "queue"}
+
+
 class TestCliWiring:
     def test_serve_parser_defaults(self):
         args = build_parser().parse_args(["serve"])
@@ -217,17 +447,19 @@ class TestCliWiring:
         assert args.max_batch == 64
         assert args.cache_entries == 1024
         assert args.cache_dir is None
+        assert args.status_interval is None
 
     def test_serve_parser_overrides(self):
         args = build_parser().parse_args(
             ["serve", "--port", "0", "--batch-window", "0.25",
              "--max-batch", "8", "--cache-entries", "16",
-             "--cache-dir", "/tmp/blobs"])
+             "--cache-dir", "/tmp/blobs", "--status-interval", "30"])
         assert args.port == 0
         assert args.batch_window == pytest.approx(0.25)
         assert args.max_batch == 8
         assert args.cache_entries == 16
         assert args.cache_dir == "/tmp/blobs"
+        assert args.status_interval == pytest.approx(30.0)
 
     def test_presets_parser(self):
         args = build_parser().parse_args(["presets", "list"])
